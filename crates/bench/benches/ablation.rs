@@ -1,0 +1,35 @@
+//! Criterion bench: ablation variants (baseline vs greedy-only).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsd_core::{Budget, DesignSolver, RefitParams};
+use dsd_scenarios::environments::peer_sites;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_ablation(c: &mut Criterion) {
+    let env = peer_sites();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500));
+    group.bench_function("baseline_solver", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let out = DesignSolver::new(&env).solve(Budget::iterations(10), &mut rng);
+            black_box(out.best.map(|x| x.cost().total().as_f64()))
+        });
+    });
+    group.bench_function("greedy_only_solver", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let out = DesignSolver::new(&env)
+                .with_refit(RefitParams { breadth: 3, depth: 5, max_rounds: 0 })
+                .solve(Budget::iterations(10), &mut rng);
+            black_box(out.best.map(|x| x.cost().total().as_f64()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench: Figure 2 random-solution sampling throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsd_scenarios::experiments::figure2;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_figure2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500));
+    group.bench_function("sample_200_random_solutions", |b| {
+        b.iter(|| {
+            let fig = figure2::run(black_box(200), 20, 3);
+            black_box(fig.summary.costs.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure2);
+criterion_main!(benches);

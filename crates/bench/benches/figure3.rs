@@ -1,0 +1,22 @@
+//! Criterion bench: Figure 3 three-heuristic comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsd_core::Budget;
+use dsd_scenarios::experiments::figure3;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_figure3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500));
+    group.bench_function("three_heuristics_peer_sites", |b| {
+        b.iter(|| {
+            let fig = figure3::run(Budget::iterations(8), 0, black_box(11));
+            black_box(fig.tool.is_some())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure3);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench: Figure 4 scalability sweep (reduced scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsd_core::Budget;
+use dsd_scenarios::experiments::figure4;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_figure4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500));
+    for apps in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("solve_four_sites", apps), &apps, |b, &apps| {
+            b.iter(|| {
+                let fig = figure4::run(&[apps], Budget::iterations(6), black_box(31));
+                black_box(fig.points[0].tool)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure4);
+criterion_main!(benches);

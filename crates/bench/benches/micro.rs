@@ -1,0 +1,64 @@
+//! Criterion microbenches for the evaluation engine: scenario evaluation
+//! and recovery scheduling are the solver's inner loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsd_core::{Candidate, DesignSolver, Budget};
+use dsd_recovery::{schedule_jobs, Evaluator, RecoveryJob, RecoveryPolicy};
+use dsd_resources::{ArrayRef, DeviceRef, SiteId};
+use dsd_scenarios::environments::peer_sites;
+use dsd_units::{DollarsPerHour, TimeSpan};
+use dsd_workload::AppId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn solved_candidate() -> (dsd_core::Environment, Candidate) {
+    let env = peer_sites();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let best = DesignSolver::new(&env)
+        .solve(Budget::iterations(8), &mut rng)
+        .best
+        .expect("feasible");
+    (env, best)
+}
+
+fn bench_evaluator(c: &mut Criterion) {
+    let (env, candidate) = solved_candidate();
+    let protections = candidate.protections(&env);
+    let scenarios = env.failures.enumerate(candidate.primaries());
+    let mut group = c.benchmark_group("micro");
+    group.sample_size(30).warm_up_time(Duration::from_millis(300));
+    group.bench_function("annual_penalties_8_apps", |b| {
+        let ev = Evaluator::new(&env.workloads, candidate.provision(), env.recovery);
+        b.iter(|| {
+            let (summary, _) = ev.annual_penalties(black_box(&protections), &scenarios);
+            black_box(summary.total())
+        });
+    });
+    group.bench_function("candidate_full_evaluate", |b| {
+        b.iter(|| {
+            let mut c2 = candidate.clone();
+            c2.provision_mut(); // invalidate cache
+            black_box(c2.evaluate(&env).total())
+        });
+    });
+    group.bench_function("schedule_32_jobs", |b| {
+        let jobs: Vec<RecoveryJob> = (0..32)
+            .map(|i| RecoveryJob {
+                app: AppId(i),
+                priority: DollarsPerHour::new(1000.0 * (i % 7) as f64),
+                lead_time: TimeSpan::from_hours((i % 3) as f64),
+                devices: vec![DeviceRef::Array(ArrayRef { site: SiteId(i % 4), slot: i % 2 })],
+                transfer: TimeSpan::from_hours(1.0 + (i % 5) as f64),
+                tail: TimeSpan::from_mins(30.0),
+            })
+            .collect();
+        b.iter(|| black_box(schedule_jobs(black_box(jobs.clone())).makespan()));
+    });
+    group.finish();
+    let _ = RecoveryPolicy::default();
+}
+
+criterion_group!(benches, bench_evaluator);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench: Table 4 regeneration (design tool on peer sites).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsd_core::Budget;
+use dsd_scenarios::experiments::table4;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500));
+    group.bench_function("design_tool_peer_sites", |b| {
+        b.iter(|| {
+            let t = table4::run(Budget::iterations(10), black_box(2)).expect("feasible");
+            black_box(t.rows.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

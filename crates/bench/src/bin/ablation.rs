@@ -1,0 +1,16 @@
+//! Runs the ablation study over the design tool's ingredients
+//! (`DSD_BUDGET` iterations per run, seeds 1..=DSD_SEEDS;
+//! `DSD_CSV=<path>` also writes CSV).
+
+use dsd_bench::{budget_from_env, env_u64};
+use dsd_scenarios::experiments::{ablation, csv};
+
+fn main() {
+    let seeds: Vec<u64> = (1..=env_u64("DSD_SEEDS", 5)).collect();
+    let result = ablation::run(budget_from_env(), &seeds);
+    print!("{result}");
+    if let Ok(path) = std::env::var("DSD_CSV") {
+        std::fs::write(&path, csv::ablation_csv(&result)).expect("write csv");
+        println!("csv written to {path}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 2: the random-solution cost distribution of the
+//! peer-sites environment. `DSD_SAMPLES` controls the sample count
+//! (paper: ~10^8; default 20000); `DSD_CSV=<path>` also writes CSV.
+
+use dsd_bench::{env_u64, seed_from_env};
+use dsd_scenarios::experiments::{csv, figure2};
+
+fn main() {
+    let samples = env_u64("DSD_SAMPLES", 20_000) as usize;
+    let bins = env_u64("DSD_BINS", 40) as usize;
+    let fig = figure2::run(samples, bins, seed_from_env());
+    print!("{fig}");
+    if let Ok(path) = std::env::var("DSD_CSV") {
+        std::fs::write(&path, csv::figure2_csv(&fig)).expect("write csv");
+        println!("csv written to {path}");
+    }
+}

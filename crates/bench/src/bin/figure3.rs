@@ -1,0 +1,16 @@
+//! Regenerates Figure 3: cost comparison of the design tool, human
+//! heuristic and random heuristic on the peer-sites case study.
+//! `DSD_CSV=<path>` also writes CSV.
+
+use dsd_bench::{budget_from_env, env_u64, seed_from_env};
+use dsd_scenarios::experiments::{csv, figure3};
+
+fn main() {
+    let percentile_samples = env_u64("DSD_SAMPLES", 2_000) as usize;
+    let fig = figure3::run(budget_from_env(), percentile_samples, seed_from_env());
+    print!("{fig}");
+    if let Ok(path) = std::env::var("DSD_CSV") {
+        std::fs::write(&path, csv::figure3_csv(&fig)).expect("write csv");
+        println!("csv written to {path}");
+    }
+}

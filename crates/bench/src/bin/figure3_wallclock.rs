@@ -1,0 +1,15 @@
+//! Paper-faithful Figure 3 variant: every heuristic gets the same
+//! *wall-clock* budget (the paper gives each thirty minutes; default here
+//! is 10 seconds, override with `DSD_SECONDS`). Unlike the iteration-based
+//! `figure3` binary this is not bit-reproducible across machines.
+
+use dsd_bench::{env_u64, seed_from_env};
+use dsd_core::Budget;
+use dsd_scenarios::experiments::figure3;
+use std::time::Duration;
+
+fn main() {
+    let secs = env_u64("DSD_SECONDS", 10);
+    let budget = Budget::wall_clock(Duration::from_secs(secs));
+    print!("{}", figure3::run(budget, 2_000, seed_from_env()));
+}

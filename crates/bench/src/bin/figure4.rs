@@ -1,0 +1,15 @@
+//! Regenerates Figure 4: heuristic scalability with application count on
+//! four fully connected sites. `DSD_CSV=<path>` also writes CSV.
+
+use dsd_bench::{budget_from_env, seed_from_env};
+use dsd_scenarios::experiments::{csv, figure4};
+
+fn main() {
+    let counts = figure4::paper_app_counts();
+    let fig = figure4::run(&counts, budget_from_env(), seed_from_env());
+    print!("{fig}");
+    if let Ok(path) = std::env::var("DSD_CSV") {
+        std::fs::write(&path, csv::figure4_csv(&fig)).expect("write csv");
+        println!("csv written to {path}");
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 5: sensitivity of the design tool's solution cost
+//! to the DataObject failure likelihood. `DSD_CSV=<path>` also writes CSV.
+
+use dsd_bench::{budget_from_env, seed_from_env};
+use dsd_scenarios::experiments::{csv, sensitivity};
+
+fn main() {
+    let kind = sensitivity::SweepKind::DataObject;
+    let rates = kind.paper_rates();
+    let fig = sensitivity::run(kind, &rates, budget_from_env(), seed_from_env());
+    print!("{fig}");
+    if let Ok(path) = std::env::var("DSD_CSV") {
+        std::fs::write(&path, csv::sensitivity_csv(&fig)).expect("write csv");
+        println!("csv written to {path}");
+    }
+}

@@ -1,0 +1,11 @@
+//! Runs the recovery-scheduling policy study on the peer-sites design.
+
+use dsd_bench::{budget_from_env, seed_from_env};
+use dsd_scenarios::experiments::scheduling;
+
+fn main() {
+    match scheduling::run(budget_from_env(), seed_from_env()) {
+        Some(study) => print!("{study}"),
+        None => println!("no feasible design found within the budget"),
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table 4: the design tool's solution for the peer-sites
+//! case study. Set `DSD_CSV=<path>` to also write CSV.
+
+use dsd_bench::{budget_from_env, seed_from_env};
+use dsd_scenarios::experiments::{csv, table4};
+
+fn main() {
+    match table4::run(budget_from_env(), seed_from_env()) {
+        Some(table) => {
+            print!("{table}");
+            if let Ok(path) = std::env::var("DSD_CSV") {
+                std::fs::write(&path, csv::table4_csv(&table)).expect("write csv");
+                println!("csv written to {path}");
+            }
+        }
+        None => println!("no feasible design found within the budget"),
+    }
+}

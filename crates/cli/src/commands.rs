@@ -1,0 +1,289 @@
+//! Subcommand implementations. Each returns the text to print so the
+//! binary stays a thin dispatcher and integration tests can assert on
+//! output.
+
+use std::error::Error;
+use std::fmt::Write as _;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use dsd_core::{Budget, DesignSolver, Environment};
+use dsd_recovery::Evaluator;
+use dsd_scenarios::experiments::{ablation, figure2, figure3, figure4, sensitivity, table4};
+
+use crate::saved::SavedDesign;
+use crate::spec::EnvironmentSpec;
+
+/// Options shared by solver-running commands.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Solver iteration budget.
+    pub budget: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { budget: 300, seed: 2006 }
+    }
+}
+
+/// `dsd init` — emit a ready-to-edit example spec.
+#[must_use]
+pub fn cmd_init() -> String {
+    EnvironmentSpec::example().to_toml()
+}
+
+/// `dsd tables` — print the paper's input catalogs (Tables 1–3).
+#[must_use]
+pub fn cmd_tables() -> String {
+    let env = dsd_scenarios::environments::peer_sites();
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1: application classes");
+    for p in dsd_workload::WorkloadProfile::paper_mix() {
+        let _ = writeln!(out, "  {p}");
+    }
+    let _ = writeln!(out, "\nTable 2: data protection techniques");
+    for t in env.catalog.iter() {
+        let _ = writeln!(out, "  {t} — recovery: {}", t.recovery);
+    }
+    let _ = writeln!(out, "\nTable 3: device types");
+    for spec in [
+        dsd_resources::DeviceSpec::xp1200(),
+        dsd_resources::DeviceSpec::eva800(),
+        dsd_resources::DeviceSpec::msa1500(),
+        dsd_resources::DeviceSpec::tape_library_high(),
+        dsd_resources::DeviceSpec::tape_library_med(),
+    ] {
+        let _ = writeln!(
+            out,
+            "  {spec}: fixed {}, {} max, {} units of {} / {}",
+            spec.fixed_cost,
+            spec.enclosure_bandwidth,
+            spec.max_capacity_units,
+            spec.capacity_per_unit,
+            spec.bandwidth_per_unit
+        );
+    }
+    out
+}
+
+/// `dsd design <spec.toml>` — solve and render the design (plus optional
+/// JSON for `--save`).
+///
+/// # Errors
+///
+/// Spec errors, or a message when no feasible design exists.
+pub fn cmd_design(
+    spec_text: &str,
+    options: RunOptions,
+) -> Result<(String, String, String), Box<dyn Error>> {
+    let spec = EnvironmentSpec::from_toml(spec_text)?;
+    let env = spec.to_environment()?;
+    let mut rng = ChaCha8Rng::seed_from_u64(options.seed);
+    let outcome =
+        DesignSolver::new(&env).solve(Budget::iterations(options.budget), &mut rng);
+    let Some(best) = outcome.best else {
+        return Err("no feasible design found within the budget".into());
+    };
+
+    let mut text = String::new();
+    let _ = writeln!(text, "design ({} nodes evaluated):", outcome.stats.nodes_evaluated);
+    for (app, a) in best.assignments() {
+        let _ = writeln!(
+            text,
+            "  {:<28} {:<34} primary @ {}",
+            env.workloads[*app].name,
+            env.catalog[a.technique].name,
+            a.placement.primary
+        );
+    }
+    let cost = best.cost();
+    let _ = writeln!(text, "annual outlay:   {}", cost.outlay);
+    let _ = writeln!(text, "outage penalty:  {}", cost.penalties.outage);
+    let _ = writeln!(text, "loss penalty:    {}", cost.penalties.loss);
+    let _ = writeln!(text, "total:           {}", cost.total());
+
+    let json = SavedDesign::from_candidate(&env, &best).to_json();
+    let report = crate::report::markdown(&env, &best);
+    Ok((text, json, report))
+}
+
+/// `dsd evaluate <spec.toml> <design.json>` — re-evaluate a saved design
+/// (possibly under edited failure rates) with a per-scenario report.
+///
+/// # Errors
+///
+/// Spec/design errors, or a mismatch between the two.
+pub fn cmd_evaluate(spec_text: &str, design_text: &str) -> Result<String, Box<dyn Error>> {
+    let spec = EnvironmentSpec::from_toml(spec_text)?;
+    let env = spec.to_environment()?;
+    let design = SavedDesign::from_json(design_text)?;
+    let mut candidate = design.to_candidate(&env)?;
+    let cost = candidate.evaluate(&env).clone();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "cost: {cost}");
+    let _ = writeln!(out, "scenarios:");
+    let object_rate = env.failures.rates().data_object;
+    let protections = candidate.protections(&env);
+    let scenarios = env.failures.enumerate(candidate.primaries());
+    let evaluator = Evaluator::new(&env.workloads, candidate.provision(), env.recovery);
+    for scenario in &scenarios {
+        let outcome = evaluator.evaluate_scenario(&protections, &scenario.scope);
+        if outcome.outcomes.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "  {} ({}):", scenario.scope, scenario.likelihood);
+        for o in &outcome.outcomes {
+            let _ = writeln!(
+                out,
+                "    {:<28} {:<22} outage {:<12} loss {}",
+                env.workloads[o.app].name,
+                o.path.to_string(),
+                o.recovery_time.to_string(),
+                o.loss_time
+            );
+        }
+    }
+    let windows = evaluator.vulnerability_windows(&protections, &scenarios, object_rate);
+    if !windows.is_empty() {
+        let _ = writeln!(out, "double-failure vulnerability windows:");
+        for v in &windows {
+            let _ = writeln!(out, "  {v}");
+        }
+        let total: f64 = windows.iter().map(|v| v.expected_annual.as_f64()).sum();
+        let _ = writeln!(
+            out,
+            "  total expected annual exposure: {}",
+            dsd_units::Dollars::new(total)
+        );
+    }
+    Ok(out)
+}
+
+/// `dsd experiment <name>` — run one of the paper's experiments.
+///
+/// # Errors
+///
+/// Unknown experiment names.
+pub fn cmd_experiment(name: &str, options: RunOptions) -> Result<String, Box<dyn Error>> {
+    let budget = Budget::iterations(options.budget);
+    let seed = options.seed;
+    let out = match name {
+        "table4" => table4::run(budget, seed)
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "no feasible design found".into()),
+        "figure2" => figure2::run(options.budget as usize * 10, 30, seed).to_string(),
+        "figure3" => figure3::run(budget, 1000, seed).to_string(),
+        "figure4" => figure4::run(&figure4::paper_app_counts(), budget, seed).to_string(),
+        "figure5" => {
+            let k = sensitivity::SweepKind::DataObject;
+            sensitivity::run(k, &k.paper_rates(), budget, seed).to_string()
+        }
+        "figure6" => {
+            let k = sensitivity::SweepKind::DiskArray;
+            sensitivity::run(k, &k.paper_rates(), budget, seed).to_string()
+        }
+        "figure7" => {
+            let k = sensitivity::SweepKind::SiteDisaster;
+            sensitivity::run(k, &k.paper_rates(), budget, seed).to_string()
+        }
+        "ablation" => ablation::run(budget, &[seed, seed + 1, seed + 2]).to_string(),
+        other => return Err(format!("unknown experiment: {other}").into()),
+    };
+    Ok(out)
+}
+
+/// `dsd analyze-trace <trace.csv>` — measure Table 1 workload
+/// characteristics from a block-I/O trace (see `dsd_trace::from_csv` for
+/// the format).
+///
+/// # Errors
+///
+/// Trace parse errors.
+pub fn cmd_analyze_trace(trace_text: &str) -> Result<String, Box<dyn Error>> {
+    let trace = dsd_trace::from_csv(trace_text)?;
+    let stats = dsd_trace::TraceStats::analyze(&trace);
+    let mut out = String::new();
+    let _ = writeln!(out, "events:        {}", trace.len());
+    let _ = writeln!(out, "duration:      {}", trace.duration);
+    let _ = writeln!(out, "capacity:      {}", stats.capacity);
+    let _ = writeln!(out, "avg update:    {}", stats.avg_update);
+    let _ = writeln!(out, "peak update:   {}", stats.peak_update);
+    let _ = writeln!(out, "avg access:    {}", stats.avg_access);
+    let _ = writeln!(out, "unique update: {}", stats.unique_update);
+    let _ = writeln!(out, "unique frac:   {:.3}", stats.unique_fraction());
+    let _ = writeln!(
+        out,
+        "spec snippet:\n  capacity_gb = {}\n  avg_update_mbps = {:.3}\n  \
+         peak_update_mbps = {:.3}\n  avg_access_mbps = {:.3}\n  unique_fraction = {:.3}",
+        stats.capacity.as_f64(),
+        stats.avg_update.as_f64(),
+        stats.peak_update.as_f64(),
+        stats.avg_access.as_f64(),
+        stats.unique_fraction()
+    );
+    Ok(out)
+}
+
+/// Builds an environment directly from spec text (helper for tests and
+/// the binary's validation path).
+///
+/// # Errors
+///
+/// Spec parse/validation errors.
+pub fn parse_environment(spec_text: &str) -> Result<Environment, Box<dyn Error>> {
+    Ok(EnvironmentSpec::from_toml(spec_text)?.to_environment()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_emits_parseable_spec() {
+        let toml_text = cmd_init();
+        let env = parse_environment(&toml_text).expect("example is valid");
+        assert_eq!(env.workloads.len(), 8);
+    }
+
+    #[test]
+    fn tables_render_all_catalogs() {
+        let text = cmd_tables();
+        assert!(text.contains("central banking"));
+        assert!(text.contains("async mirror"));
+        assert!(text.contains("XP1200"));
+        assert!(text.contains("tape library"));
+    }
+
+    #[test]
+    fn design_and_evaluate_roundtrip() {
+        let spec = cmd_init();
+        let (text, json, report) =
+            cmd_design(&spec, RunOptions { budget: 15, seed: 3 }).expect("solvable");
+        assert!(text.contains("total:"));
+        assert!(report.contains("# Dependable storage design report"));
+        let eval = cmd_evaluate(&spec, &json).expect("evaluates");
+        assert!(eval.contains("cost:"));
+        assert!(eval.contains("site disaster"));
+    }
+
+    #[test]
+    fn analyze_trace_reports_stats() {
+        let csv = "secs,block,blocks,kind\n0.0,0,4,W\n60.0,4,4,W\n";
+        let out = cmd_analyze_trace(csv).expect("parses");
+        assert!(out.contains("avg update"));
+        assert!(out.contains("capacity_gb"));
+        assert!(cmd_analyze_trace("garbage").is_err());
+    }
+
+    #[test]
+    fn experiments_dispatch() {
+        let out = cmd_experiment("figure2", RunOptions { budget: 10, seed: 1 }).unwrap();
+        assert!(out.contains("Figure 2"));
+        assert!(cmd_experiment("figure9", RunOptions::default()).is_err());
+    }
+}

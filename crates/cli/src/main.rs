@@ -1,0 +1,112 @@
+//! `dsd` — the dependable storage designer CLI.
+//!
+//! ```text
+//! dsd init                               # print an example spec (redirect to env.toml)
+//! dsd tables                             # print the paper's input catalogs
+//! dsd design env.toml [--budget N] [--seed N] [--save design.json]
+//! dsd evaluate env.toml design.json      # re-evaluate a saved design
+//! dsd experiment table4|figure2..figure7|ablation [--budget N] [--seed N]
+//! ```
+
+use std::error::Error;
+use std::fs;
+use std::process::ExitCode;
+
+use dsd_cli::commands::{
+    cmd_analyze_trace, cmd_design, cmd_evaluate, cmd_experiment, cmd_init, cmd_tables,
+    RunOptions,
+};
+
+fn usage() -> &'static str {
+    "usage:\n  dsd init\n  dsd tables\n  dsd design <spec.toml> [--budget N] [--seed N] [--save <design.json>] [--report <report.md>]\n  dsd evaluate <spec.toml> <design.json>\n  dsd experiment <table4|figure2|figure3|figure4|figure5|figure6|figure7|ablation> [--budget N] [--seed N]\n  dsd analyze-trace <trace.csv>"
+}
+
+/// Output-file options pulled from the flags.
+#[derive(Default)]
+struct OutputPaths {
+    save: Option<String>,
+    report: Option<String>,
+}
+
+/// Pulls `--budget`/`--seed`/`--save`/`--report` style flags out of the
+/// argument list, returning the remaining positionals.
+fn parse_flags(
+    args: &[String],
+) -> Result<(Vec<&str>, RunOptions, OutputPaths), Box<dyn Error>> {
+    let mut positional = Vec::new();
+    let mut options = RunOptions::default();
+    let mut out = OutputPaths::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--budget" => {
+                i += 1;
+                let v = args.get(i).ok_or("--budget needs a value")?;
+                options.budget = v.parse().map_err(|_| format!("bad budget: {v}"))?;
+            }
+            "--seed" => {
+                i += 1;
+                let v = args.get(i).ok_or("--seed needs a value")?;
+                options.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--save" => {
+                i += 1;
+                out.save = Some(args.get(i).ok_or("--save needs a path")?.clone());
+            }
+            "--report" => {
+                i += 1;
+                out.report = Some(args.get(i).ok_or("--report needs a path")?.clone());
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag: {flag}").into());
+            }
+            other => positional.push(other),
+        }
+        i += 1;
+    }
+    Ok((positional, options, out))
+}
+
+fn run() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (positional, options, outputs) = parse_flags(&args)?;
+    match positional.as_slice() {
+        ["init"] => print!("{}", cmd_init()),
+        ["tables"] => print!("{}", cmd_tables()),
+        ["design", spec_path] => {
+            let spec = fs::read_to_string(spec_path)?;
+            let (text, json, md) = cmd_design(&spec, options)?;
+            print!("{text}");
+            if let Some(path) = outputs.save {
+                fs::write(&path, json)?;
+                println!("design saved to {path}");
+            }
+            if let Some(path) = outputs.report {
+                fs::write(&path, md)?;
+                println!("report written to {path}");
+            }
+        }
+        ["evaluate", spec_path, design_path] => {
+            let spec = fs::read_to_string(spec_path)?;
+            let design = fs::read_to_string(design_path)?;
+            print!("{}", cmd_evaluate(&spec, &design)?);
+        }
+        ["experiment", name] => print!("{}", cmd_experiment(name, options)?),
+        ["analyze-trace", trace_path] => {
+            let trace = fs::read_to_string(trace_path)?;
+            print!("{}", cmd_analyze_trace(&trace)?);
+        }
+        _ => return Err(usage().into()),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Markdown design reports: everything a storage architect would hand to
+//! a review board — the chosen design, its costs, how it behaves under
+//! every failure scenario, device utilization, and the double-failure
+//! exposure.
+
+use std::fmt::Write as _;
+
+use dsd_core::{Candidate, Environment};
+use dsd_recovery::Evaluator;
+use dsd_resources::{ArrayRef, DeviceRef, TapeRef};
+use dsd_units::Dollars;
+
+/// Renders a complete markdown report for an evaluated candidate.
+///
+/// # Panics
+///
+/// Panics if the candidate has not been evaluated.
+#[must_use]
+pub fn markdown(env: &Environment, candidate: &Candidate) -> String {
+    let mut out = String::new();
+    let cost = candidate.cost();
+
+    let _ = writeln!(out, "# Dependable storage design report\n");
+    let _ = writeln!(
+        out,
+        "- applications: {}\n- sites: {}\n- failure model: {}\n",
+        env.workloads.len(),
+        env.topology.site_count(),
+        env.failures.rates()
+    );
+
+    let _ = writeln!(out, "## Chosen design\n");
+    let _ = writeln!(out, "| application | class | technique | primary | mirror | config |");
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for (app, a) in candidate.assignments() {
+        let workload = &env.workloads[*app];
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} |",
+            workload.name,
+            workload.class_with(&env.thresholds),
+            env.catalog[a.technique].name,
+            a.placement.primary,
+            a.placement.mirror.map_or("—".into(), |m| m.to_string()),
+            a.config
+        );
+    }
+
+    let _ = writeln!(out, "\n## Annual cost\n");
+    let _ = writeln!(out, "| component | $/yr |");
+    let _ = writeln!(out, "|---|---|");
+    let _ = writeln!(out, "| amortized outlay | {} |", cost.outlay);
+    let _ = writeln!(out, "| expected outage penalty | {} |", cost.penalties.outage);
+    let _ = writeln!(out, "| expected loss penalty | {} |", cost.penalties.loss);
+    let _ = writeln!(out, "| **total** | **{}** |", cost.total());
+
+    let protections = candidate.protections(env);
+    let scenarios = env.failures.enumerate(candidate.primaries());
+    let evaluator = Evaluator::new(&env.workloads, candidate.provision(), env.recovery);
+
+    let _ = writeln!(out, "\n## Recovery behavior by scenario\n");
+    let _ = writeln!(out, "| scenario | likelihood | application | path | outage | loss |");
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for scenario in &scenarios {
+        let outcome = evaluator.evaluate_scenario(&protections, &scenario.scope);
+        for o in &outcome.outcomes {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} |",
+                scenario.scope,
+                scenario.likelihood,
+                env.workloads[o.app].name,
+                o.path,
+                o.recovery_time,
+                o.loss_time
+            );
+        }
+    }
+
+    let windows = evaluator.vulnerability_windows(
+        &protections,
+        &scenarios,
+        env.failures.rates().data_object,
+    );
+    if !windows.is_empty() {
+        let _ = writeln!(out, "\n## Double-failure exposure\n");
+        let _ = writeln!(
+            out,
+            "| first failure | application | window | fallback | expected $/yr |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|");
+        let mut total = Dollars::ZERO;
+        for v in &windows {
+            total += v.expected_annual;
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} |",
+                v.scope,
+                env.workloads[v.app].name,
+                v.window,
+                v.fallback_copy.map_or("unprotected".into(), |c| c.to_string()),
+                v.expected_annual
+            );
+        }
+        let _ = writeln!(out, "\nTotal expected exposure: **{total}** per year.");
+    }
+
+    let _ = writeln!(out, "\n## Availability\n");
+    let _ = writeln!(out, "| application | expected downtime/yr | availability | nines |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for a in evaluator.availability(&protections, &scenarios) {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.5} | {:.1} |",
+            env.workloads[a.app].name,
+            a.expected_annual_downtime,
+            a.availability,
+            a.nines()
+        );
+    }
+
+    let _ = writeln!(out, "\n## Device utilization\n");
+    let _ = writeln!(out, "| device | bandwidth | allocated | utilization |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    let provision = candidate.provision();
+    for site in env.topology.sites() {
+        for slot in 0..site.array_slots.len() {
+            let r = ArrayRef { site: site.id, slot };
+            if provision.array(r).is_some() {
+                let d = DeviceRef::Array(r);
+                let _ = writeln!(
+                    out,
+                    "| {} ({}) | {} | {} | {:.0}% |",
+                    r,
+                    site.array_slots[slot].name,
+                    provision.device_bandwidth(d),
+                    provision.device_alloc_bandwidth(d),
+                    provision.utilization(d) * 100.0
+                );
+            }
+        }
+        for slot in 0..site.tape_slots.len() {
+            let r = TapeRef { site: site.id, slot };
+            if provision.tape(r).is_some() {
+                let d = DeviceRef::Tape(r);
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {:.0}% |",
+                    r,
+                    provision.device_bandwidth(d),
+                    provision.device_alloc_bandwidth(d),
+                    provision.utilization(d) * 100.0
+                );
+            }
+        }
+    }
+    for rid in provision.active_routes() {
+        let d = DeviceRef::Route(rid);
+        let route = env.topology.route(rid);
+        let _ = writeln!(
+            out,
+            "| {} ({}—{}) | {} | {} | {:.0}% |",
+            rid,
+            env.topology.site(route.a).name,
+            env.topology.site(route.b).name,
+            provision.device_bandwidth(d),
+            provision.device_alloc_bandwidth(d),
+            provision.utilization(d) * 100.0
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_core::{Budget, DesignSolver};
+    use dsd_scenarios::environments::peer_sites;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn report_contains_every_section() {
+        let env = peer_sites();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let best = DesignSolver::new(&env)
+            .solve(Budget::iterations(20), &mut rng)
+            .best
+            .expect("feasible");
+        let report = markdown(&env, &best);
+        for heading in [
+            "# Dependable storage design report",
+            "## Chosen design",
+            "## Annual cost",
+            "## Recovery behavior by scenario",
+            "## Availability",
+            "## Device utilization",
+        ] {
+            assert!(report.contains(heading), "missing {heading}");
+        }
+        assert!(report.contains("central banking"));
+        assert!(report.contains("site disaster"));
+        // Markdown tables are well-formed: every table row has equal pipes
+        // within its section header row.
+        for line in report.lines().filter(|l| l.starts_with('|')) {
+            assert!(line.ends_with('|'), "unterminated row: {line}");
+        }
+    }
+
+    #[test]
+    fn report_includes_vulnerability_when_failover_present() {
+        let env = peer_sites();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let best = DesignSolver::new(&env)
+            .solve(Budget::iterations(30), &mut rng)
+            .best
+            .expect("feasible");
+        let has_failover = best
+            .assignments()
+            .values()
+            .any(|a| env.catalog[a.technique].is_failover());
+        let report = markdown(&env, &best);
+        assert_eq!(report.contains("## Double-failure exposure"), has_failover);
+    }
+}

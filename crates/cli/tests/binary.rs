@@ -1,0 +1,83 @@
+//! End-to-end tests of the `dsd` binary itself.
+
+use std::process::Command;
+
+fn dsd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dsd"))
+}
+
+#[test]
+fn full_workflow_through_the_binary() {
+    let dir = std::env::temp_dir().join(format!("dsd-bin-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("env.toml");
+    let design_path = dir.join("design.json");
+    let report_path = dir.join("report.md");
+
+    // init -> spec file
+    let init = dsd().arg("init").output().expect("runs");
+    assert!(init.status.success());
+    std::fs::write(&spec_path, &init.stdout).unwrap();
+
+    // design -> stdout + saved json + report
+    let design = dsd()
+        .args([
+            "design",
+            spec_path.to_str().unwrap(),
+            "--budget",
+            "15",
+            "--seed",
+            "3",
+            "--save",
+            design_path.to_str().unwrap(),
+            "--report",
+            report_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(design.status.success(), "{}", String::from_utf8_lossy(&design.stderr));
+    let stdout = String::from_utf8_lossy(&design.stdout);
+    assert!(stdout.contains("total:"));
+    assert!(design_path.exists());
+    let report = std::fs::read_to_string(&report_path).unwrap();
+    assert!(report.contains("# Dependable storage design report"));
+
+    // evaluate the saved design
+    let eval = dsd()
+        .args(["evaluate", spec_path.to_str().unwrap(), design_path.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(eval.status.success());
+    assert!(String::from_utf8_lossy(&eval.stdout).contains("scenarios:"));
+
+    // analyze a hand-written trace
+    let trace_path = dir.join("trace.csv");
+    std::fs::write(&trace_path, "secs,block,blocks,kind\n0.0,0,4,W\n60.0,4,4,W\n").unwrap();
+    let analyze = dsd()
+        .args(["analyze-trace", trace_path.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(analyze.status.success());
+    assert!(String::from_utf8_lossy(&analyze.stdout).contains("avg update"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero_with_usage_text() {
+    let out = dsd().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let missing = dsd().args(["design", "/nonexistent/spec.toml"]).output().expect("runs");
+    assert!(!missing.status.success());
+}
+
+#[test]
+fn tables_subcommand_prints_catalogs() {
+    let out = dsd().arg("tables").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Table 1"));
+    assert!(text.contains("XP1200"));
+}

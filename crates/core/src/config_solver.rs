@@ -1,0 +1,245 @@
+//! The configuration solver (paper §3.2): completes a partial candidate
+//! by optimizing technique configuration parameters and resource counts.
+
+use dsd_units::Dollars;
+use dsd_workload::AppId;
+
+use crate::candidate::{Candidate, CostBreakdown};
+use crate::env::Environment;
+
+/// How much work the configuration solver does. During the design
+/// solver's inner search, `Quick` keeps node evaluation cheap; the final
+/// polish (and the human heuristic) uses `Full`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Thoroughness {
+    /// Keep current configuration parameters; run a short
+    /// resource-addition loop.
+    Quick,
+    /// Exhaustive discretized search over every application's
+    /// configuration space plus a longer resource-addition loop.
+    Full,
+}
+
+/// Completes candidate designs: chooses configuration parameter values by
+/// exhaustive search over their discretized ranges, then keeps adding
+/// resources (network links, tape drives, disks) while doing so lowers
+/// the overall cost (paper §3.2.2: "the algorithm continues to add
+/// resources until it no longer produces any cost savings").
+#[derive(Debug, Clone, Copy)]
+pub struct ConfigurationSolver<'e> {
+    env: &'e Environment,
+    max_additions_quick: usize,
+    max_additions_full: usize,
+}
+
+impl<'e> ConfigurationSolver<'e> {
+    /// Creates a configuration solver for an environment.
+    #[must_use]
+    pub fn new(env: &'e Environment) -> Self {
+        ConfigurationSolver { env, max_additions_quick: 4, max_additions_full: 32 }
+    }
+
+    /// Overrides the resource-addition step limits (builder style).
+    /// `(0, 0)` disables the addition loop entirely — used by the
+    /// ablation study to measure its value.
+    #[must_use]
+    pub fn with_addition_limits(mut self, quick: usize, full: usize) -> Self {
+        self.max_additions_quick = quick;
+        self.max_additions_full = full;
+        self
+    }
+
+    /// Optimizes `candidate` in place and returns its final cost.
+    pub fn complete(
+        &self,
+        candidate: &mut Candidate,
+        thoroughness: Thoroughness,
+    ) -> CostBreakdown {
+        if thoroughness == Thoroughness::Full {
+            self.optimize_configs(candidate);
+        }
+        let max_additions = match thoroughness {
+            Thoroughness::Quick => self.max_additions_quick,
+            Thoroughness::Full => self.max_additions_full,
+        };
+        self.add_resources(candidate, max_additions);
+        candidate.evaluate(self.env).clone()
+    }
+
+    /// Coordinate-descent exhaustive search over each application's
+    /// discretized configuration space, in descending priority order.
+    fn optimize_configs(&self, candidate: &mut Candidate) {
+        let mut apps: Vec<AppId> = candidate.assignments().keys().copied().collect();
+        apps.sort_by(|&a, &b| {
+            self.env.workloads[b]
+                .priority()
+                .as_f64()
+                .partial_cmp(&self.env.workloads[a].priority().as_f64())
+                .expect("penalty rates are finite")
+        });
+        for app in apps {
+            let assignment = *candidate.assignment(app).expect("assigned app");
+            let space = self.env.catalog[assignment.technique].config_space();
+            if space.len() <= 1 {
+                continue;
+            }
+            let mut best_cost = self.env.score(candidate.evaluate(self.env));
+            let mut best_config = assignment.config;
+            for config in space {
+                if config == assignment.config {
+                    continue;
+                }
+                let mut trial = candidate.clone();
+                trial.remove_app(app);
+                if trial
+                    .try_assign(self.env, app, assignment.technique, config, assignment.placement)
+                    .is_err()
+                {
+                    continue;
+                }
+                let cost = self.env.score(trial.evaluate(self.env));
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_config = config;
+                    *candidate = trial;
+                }
+            }
+            debug_assert!(candidate.assignment(app).map(|a| a.config) == Some(best_config));
+        }
+    }
+
+    /// Greedy resource addition: at each step, evaluate adding one link /
+    /// one tape drive / one disk to each provisioned device, apply the
+    /// single best cost-reducing addition, and stop when nothing improves
+    /// (or after `max_additions` steps).
+    fn add_resources(&self, candidate: &mut Candidate, max_additions: usize) {
+        for _ in 0..max_additions {
+            let base = self.env.score(candidate.evaluate(self.env));
+            let mut best: Option<(Dollars, Candidate)> = None;
+
+            let mut consider = |trial: Candidate, cost: Dollars| {
+                if cost < base && best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                    best = Some((cost, trial));
+                }
+            };
+
+            for route in candidate.provision().active_routes() {
+                let mut trial = candidate.clone();
+                if trial.provision_mut().add_extra_links(route, 1).is_ok() {
+                    let cost = self.env.score(trial.evaluate(self.env));
+                    consider(trial, cost);
+                }
+            }
+            for tape in candidate.provision().provisioned_tapes() {
+                let mut trial = candidate.clone();
+                if trial.provision_mut().add_extra_tape_drives(tape, 1).is_ok() {
+                    let cost = self.env.score(trial.evaluate(self.env));
+                    consider(trial, cost);
+                }
+            }
+            for array in candidate.provision().provisioned_arrays() {
+                let mut trial = candidate.clone();
+                if trial.provision_mut().add_extra_array_units(array, 1).is_ok() {
+                    let cost = self.env.score(trial.evaluate(self.env));
+                    consider(trial, cost);
+                }
+            }
+
+            match best {
+                Some((_, improved)) => *candidate = improved,
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::PlacementOptions;
+    use dsd_failure::{FailureModel, FailureRates};
+    use dsd_protection::TechniqueCatalog;
+    use dsd_resources::{DeviceSpec, NetworkSpec, Site, Topology};
+    use dsd_workload::WorkloadSet;
+    use std::sync::Arc;
+
+    fn env(apps: usize) -> Environment {
+        let mk_site = |i: usize, name: &str| {
+            Site::new(i, name)
+                .with_array_slot(DeviceSpec::xp1200())
+                .with_array_slot(DeviceSpec::msa1500())
+                .with_tape_library(DeviceSpec::tape_library_high())
+                .with_compute(8)
+        };
+        Environment::new(
+            WorkloadSet::scaled_paper_mix(apps),
+            Arc::new(Topology::fully_connected(
+                vec![mk_site(0, "P1"), mk_site(1, "P2")],
+                NetworkSpec::high(),
+            )),
+            TechniqueCatalog::table2(),
+            FailureModel::new(FailureRates::case_study()),
+        )
+    }
+
+    fn assigned_candidate(env: &Environment) -> Candidate {
+        let mut c = Candidate::empty(env);
+        for app in env.workloads.iter() {
+            let class = app.class_with(&env.thresholds);
+            let (tid, technique) = env
+                .catalog
+                .eligible_for(class)
+                .next()
+                .expect("eligible technique exists");
+            let config = technique.default_config();
+            let placements = PlacementOptions::enumerate(env, tid);
+            let placed = placements
+                .iter()
+                .any(|&p| c.try_assign(env, app.id, tid, config, p).is_ok());
+            assert!(placed, "fixture must be assignable");
+        }
+        c
+    }
+
+    #[test]
+    fn completion_never_increases_cost() {
+        let e = env(4);
+        let mut c = assigned_candidate(&e);
+        let before = c.evaluate(&e).total();
+        let solver = ConfigurationSolver::new(&e);
+        let after = solver.complete(&mut c, Thoroughness::Full);
+        assert!(after.total() <= before, "{} > {}", after.total(), before);
+    }
+
+    #[test]
+    fn quick_is_cheaper_than_full_but_still_monotone() {
+        let e = env(4);
+        let mut c = assigned_candidate(&e);
+        let before = c.evaluate(&e).total();
+        let after = ConfigurationSolver::new(&e).complete(&mut c, Thoroughness::Quick);
+        assert!(after.total() <= before);
+    }
+
+    #[test]
+    fn full_beats_or_matches_quick() {
+        let e = env(4);
+        let base = assigned_candidate(&e);
+        let solver = ConfigurationSolver::new(&e);
+        let mut quick = base.clone();
+        let quick_cost = solver.complete(&mut quick, Thoroughness::Quick);
+        let mut full = base;
+        let full_cost = solver.complete(&mut full, Thoroughness::Full);
+        assert!(full_cost.total() <= quick_cost.total());
+    }
+
+    #[test]
+    fn configs_stay_within_their_space() {
+        let e = env(4);
+        let mut c = assigned_candidate(&e);
+        ConfigurationSolver::new(&e).complete(&mut c, Thoroughness::Full);
+        for a in c.assignments().values() {
+            let space = e.catalog[a.technique].config_space();
+            assert!(space.contains(&a.config), "chosen config must be a legal grid point");
+        }
+    }
+}

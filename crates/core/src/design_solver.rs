@@ -1,0 +1,436 @@
+//! The design solver — Algorithm 1 of the paper.
+//!
+//! Stage 1 (*greedy best-fit*) builds a feasible design by adding one
+//! application at a time — chosen randomly with probability proportional
+//! to its penalty-rate sum — and exhaustively trying every eligible
+//! technique × placement for it, keeping the cheapest.
+//!
+//! Stage 2 (*refit*) explores the neighborhood of the greedy design: from
+//! the current node it spawns `b` random sibling reconfigurations, walks
+//! each down `d` levels (at every level evaluating `b` random neighbors
+//! and following the best), jumps to the best node found, and stops at a
+//! local optimum. The outer loop restarts from a fresh greedy design
+//! until the budget expires, returning the best design seen anywhere.
+//!
+//! The paper's stack-based pseudocode bookkeeping is replaced by
+//! equivalent explicit best-tracking; the explored node set (b siblings ×
+//! depth-d best-of-b walks per round) is the same.
+
+use std::time::Duration;
+
+use rand::Rng;
+
+use dsd_units::Dollars;
+use dsd_workload::AppId;
+
+use crate::budget::{Budget, BudgetTracker};
+use crate::candidate::{Candidate, PlacementOptions};
+use crate::config_solver::{ConfigurationSolver, Thoroughness};
+use crate::env::Environment;
+use crate::reconfigure::{weighted_index, Reconfigurator};
+
+/// Refit-stage shape parameters (paper §3.1.2: breadth `b`, typically 3;
+/// depth `d`, typically 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefitParams {
+    /// Number of sibling subtrees / neighbors per level (`b`).
+    pub breadth: usize,
+    /// Depth of each sibling walk (`d`).
+    pub depth: usize,
+    /// Maximum refit rounds before declaring a local optimum anyway.
+    pub max_rounds: usize,
+}
+
+impl Default for RefitParams {
+    fn default() -> Self {
+        RefitParams { breadth: 3, depth: 5, max_rounds: 25 }
+    }
+}
+
+/// Counters describing one solve run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Completed greedy stage-1 constructions.
+    pub greedy_builds: u64,
+    /// Greedy constructions abandoned as infeasible.
+    pub greedy_failures: u64,
+    /// Refit rounds executed.
+    pub refit_rounds: u64,
+    /// Candidate nodes evaluated (configuration-solver completions).
+    pub nodes_evaluated: u64,
+}
+
+impl SolveStats {
+    /// Merges another run's counters into this one.
+    pub fn merge(&mut self, other: &SolveStats) {
+        self.greedy_builds += other.greedy_builds;
+        self.greedy_failures += other.greedy_failures;
+        self.refit_rounds += other.refit_rounds;
+        self.nodes_evaluated += other.nodes_evaluated;
+    }
+}
+
+/// Result of a solve: the best (evaluated) design found, if any design
+/// was feasible, plus run statistics.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// Best complete design found (already evaluated), or `None` when no
+    /// feasible design was found within the budget.
+    pub best: Option<Candidate>,
+    /// Run counters.
+    pub stats: SolveStats,
+    /// Wall time consumed.
+    pub elapsed: Duration,
+}
+
+/// The two-stage randomized design solver (Algorithm 1).
+#[derive(Debug, Clone, Copy)]
+pub struct DesignSolver<'e> {
+    env: &'e Environment,
+    refit: RefitParams,
+    max_greedy_restarts: usize,
+    alpha_util: f64,
+    addition_limits: (usize, usize),
+}
+
+impl<'e> DesignSolver<'e> {
+    /// Creates a solver with default refit parameters (b=3, d=5).
+    #[must_use]
+    pub fn new(env: &'e Environment) -> Self {
+        DesignSolver {
+            env,
+            refit: RefitParams::default(),
+            max_greedy_restarts: 10,
+            alpha_util: 0.9,
+            addition_limits: (4, 32),
+        }
+    }
+
+    /// Overrides the refit parameters (builder style).
+    #[must_use]
+    pub fn with_refit(mut self, refit: RefitParams) -> Self {
+        self.refit = refit;
+        self
+    }
+
+    /// Overrides the reconfigurator's load-balance weight α_util
+    /// (builder style; paper §3.1.3 sets it "close to one").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_alpha_util(mut self, alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]: {alpha}");
+        self.alpha_util = alpha;
+        self
+    }
+
+    /// Overrides the configuration solver's resource-addition limits
+    /// (builder style); `(0, 0)` disables the addition loop.
+    #[must_use]
+    pub fn with_addition_limits(mut self, quick: usize, full: usize) -> Self {
+        self.addition_limits = (quick, full);
+        self
+    }
+
+    fn config_solver(&self) -> ConfigurationSolver<'e> {
+        ConfigurationSolver::new(self.env)
+            .with_addition_limits(self.addition_limits.0, self.addition_limits.1)
+    }
+
+    /// Runs the full two-stage search until the budget expires and
+    /// returns the best design found, polished with a full configuration
+    /// solve.
+    pub fn solve<R: Rng + ?Sized>(&self, budget: Budget, rng: &mut R) -> SolveOutcome {
+        let mut tracker = budget.start();
+        let mut stats = SolveStats::default();
+        let config = self.config_solver();
+        let mut reconf = Reconfigurator::new(self.alpha_util);
+        let mut best: Option<Candidate> = None;
+
+        while !tracker.expired() {
+            let Some(mut current) = self.greedy_stage(rng, &mut tracker, &mut stats) else {
+                stats.greedy_failures += 1;
+                // Nothing feasible from this restart; if even the greedy
+                // stage keeps failing there is no point burning the rest
+                // of the budget on identical failures when the
+                // environment is outright infeasible.
+                if stats.greedy_builds == 0 && stats.greedy_failures >= 3 {
+                    break;
+                }
+                continue;
+            };
+            stats.greedy_builds += 1;
+            config.complete(&mut current, Thoroughness::Quick);
+            stats.nodes_evaluated += 1;
+
+            self.refit_stage(&mut current, &mut reconf, rng, &mut tracker, &mut stats);
+            track_best(self.env, &mut best, current);
+        }
+
+        if let Some(b) = best.as_mut() {
+            config.complete(b, Thoroughness::Full);
+            stats.nodes_evaluated += 1;
+        }
+        SolveOutcome { best, stats, elapsed: tracker.elapsed() }
+    }
+
+    /// Stage 1: greedy best-fit (§3.1.1). Returns a complete feasible
+    /// candidate or `None` after bounded restarts.
+    fn greedy_stage<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        tracker: &mut BudgetTracker,
+        stats: &mut SolveStats,
+    ) -> Option<Candidate> {
+        'restart: for _ in 0..self.max_greedy_restarts {
+            if tracker.expired() {
+                return None;
+            }
+            let mut candidate = Candidate::empty(self.env);
+            let mut unassigned: Vec<AppId> = self.env.workloads.ids().collect();
+            while !unassigned.is_empty() {
+                let weights: Vec<f64> = unassigned
+                    .iter()
+                    .map(|&a| self.env.workloads[a].priority().as_f64())
+                    .collect();
+                let pick = weighted_index(&weights, rng).expect("non-empty");
+                let app = unassigned.swap_remove(pick);
+                if !self.best_fit_assign(&mut candidate, app, stats) {
+                    tracker.tick();
+                    continue 'restart; // infeasible: restart greedy
+                }
+                tracker.tick();
+            }
+            return Some(candidate);
+        }
+        None
+    }
+
+    /// Exhaustively tries every eligible technique × placement for `app`
+    /// (default configuration) and commits the cheapest feasible one.
+    fn best_fit_assign(
+        &self,
+        candidate: &mut Candidate,
+        app: AppId,
+        stats: &mut SolveStats,
+    ) -> bool {
+        let class = self.env.workloads[app].class_with(&self.env.thresholds);
+        let mut best: Option<(Dollars, Candidate)> = None;
+        for (tid, technique) in self.env.catalog.eligible_for(class) {
+            let config = technique.default_config();
+            for placement in PlacementOptions::enumerate(self.env, tid) {
+                let mut trial = candidate.clone();
+                if trial.try_assign(self.env, app, tid, config, placement).is_err() {
+                    continue;
+                }
+                let cost = self.env.score(trial.evaluate(self.env));
+                stats.nodes_evaluated += 1;
+                if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                    best = Some((cost, trial));
+                }
+            }
+        }
+        match best {
+            Some((_, chosen)) => {
+                *candidate = chosen;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stage 2: refit (§3.1.2). Mutates `current` toward a local optimum.
+    fn refit_stage<R: Rng + ?Sized>(
+        &self,
+        current: &mut Candidate,
+        reconf: &mut Reconfigurator,
+        rng: &mut R,
+        tracker: &mut BudgetTracker,
+        stats: &mut SolveStats,
+    ) {
+        let config = ConfigurationSolver::new(self.env);
+        let explore = |node: &Candidate,
+                           reconf: &mut Reconfigurator,
+                           rng: &mut R,
+                           tracker: &mut BudgetTracker,
+                           stats: &mut SolveStats|
+         -> Option<Candidate> {
+            if tracker.expired() {
+                return None;
+            }
+            tracker.tick();
+            let mut next = node.clone();
+            if !reconf.reconfigure(self.env, &mut next, rng) {
+                return None;
+            }
+            config.complete(&mut next, Thoroughness::Quick);
+            stats.nodes_evaluated += 1;
+            Some(next)
+        };
+
+        let mut best = current.clone();
+        best.evaluate(self.env);
+        for _ in 0..self.refit.max_rounds {
+            if tracker.expired() {
+                break;
+            }
+            stats.refit_rounds += 1;
+            let mut round_best: Option<Candidate> = None;
+
+            for _ in 0..self.refit.breadth {
+                // One sibling subtree rooted at a reconfiguration of the
+                // round's starting node.
+                let Some(mut node) = explore(current, reconf, rng, tracker, stats) else {
+                    continue;
+                };
+                track_best(self.env, &mut round_best, node.clone());
+                for _ in 0..self.refit.depth {
+                    let mut level_best: Option<Candidate> = None;
+                    for _ in 0..self.refit.breadth {
+                        if let Some(n) = explore(&node, reconf, rng, tracker, stats) {
+                            track_best(self.env, &mut level_best, n);
+                        }
+                    }
+                    let Some(lb) = level_best else { break };
+                    track_best(self.env, &mut round_best, lb.clone());
+                    node = lb;
+                }
+            }
+
+            match round_best {
+                Some(rb) if self.env.score(rb.cost()) < self.env.score(best.cost()) => {
+                    *current = rb.clone();
+                    best = rb;
+                }
+                // No improvement this round: local optimum (Algorithm 1's
+                // termination test).
+                _ => break,
+            }
+        }
+        *current = best;
+    }
+}
+
+/// Keeps the better-scoring candidate under the environment's objective
+/// (candidates must be evaluated).
+fn track_best(env: &Environment, slot: &mut Option<Candidate>, candidate: Candidate) {
+    debug_assert!(candidate.cost_if_evaluated().is_some());
+    match slot {
+        None => *slot = Some(candidate),
+        Some(existing) => {
+            if env.score(candidate.cost()) < env.score(existing.cost()) {
+                *slot = Some(candidate);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_failure::{FailureModel, FailureRates};
+    use dsd_protection::TechniqueCatalog;
+    use dsd_resources::{DeviceSpec, NetworkSpec, Site, Topology};
+    use dsd_workload::WorkloadSet;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::Arc;
+
+    fn env(apps: usize) -> Environment {
+        let mk = |i: usize| {
+            Site::new(i, format!("P{i}"))
+                .with_array_slot(DeviceSpec::xp1200())
+                .with_array_slot(DeviceSpec::msa1500())
+                .with_tape_library(DeviceSpec::tape_library_high())
+                .with_compute(8)
+        };
+        Environment::new(
+            WorkloadSet::scaled_paper_mix(apps),
+            Arc::new(Topology::fully_connected(vec![mk(0), mk(1)], NetworkSpec::high())),
+            TechniqueCatalog::table2(),
+            FailureModel::new(FailureRates::case_study()),
+        )
+    }
+
+    #[test]
+    fn solver_finds_complete_feasible_design() {
+        let e = env(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let out = DesignSolver::new(&e).solve(Budget::iterations(30), &mut rng);
+        let best = out.best.expect("feasible environment must yield a design");
+        assert!(best.is_complete(&e));
+        assert!(best.cost().total().is_finite());
+        assert!(out.stats.greedy_builds >= 1);
+        assert!(out.stats.nodes_evaluated > 0);
+    }
+
+    #[test]
+    fn solver_is_deterministic_under_seed() {
+        let e = env(4);
+        let run = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            DesignSolver::new(&e)
+                .solve(Budget::iterations(20), &mut rng)
+                .best
+                .map(|b| b.cost().total().as_f64())
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn more_budget_never_hurts() {
+        let e = env(4);
+        let cost_at = |iters| {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            DesignSolver::new(&e)
+                .solve(Budget::iterations(iters), &mut rng)
+                .best
+                .map(|b| b.cost().total().as_f64())
+                .unwrap()
+        };
+        // Same seed: a longer run explores a superset of candidates.
+        assert!(cost_at(60) <= cost_at(8) + 1e-6);
+    }
+
+    #[test]
+    fn gold_apps_get_gold_protection() {
+        let e = env(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let best =
+            DesignSolver::new(&e).solve(Budget::iterations(30), &mut rng).best.unwrap();
+        for (app, a) in best.assignments() {
+            let class = e.workloads[*app].class_with(&e.thresholds);
+            assert!(e.catalog[a.technique].category.satisfies(class));
+        }
+    }
+
+    #[test]
+    fn infeasible_environment_returns_none() {
+        // One tiny site without tape: central banking's gold class needs a
+        // mirror to another site, but there is only one site.
+        let site = vec![Site::new(0, "solo")
+            .with_array_slot(DeviceSpec::msa1500())
+            .with_compute(1)];
+        let e = Environment::new(
+            WorkloadSet::scaled_paper_mix(1),
+            Arc::new(Topology::fully_connected(site, NetworkSpec::med())),
+            TechniqueCatalog::table2(),
+            FailureModel::new(FailureRates::case_study()),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let out = DesignSolver::new(&e).solve(Budget::iterations(10), &mut rng);
+        assert!(out.best.is_none());
+        assert!(out.stats.greedy_failures > 0);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = SolveStats { greedy_builds: 1, greedy_failures: 2, refit_rounds: 3, nodes_evaluated: 4 };
+        let b = SolveStats { greedy_builds: 10, greedy_failures: 20, refit_rounds: 30, nodes_evaluated: 40 };
+        a.merge(&b);
+        assert_eq!(a.greedy_builds, 11);
+        assert_eq!(a.nodes_evaluated, 44);
+    }
+}

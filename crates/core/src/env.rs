@@ -1,0 +1,87 @@
+//! The design environment: every input of the problem statement (§2.6).
+
+use std::sync::Arc;
+
+use dsd_failure::FailureModel;
+use dsd_protection::{SizingPolicy, TechniqueCatalog};
+use dsd_recovery::RecoveryPolicy;
+use dsd_resources::Topology;
+use dsd_units::Dollars;
+use dsd_workload::{ClassThresholds, WorkloadSet};
+
+use crate::candidate::CostBreakdown;
+use crate::objective::Objective;
+
+/// Everything the solvers need to evaluate and compare candidate designs:
+/// application penalty rates and access characteristics, the site
+/// topology and device catalog, failure scenarios, and the modeling
+/// policies (paper §2.6).
+#[derive(Debug, Clone)]
+pub struct Environment {
+    /// The applications to protect.
+    pub workloads: WorkloadSet,
+    /// Sites, device slots and link routes.
+    pub topology: Arc<Topology>,
+    /// Candidate data protection techniques (Table 2).
+    pub catalog: TechniqueCatalog,
+    /// Failure scopes and annual likelihoods.
+    pub failures: FailureModel,
+    /// Demand-sizing assumptions.
+    pub sizing: SizingPolicy,
+    /// Recovery timing constants.
+    pub recovery: RecoveryPolicy,
+    /// Business-class thresholds.
+    pub thresholds: ClassThresholds,
+    /// How candidate costs are ranked by the solvers.
+    pub objective: Objective,
+}
+
+impl Environment {
+    /// Creates an environment with default sizing/recovery policies and
+    /// class thresholds.
+    #[must_use]
+    pub fn new(
+        workloads: WorkloadSet,
+        topology: Arc<Topology>,
+        catalog: TechniqueCatalog,
+        failures: FailureModel,
+    ) -> Self {
+        Environment {
+            workloads,
+            topology,
+            catalog,
+            failures,
+            sizing: SizingPolicy::default(),
+            recovery: RecoveryPolicy::default(),
+            thresholds: ClassThresholds::default(),
+            objective: Objective::default(),
+        }
+    }
+
+    /// The solvers' scalar score for a cost breakdown (lower is better).
+    #[must_use]
+    pub fn score(&self, cost: &CostBreakdown) -> Dollars {
+        self.objective.score(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_failure::FailureRates;
+    use dsd_resources::{DeviceSpec, NetworkSpec, Site};
+
+    #[test]
+    fn environment_builds_with_defaults() {
+        let sites = vec![Site::new(0, "A").with_array_slot(DeviceSpec::xp1200())];
+        let env = Environment::new(
+            WorkloadSet::scaled_paper_mix(4),
+            Arc::new(Topology::fully_connected(sites, NetworkSpec::high())),
+            TechniqueCatalog::table2(),
+            FailureModel::new(FailureRates::case_study()),
+        );
+        assert_eq!(env.workloads.len(), 4);
+        assert_eq!(env.catalog.len(), 9);
+        assert_eq!(env.sizing.snapshot_space_fraction, 0.2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Parallel multi-restart driver.
+//!
+//! The paper's search restarts many times within a wall-clock budget;
+//! independent restarts are embarrassingly parallel, so we run one solver
+//! per seed on scoped threads and keep the global best.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::budget::Budget;
+use crate::design_solver::{DesignSolver, SolveOutcome};
+use crate::env::Environment;
+
+/// Runs one [`DesignSolver`] per seed in parallel, each with its own
+/// budget, and returns the cheapest design found across all runs. Stats
+/// are summed; elapsed is the wall time of the whole fan-out.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or a worker thread panics.
+#[must_use]
+pub fn parallel_solve(env: &Environment, budget: Budget, seeds: &[u64]) -> SolveOutcome {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let started = std::time::Instant::now();
+    let best = Mutex::new(None::<SolveOutcome>);
+
+    thread::scope(|scope| {
+        for &seed in seeds {
+            let best = &best;
+            scope.spawn(move |_| {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let outcome = DesignSolver::new(env).solve(budget, &mut rng);
+                let mut slot = best.lock();
+                match slot.as_mut() {
+                    None => *slot = Some(outcome),
+                    Some(current) => {
+                        let improved = match (&outcome.best, &current.best) {
+                            (Some(new), Some(old)) => {
+                                env.score(new.cost()) < env.score(old.cost())
+                            }
+                            (Some(_), None) => true,
+                            _ => false,
+                        };
+                        let mut stats = current.stats;
+                        stats.merge(&outcome.stats);
+                        if improved {
+                            *current = outcome;
+                        }
+                        current.stats = stats;
+                    }
+                }
+            });
+        }
+    })
+    .expect("solver worker panicked");
+
+    let mut outcome = best.into_inner().expect("at least one seed ran");
+    outcome.elapsed = started.elapsed();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_failure::{FailureModel, FailureRates};
+    use dsd_protection::TechniqueCatalog;
+    use dsd_resources::{DeviceSpec, NetworkSpec, Site, Topology};
+    use dsd_workload::WorkloadSet;
+    use std::sync::Arc;
+
+    fn env() -> Environment {
+        let mk = |i: usize| {
+            Site::new(i, format!("P{i}"))
+                .with_array_slot(DeviceSpec::xp1200())
+                .with_array_slot(DeviceSpec::msa1500())
+                .with_tape_library(DeviceSpec::tape_library_high())
+                .with_compute(8)
+        };
+        Environment::new(
+            WorkloadSet::scaled_paper_mix(4),
+            Arc::new(Topology::fully_connected(vec![mk(0), mk(1)], NetworkSpec::high())),
+            TechniqueCatalog::table2(),
+            FailureModel::new(FailureRates::case_study()),
+        )
+    }
+
+    #[test]
+    fn parallel_beats_or_matches_each_single_seed() {
+        let e = env();
+        let budget = Budget::iterations(10);
+        let par = parallel_solve(&e, budget, &[1, 2, 3]);
+        let par_cost = par.best.as_ref().unwrap().cost().total();
+        for seed in [1u64, 2, 3] {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let single = DesignSolver::new(&e).solve(budget, &mut rng);
+            if let Some(best) = single.best {
+                assert!(par_cost <= best.cost().total());
+            }
+        }
+        // Stats summed over the three runs.
+        assert!(par.stats.greedy_builds >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_list_rejected() {
+        let e = env();
+        let _ = parallel_solve(&e, Budget::iterations(1), &[]);
+    }
+
+    #[derive(Debug)]
+    struct _AssertSend(std::marker::PhantomData<Environment>);
+}

@@ -1,0 +1,381 @@
+//! Reconfiguration moves (paper §3.1.3): remove one application and give
+//! it a new technique and data layout, with the paper's selection biases.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use dsd_protection::TechniqueId;
+use dsd_recovery::Placement;
+use dsd_resources::{ArrayRef, DeviceRef};
+use dsd_units::Dollars;
+use dsd_workload::AppId;
+
+use crate::candidate::{Candidate, PlacementOptions};
+use crate::env::Environment;
+
+/// Samples an index from non-negative weights; uniform when all weights
+/// are zero. Returns `None` for an empty slice.
+pub(crate) fn weighted_index<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Option<usize> {
+    if weights.is_empty() {
+        return None;
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Some(rng.gen_range(0..weights.len()));
+    }
+    let mut target = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if target < *w {
+            return Some(i);
+        }
+        target -= w;
+    }
+    Some(weights.len() - 1)
+}
+
+/// Performs randomized reconfiguration moves on candidates, implementing
+/// the paper's three biases:
+///
+/// * the application to reconfigure is chosen with probability biased
+///   toward those contributing most to the overall cost;
+/// * the new technique is chosen among class-eligible techniques with
+///   probability `1 − cost_dpt / Σ cost_dpt` (cheap techniques favored),
+///   where each technique's incremental cost is evaluated in the context
+///   of the full candidate solution;
+/// * resources are chosen with probability proportional to
+///   `α·(1 − util) + (1 − α)·(1 − usage)`, where `usage` is the fraction
+///   of past reconfigurations of this application that used the resource
+///   (load balance vs. historical diversity), and currently unused
+///   resources are excluded unless nothing is in use yet.
+#[derive(Debug, Clone)]
+pub struct Reconfigurator {
+    alpha_util: f64,
+    usage: HashMap<(AppId, ArrayRef), u32>,
+    attempts: HashMap<AppId, u32>,
+}
+
+impl Default for Reconfigurator {
+    /// α_util = 0.9: the paper sets it "close to one, favoring
+    /// load-balance over historical diversity".
+    fn default() -> Self {
+        Reconfigurator::new(0.9)
+    }
+}
+
+impl Reconfigurator {
+    /// Creates a reconfigurator with the given load-balance weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha_util` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(alpha_util: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha_util), "alpha must be in [0,1]: {alpha_util}");
+        Reconfigurator { alpha_util, usage: HashMap::new(), attempts: HashMap::new() }
+    }
+
+    /// Applies one reconfiguration move to `candidate`: removes a biased
+    /// random application and re-protects it with a probabilistically
+    /// chosen technique and layout. Returns `false` (leaving the
+    /// candidate unchanged) when no feasible re-assignment exists.
+    pub fn reconfigure<R: Rng + ?Sized>(
+        &mut self,
+        env: &Environment,
+        candidate: &mut Candidate,
+        rng: &mut R,
+    ) -> bool {
+        let Some(app) = self.choose_app(env, candidate, rng) else {
+            return false;
+        };
+        let original = *candidate.assignment(app).expect("chosen app is assigned");
+        candidate.remove_app(app);
+        *self.attempts.entry(app).or_insert(0) += 1;
+
+        // Evaluate each eligible technique's incremental cost with a
+        // bias-sampled placement.
+        let class = env.workloads[app].class_with(&env.thresholds);
+        let mut options: Vec<(TechniqueId, Placement, Dollars)> = Vec::new();
+        for (tid, technique) in env.catalog.eligible_for(class) {
+            let Some(placement) = self.choose_placement(env, candidate, app, tid, rng) else {
+                continue;
+            };
+            let mut trial = candidate.clone();
+            if trial
+                .try_assign(env, app, tid, technique.default_config(), placement)
+                .is_err()
+            {
+                continue;
+            }
+            let cost = env.score(trial.evaluate(env));
+            options.push((tid, placement, cost));
+        }
+
+        if options.is_empty() {
+            // Nothing feasible: restore the original assignment.
+            candidate
+                .try_assign(env, app, original.technique, original.config, original.placement)
+                .expect("restoring a previously feasible assignment");
+            return false;
+        }
+
+        // P(dpt) = 1 - cost/Σcost, degenerate cases uniform.
+        let total: f64 = options.iter().map(|(_, _, c)| c.as_f64()).sum();
+        let weights: Vec<f64> = if options.len() == 1 || total <= 0.0 || !total.is_finite() {
+            vec![1.0; options.len()]
+        } else {
+            options.iter().map(|(_, _, c)| 1.0 - c.as_f64() / total).collect()
+        };
+        let mut order: Vec<usize> = Vec::with_capacity(options.len());
+        let mut remaining: Vec<usize> = (0..options.len()).collect();
+        let mut w = weights;
+        // Sample a preference order so we can fall back if the sampled
+        // choice turns out infeasible on the real candidate.
+        while !remaining.is_empty() {
+            let k = weighted_index(&w, rng).expect("non-empty");
+            order.push(remaining.swap_remove(k));
+            w.swap_remove(k);
+        }
+
+        for idx in order {
+            let (tid, placement, _) = options[idx];
+            let config = env.catalog[tid].default_config();
+            if candidate.try_assign(env, app, tid, config, placement).is_ok() {
+                self.record_usage(app, &placement);
+                return true;
+            }
+        }
+
+        candidate
+            .try_assign(env, app, original.technique, original.config, original.placement)
+            .expect("restoring a previously feasible assignment");
+        false
+    }
+
+    /// Chooses the application to reconfigure, biased toward the largest
+    /// contributors to overall cost (expected penalties, plus a small
+    /// priority term so fully-protected expensive applications remain
+    /// eligible).
+    fn choose_app<R: Rng + ?Sized>(
+        &self,
+        env: &Environment,
+        candidate: &mut Candidate,
+        rng: &mut R,
+    ) -> Option<AppId> {
+        let apps: Vec<AppId> = candidate.assignments().keys().copied().collect();
+        if apps.is_empty() {
+            return None;
+        }
+        let cost = candidate.evaluate(env);
+        let weights: Vec<f64> = apps
+            .iter()
+            .map(|app| {
+                let penalty = cost
+                    .penalties
+                    .per_app
+                    .get(app)
+                    .map_or(0.0, |(o, l)| (*o + *l).as_f64());
+                let penalty = if penalty.is_finite() { penalty } else { 1e12 };
+                penalty + env.workloads[*app].priority().as_f64() * 1e-3 + 1.0
+            })
+            .collect();
+        weighted_index(&weights, rng).map(|i| apps[i])
+    }
+
+    /// Chooses a placement for (app, technique) with the paper's resource
+    /// bias. Returns `None` when the technique has no structurally
+    /// feasible placement.
+    fn choose_placement<R: Rng + ?Sized>(
+        &self,
+        env: &Environment,
+        candidate: &Candidate,
+        app: AppId,
+        technique: TechniqueId,
+        rng: &mut R,
+    ) -> Option<Placement> {
+        let all = PlacementOptions::enumerate(env, technique);
+        if all.is_empty() {
+            return None;
+        }
+        // Prefer placements whose arrays are already in use (paper:
+        // "currently unused resources are excluded, unless the resource
+        // list is empty").
+        let provision = candidate.provision();
+        let in_use: Vec<Placement> = all
+            .iter()
+            .copied()
+            .filter(|p| {
+                provision.array(p.primary).is_some()
+                    && p.mirror.is_none_or(|m| provision.array(m).is_some())
+            })
+            .collect();
+        let pool = if in_use.is_empty() { all } else { in_use };
+
+        let attempts = f64::from(*self.attempts.get(&app).unwrap_or(&0)).max(1.0);
+        let weights: Vec<f64> = pool
+            .iter()
+            .map(|p| {
+                let mut devices = vec![p.primary];
+                if let Some(m) = p.mirror {
+                    devices.push(m);
+                }
+                let score: f64 = devices
+                    .iter()
+                    .map(|&d| {
+                        let util = provision.utilization(DeviceRef::Array(d));
+                        let usage =
+                            f64::from(*self.usage.get(&(app, d)).unwrap_or(&0)) / attempts;
+                        self.alpha_util * (1.0 - util)
+                            + (1.0 - self.alpha_util) * (1.0 - usage.min(1.0))
+                    })
+                    .sum::<f64>()
+                    / devices.len() as f64;
+                score.max(0.0)
+            })
+            .collect();
+        weighted_index(&weights, rng).map(|i| pool[i])
+    }
+
+    fn record_usage(&mut self, app: AppId, placement: &Placement) {
+        *self.usage.entry((app, placement.primary)).or_insert(0) += 1;
+        if let Some(m) = placement.mirror {
+            *self.usage.entry((app, m)).or_insert(0) += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_failure::{FailureModel, FailureRates};
+    use dsd_protection::TechniqueCatalog;
+    use dsd_resources::{DeviceSpec, NetworkSpec, Site, Topology};
+    use dsd_workload::WorkloadSet;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::Arc;
+
+    fn env(apps: usize) -> Environment {
+        let mk = |i: usize| {
+            Site::new(i, format!("S{i}"))
+                .with_array_slot(DeviceSpec::xp1200())
+                .with_array_slot(DeviceSpec::msa1500())
+                .with_tape_library(DeviceSpec::tape_library_high())
+                .with_compute(8)
+        };
+        Environment::new(
+            WorkloadSet::scaled_paper_mix(apps),
+            Arc::new(Topology::fully_connected(vec![mk(0), mk(1)], NetworkSpec::high())),
+            TechniqueCatalog::table2(),
+            FailureModel::new(FailureRates::case_study()),
+        )
+    }
+
+    fn complete_candidate(env: &Environment, rng: &mut ChaCha8Rng) -> Candidate {
+        let mut c = Candidate::empty(env);
+        for app in env.workloads.iter() {
+            let class = app.class_with(&env.thresholds);
+            let mut done = false;
+            for (tid, t) in env.catalog.eligible_for(class) {
+                for p in PlacementOptions::enumerate(env, tid) {
+                    if c.try_assign(env, app.id, tid, t.default_config(), p).is_ok() {
+                        done = true;
+                        break;
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+            assert!(done);
+        }
+        let _ = rng;
+        c
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            let i = weighted_index(&[0.0, 1.0, 9.0], &mut rng).unwrap();
+            counts[i] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[2] > counts[1] * 5, "{counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_uniform_on_zero_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[weighted_index(&[0.0; 4], &mut rng).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(weighted_index(&[], &mut rng), None);
+    }
+
+    #[test]
+    fn reconfigure_keeps_candidate_complete_and_feasible() {
+        let e = env(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut c = complete_candidate(&e, &mut rng);
+        let mut r = Reconfigurator::default();
+        for _ in 0..20 {
+            let _ = r.reconfigure(&e, &mut c, &mut rng);
+            assert!(c.is_complete(&e), "reconfiguration must never lose applications");
+            assert!(c.validate(&e).is_ok(), "{:?}", c.validate(&e));
+            assert!(c.evaluate(&e).total().is_finite());
+        }
+    }
+
+    #[test]
+    fn reconfigure_respects_class_eligibility() {
+        let e = env(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut c = complete_candidate(&e, &mut rng);
+        let mut r = Reconfigurator::default();
+        for _ in 0..30 {
+            r.reconfigure(&e, &mut c, &mut rng);
+        }
+        for (app, a) in c.assignments() {
+            let class = e.workloads[*app].class_with(&e.thresholds);
+            assert!(
+                e.catalog[a.technique].category.satisfies(class),
+                "{app} got a below-class technique"
+            );
+        }
+    }
+
+    #[test]
+    fn reconfigure_on_empty_candidate_is_noop() {
+        let e = env(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut c = Candidate::empty(&e);
+        let mut r = Reconfigurator::default();
+        assert!(!r.reconfigure(&e, &mut c, &mut rng));
+        assert_eq!(c.assigned_count(), 0);
+    }
+
+    #[test]
+    fn reconfigure_is_deterministic_under_seed() {
+        let e = env(4);
+        let run = |seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut c = complete_candidate(&e, &mut rng);
+            let mut r = Reconfigurator::default();
+            for _ in 0..10 {
+                r.reconfigure(&e, &mut c, &mut rng);
+            }
+            c.evaluate(&e).total().as_f64()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_rejected() {
+        let _ = Reconfigurator::new(1.5);
+    }
+}

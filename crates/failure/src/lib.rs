@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Failure model: scopes, scenarios and annual likelihoods (paper §2.4).
+//!
+//! A failure scenario is described by its *failure scope* — the set of
+//! failed storage and interconnect devices — and an annualized *likelihood
+//! of occurrence*. The paper's three scopes are:
+//!
+//! * **data object failure** — loss or corruption of one application's
+//!   data due to human or software error, with no hardware failure;
+//! * **disk array failure** — loss of one disk array and everything on it;
+//! * **site disaster** — loss of every device at one site.
+//!
+//! [`FailureScope`] encodes which devices each scope takes down, and
+//! [`FailureModel`] enumerates the concrete [`FailureScenario`]s for a
+//! design (one data-object scenario per application, one array scenario
+//! per primary-hosting array, one disaster per primary-hosting site),
+//! each weighted with the configured [`FailureRates`].
+//!
+//! # Examples
+//!
+//! ```
+//! use dsd_failure::{FailureModel, FailureRates, FailureScope};
+//! use dsd_resources::{ArrayRef, SiteId};
+//! use dsd_workload::AppId;
+//!
+//! let model = FailureModel::new(FailureRates::case_study());
+//! let primary = ArrayRef { site: SiteId(0), slot: 0 };
+//! let scenarios = model.enumerate([(AppId(0), primary)]);
+//! assert_eq!(scenarios.len(), 3); // object + array + site
+//! assert!(scenarios.iter().any(|s| matches!(s.scope, FailureScope::SiteDisaster { .. })));
+//! ```
+
+mod model;
+mod scope;
+
+pub use model::{FailureModel, FailureRates, FailureScenario};
+pub use scope::FailureScope;

@@ -1,0 +1,151 @@
+//! Failure scopes: which devices and data each failure takes down.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dsd_resources::{ArrayRef, SiteId, TapeRef};
+use dsd_workload::AppId;
+
+/// The set of failed devices/data in one failure scenario (paper §2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureScope {
+    /// Loss or corruption of one application's primary data object due to
+    /// human error or software malfunction; hardware is intact. Mirrors
+    /// replicate the corruption, so only point-in-time copies (snapshot,
+    /// backup, vault) survive *for that application*.
+    DataObject {
+        /// The affected application.
+        app: AppId,
+    },
+    /// Failure of one disk array: the primary copies and snapshots it
+    /// holds are lost.
+    DiskArray {
+        /// The failed array.
+        array: ArrayRef,
+    },
+    /// Disaster taking down every device at one site.
+    SiteDisaster {
+        /// The destroyed site.
+        site: SiteId,
+    },
+}
+
+impl FailureScope {
+    /// True if the scope destroys the given disk array.
+    #[must_use]
+    pub fn fails_array(&self, r: ArrayRef) -> bool {
+        match self {
+            FailureScope::DataObject { .. } => false,
+            FailureScope::DiskArray { array } => *array == r,
+            FailureScope::SiteDisaster { site } => r.site == *site,
+        }
+    }
+
+    /// True if the scope destroys the given tape library.
+    #[must_use]
+    pub fn fails_tape(&self, t: TapeRef) -> bool {
+        matches!(self, FailureScope::SiteDisaster { site } if t.site == *site)
+    }
+
+    /// True if the scope destroys the whole site (facility, compute and
+    /// all devices).
+    #[must_use]
+    pub fn fails_site(&self, s: SiteId) -> bool {
+        matches!(self, FailureScope::SiteDisaster { site } if *site == s)
+    }
+
+    /// True if the scope logically corrupts `app`'s data stream —
+    /// mirrors of that application are corrupted too and cannot be used
+    /// for recovery.
+    #[must_use]
+    pub fn corrupts_data_of(&self, app: AppId) -> bool {
+        matches!(self, FailureScope::DataObject { app: failed } if *failed == app)
+    }
+
+    /// True if an application with the given primary placement loses its
+    /// primary copy under this scope (and therefore needs recovery).
+    #[must_use]
+    pub fn affects_app(&self, app: AppId, primary: ArrayRef) -> bool {
+        self.corrupts_data_of(app) || self.fails_array(primary)
+    }
+
+    /// True if hardware must be repaired or rebuilt before data can be
+    /// restored in place (array and site failures, but not logical data
+    /// corruption).
+    #[must_use]
+    pub fn requires_hardware_repair(&self) -> bool {
+        !matches!(self, FailureScope::DataObject { .. })
+    }
+}
+
+impl fmt::Display for FailureScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureScope::DataObject { app } => write!(f, "data object failure of {app}"),
+            FailureScope::DiskArray { array } => write!(f, "disk array failure of {array}"),
+            FailureScope::SiteDisaster { site } => write!(f, "site disaster at {site}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A00: ArrayRef = ArrayRef { site: SiteId(0), slot: 0 };
+    const A01: ArrayRef = ArrayRef { site: SiteId(0), slot: 1 };
+    const A10: ArrayRef = ArrayRef { site: SiteId(1), slot: 0 };
+
+    #[test]
+    fn data_object_fails_no_hardware() {
+        let s = FailureScope::DataObject { app: AppId(2) };
+        assert!(!s.fails_array(A00));
+        assert!(!s.fails_tape(TapeRef::first(SiteId(0))));
+        assert!(!s.fails_site(SiteId(0)));
+        assert!(!s.requires_hardware_repair());
+    }
+
+    #[test]
+    fn data_object_corrupts_only_its_app() {
+        let s = FailureScope::DataObject { app: AppId(2) };
+        assert!(s.corrupts_data_of(AppId(2)));
+        assert!(!s.corrupts_data_of(AppId(3)));
+        assert!(s.affects_app(AppId(2), A00));
+        assert!(!s.affects_app(AppId(3), A00));
+    }
+
+    #[test]
+    fn array_failure_is_array_scoped() {
+        let s = FailureScope::DiskArray { array: A00 };
+        assert!(s.fails_array(A00));
+        assert!(!s.fails_array(A01), "other slot at same site survives");
+        assert!(!s.fails_array(A10));
+        assert!(!s.fails_tape(TapeRef::first(SiteId(0))), "tape library is separate hardware");
+        assert!(!s.fails_site(SiteId(0)));
+        assert!(s.requires_hardware_repair());
+        assert!(s.affects_app(AppId(0), A00));
+        assert!(!s.affects_app(AppId(0), A01));
+    }
+
+    #[test]
+    fn site_disaster_takes_everything_at_site() {
+        let s = FailureScope::SiteDisaster { site: SiteId(0) };
+        assert!(s.fails_array(A00));
+        assert!(s.fails_array(A01));
+        assert!(!s.fails_array(A10));
+        assert!(s.fails_tape(TapeRef::first(SiteId(0))));
+        assert!(!s.fails_tape(TapeRef::first(SiteId(1))));
+        assert!(s.fails_site(SiteId(0)));
+        assert!(!s.corrupts_data_of(AppId(0)), "disasters destroy, they don't corrupt streams");
+    }
+
+    #[test]
+    fn display_names_the_scope() {
+        assert_eq!(
+            FailureScope::DataObject { app: AppId(1) }.to_string(),
+            "data object failure of app#1"
+        );
+        assert!(FailureScope::SiteDisaster { site: SiteId(0) }.to_string().contains("site#0"));
+    }
+}

@@ -1,0 +1,304 @@
+//! The Table 2 catalog of data protection alternatives.
+
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use dsd_workload::AppClass;
+
+use crate::technique::{BackupChain, MirrorSpec, RecoveryKind, Technique};
+
+/// Identifier of a technique within a [`TechniqueCatalog`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TechniqueId(pub usize);
+
+impl fmt::Display for TechniqueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dpt#{}", self.0)
+    }
+}
+
+/// An ordered catalog of candidate [`Technique`]s the solvers choose from.
+///
+/// # Examples
+///
+/// ```
+/// use dsd_protection::TechniqueCatalog;
+/// use dsd_workload::AppClass;
+///
+/// let catalog = TechniqueCatalog::table2();
+/// assert_eq!(catalog.len(), 9);
+/// // Bronze applications may be protected by any technique:
+/// assert_eq!(catalog.eligible_for(AppClass::Bronze).count(), 9);
+/// // Gold applications only by gold techniques:
+/// assert_eq!(catalog.eligible_for(AppClass::Gold).count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechniqueCatalog {
+    techniques: Vec<Technique>,
+}
+
+impl TechniqueCatalog {
+    /// Builds a catalog from an explicit list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty.
+    #[must_use]
+    pub fn new(techniques: Vec<Technique>) -> Self {
+        assert!(!techniques.is_empty(), "catalog must contain at least one technique");
+        TechniqueCatalog { techniques }
+    }
+
+    /// The paper's Table 2: nine data protection alternatives.
+    ///
+    /// | technique | recovery | category |
+    /// |---|---|---|
+    /// | sync mirror with backup | failover | gold |
+    /// | sync mirror with backup | reconstruct | silver |
+    /// | async mirror with backup | failover | gold |
+    /// | async mirror with backup | reconstruct | silver |
+    /// | sync mirror | failover | gold |
+    /// | sync mirror | reconstruct | silver |
+    /// | async mirror | failover | gold |
+    /// | async mirror | reconstruct | silver |
+    /// | tape backup | reconstruct | bronze |
+    #[must_use]
+    pub fn table2() -> Self {
+        use RecoveryKind::{Failover, Reconstruct};
+        let sync = MirrorSpec::synchronous;
+        let async_ = MirrorSpec::asynchronous;
+        let chain = BackupChain::table2;
+        let techniques = vec![
+            Technique::new(
+                "sync mirror (F) with backup",
+                AppClass::Gold,
+                Failover,
+                Some(sync()),
+                Some(chain()),
+            ),
+            Technique::new(
+                "sync mirror (R) with backup",
+                AppClass::Silver,
+                Reconstruct,
+                Some(sync()),
+                Some(chain()),
+            ),
+            Technique::new(
+                "async mirror (F) with backup",
+                AppClass::Gold,
+                Failover,
+                Some(async_()),
+                Some(chain()),
+            ),
+            Technique::new(
+                "async mirror (R) with backup",
+                AppClass::Silver,
+                Reconstruct,
+                Some(async_()),
+                Some(chain()),
+            ),
+            Technique::new("sync mirror (F)", AppClass::Gold, Failover, Some(sync()), None),
+            Technique::new(
+                "sync mirror (R)",
+                AppClass::Silver,
+                Reconstruct,
+                Some(sync()),
+                None,
+            ),
+            Technique::new("async mirror (F)", AppClass::Gold, Failover, Some(async_()), None),
+            Technique::new(
+                "async mirror (R)",
+                AppClass::Silver,
+                Reconstruct,
+                Some(async_()),
+                None,
+            ),
+            Technique::new("tape backup", AppClass::Bronze, Reconstruct, None, Some(chain())),
+        ];
+        TechniqueCatalog::new(techniques)
+    }
+
+    /// The Table 2 catalog plus incremental-backup variants of the
+    /// backup-bearing techniques (extension; see
+    /// [`crate::BackupMode::FullPlusIncrementals`]). Incremental variants
+    /// keep each base technique's category and recovery kind.
+    #[must_use]
+    pub fn extended() -> Self {
+        let mut techniques = TechniqueCatalog::table2().techniques;
+        let incremental: Vec<Technique> = techniques
+            .iter()
+            .filter(|t| t.backup.is_some())
+            .map(|t| {
+                Technique::new(
+                    format!("{} [incremental]", t.name),
+                    t.category,
+                    t.recovery,
+                    t.mirror,
+                    Some(BackupChain::table2_incremental()),
+                )
+            })
+            .collect();
+        techniques.extend(incremental);
+        TechniqueCatalog::new(techniques)
+    }
+
+    /// Number of techniques in the catalog.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.techniques.len()
+    }
+
+    /// True if the catalog is empty (never true for validated catalogs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.techniques.is_empty()
+    }
+
+    /// Iterates over the techniques in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Technique> {
+        self.techniques.iter()
+    }
+
+    /// All technique ids.
+    pub fn ids(&self) -> impl Iterator<Item = TechniqueId> + '_ {
+        (0..self.techniques.len()).map(TechniqueId)
+    }
+
+    /// Looks up a technique by id.
+    #[must_use]
+    pub fn get(&self, id: TechniqueId) -> Option<&Technique> {
+        self.techniques.get(id.0)
+    }
+
+    /// Looks up a technique id by exact name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<TechniqueId> {
+        self.techniques.iter().position(|t| t.name == name).map(TechniqueId)
+    }
+
+    /// Techniques eligible for an application of class `required`: those of
+    /// the same or a better category (paper §3.1.3: "for a given
+    /// application class, the algorithm considers only data protection
+    /// configurations from the corresponding class or better").
+    pub fn eligible_for(
+        &self,
+        required: AppClass,
+    ) -> impl Iterator<Item = (TechniqueId, &Technique)> + '_ {
+        self.techniques
+            .iter()
+            .enumerate()
+            .filter(move |(_, t)| t.category.satisfies(required))
+            .map(|(i, t)| (TechniqueId(i), t))
+    }
+}
+
+impl Index<TechniqueId> for TechniqueCatalog {
+    type Output = Technique;
+
+    /// # Panics
+    ///
+    /// Panics if `id` is not a member of this catalog.
+    fn index(&self, id: TechniqueId) -> &Technique {
+        &self.techniques[id.0]
+    }
+}
+
+impl<'a> IntoIterator for &'a TechniqueCatalog {
+    type Item = &'a Technique;
+    type IntoIter = std::slice::Iter<'a, Technique>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.techniques.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technique::CopyKind;
+
+    #[test]
+    fn extended_catalog_adds_incremental_variants() {
+        let c = TechniqueCatalog::extended();
+        // Five backup-bearing base techniques gain a variant each.
+        assert_eq!(c.len(), 14);
+        let inc: Vec<&Technique> =
+            c.iter().filter(|t| t.name.contains("[incremental]")).collect();
+        assert_eq!(inc.len(), 5);
+        for t in inc {
+            assert!(t.backup.expect("has chain").is_incremental());
+            let base_name = t.name.replace(" [incremental]", "");
+            let base = &c[c.find(&base_name).expect("base exists")];
+            assert_eq!(t.category, base.category);
+            assert_eq!(t.recovery, base.recovery);
+            assert_eq!(t.mirror, base.mirror);
+        }
+    }
+
+    #[test]
+    fn table2_has_nine_rows_with_paper_categories() {
+        let c = TechniqueCatalog::table2();
+        assert_eq!(c.len(), 9);
+        let gold = c.iter().filter(|t| t.category == AppClass::Gold).count();
+        let silver = c.iter().filter(|t| t.category == AppClass::Silver).count();
+        let bronze = c.iter().filter(|t| t.category == AppClass::Bronze).count();
+        assert_eq!((gold, silver, bronze), (4, 4, 1));
+    }
+
+    #[test]
+    fn all_gold_techniques_are_failover_mirrors() {
+        let c = TechniqueCatalog::table2();
+        for t in c.iter().filter(|t| t.category == AppClass::Gold) {
+            assert_eq!(t.recovery, RecoveryKind::Failover);
+            assert!(t.has_mirror());
+        }
+    }
+
+    #[test]
+    fn bronze_technique_is_backup_only() {
+        let c = TechniqueCatalog::table2();
+        let id = c.find("tape backup").expect("tape backup in catalog");
+        let t = &c[id];
+        assert!(!t.has_mirror());
+        assert!(t.has_backup());
+        assert!(t.has_vault());
+        assert!(t.has_copy(CopyKind::Vault));
+    }
+
+    #[test]
+    fn eligibility_is_monotone_in_class() {
+        let c = TechniqueCatalog::table2();
+        let gold = c.eligible_for(AppClass::Gold).count();
+        let silver = c.eligible_for(AppClass::Silver).count();
+        let bronze = c.eligible_for(AppClass::Bronze).count();
+        assert!(gold <= silver && silver <= bronze);
+        assert_eq!((gold, silver, bronze), (4, 8, 9));
+    }
+
+    #[test]
+    fn find_and_get_agree() {
+        let c = TechniqueCatalog::table2();
+        let id = c.find("async mirror (F) with backup").unwrap();
+        assert_eq!(c.get(id).unwrap().name, "async mirror (F) with backup");
+        assert!(c.find("nonexistent").is_none());
+        assert!(c.get(TechniqueId(99)).is_none());
+    }
+
+    #[test]
+    fn ids_cover_catalog() {
+        let c = TechniqueCatalog::table2();
+        assert_eq!(c.ids().count(), c.len());
+        for id in c.ids() {
+            assert!(c.get(id).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one technique")]
+    fn empty_catalog_rejected() {
+        let _ = TechniqueCatalog::new(Vec::new());
+    }
+}

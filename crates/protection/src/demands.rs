@@ -1,0 +1,325 @@
+//! Resource demands: what a (workload, technique, configuration) triple
+//! requires from the infrastructure in normal operation (paper §2.2).
+
+use serde::{Deserialize, Serialize};
+
+use dsd_units::{Gigabytes, MegabytesPerSec, TimeSpan};
+use dsd_workload::ApplicationWorkload;
+
+use crate::technique::{Technique, TechniqueConfig};
+
+/// Tunable sizing assumptions used when translating techniques into
+/// resource demands. The paper does not publish these constants; defaults
+/// are documented substitutions (DESIGN.md §3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizingPolicy {
+    /// Window within which a full backup must complete ("the backups will
+    /// complete overnight", paper §1). Determines tape drive bandwidth.
+    pub backup_window: TimeSpan,
+    /// Space-efficient snapshot overhead on the primary array, as a
+    /// fraction of the dataset.
+    pub snapshot_space_fraction: f64,
+    /// Full backup copies retained in the tape library (current +
+    /// previous cycle).
+    pub retained_tape_copies: f64,
+    /// Failover spare-server sharing ratio in `(0, 1]`: the spare pool
+    /// at a site holds `ceil(ratio × failover apps targeting it)`.
+    /// 1.0 (default) dedicates a spare per application — the paper's
+    /// implicit model; lower ratios share spares N+M style, betting that
+    /// simultaneous multi-application failovers to one site are rare.
+    pub failover_spare_ratio: f64,
+    /// Network over-provisioning factor for *synchronous* mirroring.
+    /// Every application write blocks on the remote acknowledgment, so
+    /// the link must absorb bursts above the sampled peak without
+    /// stalling the application; synchronous links are sized at
+    /// `peak × sync_peak_headroom` (asynchronous mirrors batch updates
+    /// and are sized at the average rate, paper §2.2).
+    pub sync_peak_headroom: f64,
+}
+
+impl Default for SizingPolicy {
+    fn default() -> Self {
+        SizingPolicy {
+            backup_window: TimeSpan::from_hours(12.0),
+            snapshot_space_fraction: 0.2,
+            retained_tape_copies: 2.0,
+            failover_spare_ratio: 1.0,
+            sync_peak_headroom: 2.0,
+        }
+    }
+}
+
+/// The capacity and bandwidth an application + technique demands from each
+/// resource type during *normal operation*. The configuration solver uses
+/// these to provision devices; the recovery engine reuses the allocations
+/// to compute spare bandwidth during recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Demands {
+    /// Capacity on the primary disk array: the dataset plus snapshot space.
+    pub primary_capacity: Gigabytes,
+    /// Bandwidth on the primary array: application access plus the backup
+    /// stream while a backup is running.
+    pub primary_bandwidth: MegabytesPerSec,
+    /// Capacity on the mirror array (zero when no mirror).
+    pub mirror_capacity: Gigabytes,
+    /// Bandwidth on the mirror array: mirror write traffic, and for
+    /// failover techniques enough to serve the application after failover.
+    pub mirror_bandwidth: MegabytesPerSec,
+    /// Inter-site network bandwidth for mirror propagation: peak update
+    /// rate for synchronous mirrors, average update rate for asynchronous
+    /// (paper §2.2).
+    pub network_bandwidth: MegabytesPerSec,
+    /// Tape library capacity: retained full copies.
+    pub tape_capacity: Gigabytes,
+    /// Tape drive bandwidth so a full backup fits in the backup window.
+    pub tape_bandwidth: MegabytesPerSec,
+    /// Offsite vault media per cycle (cartridge purchase, not library
+    /// slots).
+    pub vault_media: Gigabytes,
+    /// Whether a spare compute server is needed at the mirror site
+    /// (failover recovery).
+    pub needs_spare_compute: bool,
+}
+
+impl Demands {
+    /// Computes the demands of protecting `app` with `technique` under
+    /// `config` and `policy`.
+    #[must_use]
+    pub fn compute(
+        app: &ApplicationWorkload,
+        technique: &Technique,
+        config: &TechniqueConfig,
+        policy: &SizingPolicy,
+    ) -> Self {
+        let data = app.capacity();
+
+        let snapshot_space = if technique.has_backup() {
+            data * policy.snapshot_space_fraction
+        } else {
+            Gigabytes::ZERO
+        };
+        let primary_capacity = data + snapshot_space;
+
+        let backup_stream = if technique.has_backup() {
+            backup_stream_rate(data, config, policy)
+        } else {
+            MegabytesPerSec::ZERO
+        };
+        let primary_bandwidth = app.avg_access() + backup_stream;
+
+        let (mirror_capacity, mirror_bandwidth, network_bandwidth) = match technique.mirror {
+            None => (Gigabytes::ZERO, MegabytesPerSec::ZERO, MegabytesPerSec::ZERO),
+            Some(m) => {
+                let (array_write, network) = if m.sync {
+                    (app.peak_update(), app.peak_update() * policy.sync_peak_headroom)
+                } else {
+                    (app.avg_update(), app.avg_update())
+                };
+                let mirror_bw = if technique.is_failover() {
+                    // After failover the mirror array serves the full
+                    // application access stream.
+                    array_write.max(app.avg_access())
+                } else {
+                    array_write
+                };
+                (data, mirror_bw, network)
+            }
+        };
+
+        let (tape_capacity, tape_bandwidth, vault_media) = if let Some(chain) =
+            technique.backup
+        {
+            let vault = if technique.has_vault() { data } else { Gigabytes::ZERO };
+            let mut capacity = data * policy.retained_tape_copies;
+            let mut bandwidth = backup_stream;
+            if chain.is_incremental() {
+                // Incrementals stream the unique update rate continuously
+                // and accumulate one cycle's worth of deltas per retained
+                // full copy.
+                bandwidth += app.unique_update_rate();
+                capacity += (app.unique_update_rate() * config.backup_cycle)
+                    * policy.retained_tape_copies;
+            }
+            (capacity, bandwidth, vault)
+        } else {
+            (Gigabytes::ZERO, MegabytesPerSec::ZERO, Gigabytes::ZERO)
+        };
+
+        Demands {
+            primary_capacity,
+            primary_bandwidth,
+            mirror_capacity,
+            mirror_bandwidth,
+            network_bandwidth,
+            tape_capacity,
+            tape_bandwidth,
+            vault_media,
+            needs_spare_compute: technique.is_failover(),
+        }
+    }
+}
+
+/// Rate at which a full backup streams from the primary array to tape so it
+/// completes within the smaller of the backup window and the backup cycle.
+fn backup_stream_rate(
+    data: Gigabytes,
+    config: &TechniqueConfig,
+    policy: &SizingPolicy,
+) -> MegabytesPerSec {
+    let window = policy.backup_window.min(config.backup_cycle);
+    if window.is_zero() {
+        return MegabytesPerSec::ZERO;
+    }
+    MegabytesPerSec::new(data.as_megabytes() / window.as_secs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TechniqueCatalog;
+    use dsd_workload::WorkloadSet;
+    use proptest::prelude::*;
+
+    fn app() -> ApplicationWorkload {
+        WorkloadSet::scaled_paper_mix(1).iter().next().unwrap().clone()
+    }
+
+    fn technique(name: &str) -> Technique {
+        let c = TechniqueCatalog::table2();
+        c[c.find(name).expect("known technique")].clone()
+    }
+
+    #[test]
+    fn backup_only_demands() {
+        let t = technique("tape backup");
+        let d = Demands::compute(&app(), &t, &t.default_config(), &SizingPolicy::default());
+        assert_eq!(d.mirror_capacity, Gigabytes::ZERO);
+        assert_eq!(d.network_bandwidth, MegabytesPerSec::ZERO);
+        assert!(!d.needs_spare_compute);
+        // 1300 GB * 1.2 snapshot overhead on primary.
+        assert!((d.primary_capacity.as_f64() - 1560.0).abs() < 1e-9);
+        // Two retained copies on tape.
+        assert!((d.tape_capacity.as_f64() - 2600.0).abs() < 1e-9);
+        // Vault ships one full copy of media.
+        assert!((d.vault_media.as_f64() - 1300.0).abs() < 1e-9);
+        // Full backup in 12 h: 1300*1024 MB / 43200 s.
+        let expected = 1300.0 * 1024.0 / (12.0 * 3600.0);
+        assert!((d.tape_bandwidth.as_f64() - expected).abs() < 1e-6);
+        assert!((d.primary_bandwidth.as_f64() - (50.0 + expected)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sync_mirror_uses_peak_rate_with_network_headroom() {
+        let t = technique("sync mirror (R)");
+        let d = Demands::compute(&app(), &t, &t.default_config(), &SizingPolicy::default());
+        assert_eq!(
+            d.network_bandwidth.as_f64(),
+            100.0,
+            "peak update rate x2 headroom: writes must not stall"
+        );
+        assert_eq!(d.mirror_bandwidth.as_f64(), 50.0, "array absorbs the raw peak");
+        assert_eq!(d.mirror_capacity.as_f64(), 1300.0);
+        assert_eq!(d.tape_capacity, Gigabytes::ZERO);
+        assert!(!d.needs_spare_compute);
+    }
+
+    #[test]
+    fn headroom_of_one_recovers_raw_peak_sizing() {
+        let t = technique("sync mirror (R)");
+        let policy = SizingPolicy { sync_peak_headroom: 1.0, ..SizingPolicy::default() };
+        let d = Demands::compute(&app(), &t, &t.default_config(), &policy);
+        assert_eq!(d.network_bandwidth.as_f64(), 50.0);
+    }
+
+    #[test]
+    fn async_mirror_uses_average_rate() {
+        let t = technique("async mirror (R)");
+        let d = Demands::compute(&app(), &t, &t.default_config(), &SizingPolicy::default());
+        assert_eq!(d.network_bandwidth.as_f64(), 5.0, "average update rate");
+        assert_eq!(d.mirror_bandwidth.as_f64(), 5.0);
+    }
+
+    #[test]
+    fn failover_reserves_access_bandwidth_and_compute() {
+        let t = technique("async mirror (F)");
+        let d = Demands::compute(&app(), &t, &t.default_config(), &SizingPolicy::default());
+        assert!(d.needs_spare_compute);
+        assert_eq!(
+            d.mirror_bandwidth.as_f64(),
+            50.0,
+            "mirror array must serve the 50 MB/s access stream after failover"
+        );
+        assert_eq!(d.network_bandwidth.as_f64(), 5.0, "propagation still at average rate");
+    }
+
+    #[test]
+    fn longer_backup_cycle_does_not_change_stream_rate_below_window() {
+        let t = technique("tape backup");
+        let policy = SizingPolicy::default();
+        let mut config = t.default_config();
+        let d7 = Demands::compute(&app(), &t, &config, &policy);
+        config.backup_cycle = dsd_units::TimeSpan::from_days(28.0);
+        let d28 = Demands::compute(&app(), &t, &config, &policy);
+        assert_eq!(
+            d7.tape_bandwidth, d28.tape_bandwidth,
+            "stream rate is window-bound, not cycle-bound"
+        );
+    }
+
+    #[test]
+    fn tight_cycle_bounds_stream_rate() {
+        let t = technique("tape backup");
+        let policy = SizingPolicy {
+            backup_window: dsd_units::TimeSpan::from_days(30.0),
+            ..SizingPolicy::default()
+        };
+        let config = t.default_config(); // 7-day cycle < 30-day window
+        let d = Demands::compute(&app(), &t, &config, &policy);
+        let expected = 1300.0 * 1024.0 / (7.0 * 86_400.0);
+        assert!((d.tape_bandwidth.as_f64() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_mode_adds_tape_bandwidth_and_capacity() {
+        let c = TechniqueCatalog::extended();
+        let full = c[c.find("tape backup").unwrap()].clone();
+        let inc = c[c.find("tape backup [incremental]").unwrap()].clone();
+        let policy = SizingPolicy::default();
+        let config = full.default_config();
+        let df = Demands::compute(&app(), &full, &config, &policy);
+        let di = Demands::compute(&app(), &inc, &config, &policy);
+        // Unique rate = 5 * 0.6 = 3 MB/s extra drive bandwidth.
+        assert!((di.tape_bandwidth.as_f64() - df.tape_bandwidth.as_f64() - 3.0).abs() < 1e-9);
+        // One 7-day cycle of deltas per retained copy:
+        // 3 MB/s * 7d = 1771.875 GB, x2 copies.
+        let extra = 3.0 * 7.0 * 86_400.0 / 1024.0 * 2.0;
+        assert!(
+            (di.tape_capacity.as_f64() - df.tape_capacity.as_f64() - extra).abs() < 1e-6
+        );
+        // Vault media and primary-side demands are unchanged.
+        assert_eq!(di.vault_media, df.vault_media);
+        assert_eq!(di.primary_bandwidth, df.primary_bandwidth);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_demands_scale_with_capacity(scale in 0.1..10.0f64) {
+            use dsd_workload::{WorkloadProfile, GeneratorConfig, WorkloadGenerator};
+            let _ = (GeneratorConfig::default(), WorkloadGenerator::default());
+            let base = app();
+            let mut profile = base.profile.clone();
+            profile.capacity = profile.capacity * scale;
+            let scaled = ApplicationWorkload { id: base.id, name: base.name.clone(), profile };
+            let _ = WorkloadProfile::paper_mix();
+
+            let t = technique("sync mirror (F) with backup");
+            let policy = SizingPolicy::default();
+            let d0 = Demands::compute(&base, &t, &t.default_config(), &policy);
+            let d1 = Demands::compute(&scaled, &t, &t.default_config(), &policy);
+            prop_assert!((d1.mirror_capacity.as_f64() - d0.mirror_capacity.as_f64() * scale).abs() < 1e-6);
+            prop_assert!((d1.tape_capacity.as_f64() - d0.tape_capacity.as_f64() * scale).abs() < 1e-6);
+            // Network bandwidth is rate-driven, not capacity-driven.
+            prop_assert!((d1.network_bandwidth.as_f64() - d0.network_bandwidth.as_f64()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! Data protection and recovery technique modeling.
+//!
+//! Implements the copy-hierarchy framework of Keeton & Merchant (DSN 2004)
+//! that the paper builds on (§2.1): the primary copy plus a hierarchy of
+//! secondary copies, each level characterized by an *accumulation window*
+//! (how often copies are made) and a *propagation window* (how long a copy
+//! takes to reach that level).
+//!
+//! A [`Technique`] combines an optional remote [`MirrorSpec`] (synchronous
+//! or asynchronous inter-array mirroring, propagated over the network) with
+//! an optional [`BackupChain`] (array-internal snapshots feeding periodic
+//! tape backups, optionally shipped to an offsite vault), and prescribes a
+//! [`RecoveryKind`] — *failover* to the mirror or *reconstruct* at the
+//! primary.
+//!
+//! [`TechniqueCatalog::table2`] provides the nine alternatives of the
+//! paper's Table 2. [`Demands`] translates a (workload, technique,
+//! configuration) triple into the capacity and bandwidth the design must
+//! provision.
+//!
+//! # Examples
+//!
+//! ```
+//! use dsd_protection::{TechniqueCatalog, CopyKind, PropagationDelays};
+//! use dsd_units::TimeSpan;
+//!
+//! let catalog = TechniqueCatalog::table2();
+//! let gold = catalog
+//!     .iter()
+//!     .find(|t| t.name == "sync mirror (F) with backup")
+//!     .unwrap();
+//! assert!(gold.has_mirror());
+//! let delays = PropagationDelays { network: TimeSpan::ZERO, tape: TimeSpan::from_hours(2.0) };
+//! let loss = gold.staleness(CopyKind::Mirror, &gold.default_config(), &delays);
+//! assert_eq!(loss.as_mins(), 0.5);
+//! ```
+
+mod catalog;
+mod demands;
+mod technique;
+
+pub use catalog::{TechniqueCatalog, TechniqueId};
+pub use demands::{Demands, SizingPolicy};
+pub use technique::{
+    BackupChain, BackupMode, CopyKind, MirrorSpec, PropagationDelays, RecoveryKind,
+    Technique, TechniqueConfig, INCREMENTAL_RESTORE_AMPLIFICATION,
+};

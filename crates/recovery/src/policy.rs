@@ -1,0 +1,73 @@
+//! Recovery timing constants.
+
+use serde::{Deserialize, Serialize};
+
+use dsd_units::TimeSpan;
+
+use crate::scheduler::SchedulingPolicy;
+
+/// Timing constants of the recovery process. The paper does not publish
+/// hardware repair lead times; the defaults are the documented
+/// substitutions from DESIGN.md §3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Lead time to repair/replace a failed disk array before data can be
+    /// restored onto it.
+    pub array_repair: TimeSpan,
+    /// Lead time to rebuild a destroyed site (facility + replacement
+    /// hardware) before restoring in place.
+    pub site_rebuild: TimeSpan,
+    /// Time to redirect computation to the mirror site on failover
+    /// (application restart, network re-pointing).
+    pub failover_time: TimeSpan,
+    /// Application reconfiguration/restart time after a data restore.
+    pub reconfig_time: TimeSpan,
+    /// Time to retrieve vaulted tapes from the offsite location.
+    pub vault_retrieval: TimeSpan,
+    /// Time to procure and stand up replacement compute at a surviving
+    /// mirror site when recovery *promotes* the mirror instead of
+    /// restoring data in place (reconstruct-category techniques after a
+    /// disaster; the paper §3.2.1 allows restoring "at the primary site
+    /// or a secondary site"). Much longer than a planned failover, much
+    /// shorter than rebuilding a destroyed site.
+    pub compute_procurement: TimeSpan,
+    /// Outage charged when *no* copy survives (e.g. a mirror-only design
+    /// hit by a data object failure): the data must be recreated by hand.
+    pub unprotected_recovery: TimeSpan,
+    /// Recent-loss time charged in the same unprotected case.
+    pub unprotected_loss: TimeSpan,
+    /// How contending recovery operations share devices.
+    pub scheduling: SchedulingPolicy,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            array_repair: TimeSpan::from_hours(12.0),
+            site_rebuild: TimeSpan::from_days(7.0),
+            failover_time: TimeSpan::from_mins(15.0),
+            reconfig_time: TimeSpan::from_mins(30.0),
+            vault_retrieval: TimeSpan::from_days(1.0),
+            compute_procurement: TimeSpan::from_hours(24.0),
+            unprotected_recovery: TimeSpan::from_days(28.0),
+            unprotected_loss: TimeSpan::from_days(28.0),
+            scheduling: SchedulingPolicy::PriorityExclusive,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ordered_sensibly() {
+        let p = RecoveryPolicy::default();
+        assert!(p.failover_time < p.reconfig_time);
+        assert!(p.array_repair < p.site_rebuild);
+        assert!(p.site_rebuild < p.unprotected_recovery);
+        assert!(p.vault_retrieval > p.array_repair);
+        assert!(p.failover_time < p.compute_procurement);
+        assert!(p.compute_procurement < p.site_rebuild);
+    }
+}

@@ -1,0 +1,136 @@
+//! Per-application protection records: technique + configuration +
+//! resource placement.
+
+use serde::{Deserialize, Serialize};
+
+use dsd_protection::{Technique, TechniqueConfig};
+use dsd_resources::{ArrayRef, RouteId, SiteId, TapeRef};
+use dsd_workload::AppId;
+
+/// Where an application's copies live on the provisioned infrastructure
+/// (the "mapping of primary and secondary data copies onto the provisioned
+/// resource instances", paper §2.6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Array holding the primary copy (and snapshots, if any).
+    pub primary: ArrayRef,
+    /// Array holding the mirror copy, when the technique mirrors.
+    pub mirror: Option<ArrayRef>,
+    /// Tape library receiving backups, when the technique backs up.
+    pub tape: Option<TapeRef>,
+    /// Route carrying mirror traffic between primary and mirror sites.
+    pub route: Option<RouteId>,
+    /// Site with a spare compute server for failover.
+    pub failover_site: Option<SiteId>,
+}
+
+impl Placement {
+    /// A placement with only a primary copy location.
+    #[must_use]
+    pub fn primary_only(primary: ArrayRef) -> Self {
+        Placement { primary, mirror: None, tape: None, route: None, failover_site: None }
+    }
+
+    /// Checks structural consistency against a technique: a mirror (and
+    /// route) iff the technique mirrors, a tape library iff it backs up, a
+    /// failover site iff recovery is failover, and the mirror on a
+    /// different site than the primary.
+    #[must_use]
+    pub fn consistent_with(&self, technique: &Technique) -> bool {
+        if technique.has_mirror() != self.mirror.is_some() {
+            return false;
+        }
+        if technique.has_mirror() && self.route.is_none() {
+            return false;
+        }
+        if technique.has_backup() != self.tape.is_some() {
+            return false;
+        }
+        if technique.is_failover() != self.failover_site.is_some() {
+            return false;
+        }
+        if let Some(mirror) = self.mirror {
+            if mirror.site == self.primary.site {
+                return false;
+            }
+            if let Some(failover) = self.failover_site {
+                if failover != mirror.site {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Everything the evaluator needs to know about one protected application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProtection {
+    /// The protected application.
+    pub app: AppId,
+    /// The data protection technique applied to it.
+    pub technique: Technique,
+    /// The technique's chosen configuration parameters.
+    pub config: TechniqueConfig,
+    /// Where its copies live.
+    pub placement: Placement,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_protection::TechniqueCatalog;
+
+    fn technique(name: &str) -> Technique {
+        let c = TechniqueCatalog::table2();
+        c[c.find(name).unwrap()].clone()
+    }
+
+    const P: ArrayRef = ArrayRef { site: SiteId(0), slot: 0 };
+    const M: ArrayRef = ArrayRef { site: SiteId(1), slot: 0 };
+
+    #[test]
+    fn backup_only_placement_consistency() {
+        let t = technique("tape backup");
+        let mut p = Placement::primary_only(P);
+        assert!(!p.consistent_with(&t), "needs a tape library");
+        p.tape = Some(TapeRef::first(SiteId(0)));
+        assert!(p.consistent_with(&t));
+        p.mirror = Some(M);
+        assert!(!p.consistent_with(&t), "no mirror allowed for backup-only");
+    }
+
+    #[test]
+    fn failover_placement_needs_compute_at_mirror_site() {
+        let t = technique("sync mirror (F)");
+        let mut p = Placement::primary_only(P);
+        p.mirror = Some(M);
+        p.route = Some(RouteId(0));
+        assert!(!p.consistent_with(&t), "failover site missing");
+        p.failover_site = Some(SiteId(0));
+        assert!(!p.consistent_with(&t), "failover site must be the mirror site");
+        p.failover_site = Some(SiteId(1));
+        assert!(p.consistent_with(&t));
+    }
+
+    #[test]
+    fn mirror_must_be_remote() {
+        let t = technique("sync mirror (R)");
+        let mut p = Placement::primary_only(P);
+        p.mirror = Some(ArrayRef { site: SiteId(0), slot: 1 });
+        p.route = Some(RouteId(0));
+        assert!(!p.consistent_with(&t), "mirror at primary site gives no disaster isolation");
+        p.mirror = Some(M);
+        assert!(p.consistent_with(&t));
+    }
+
+    #[test]
+    fn mirror_requires_route() {
+        let t = technique("sync mirror (R)");
+        let mut p = Placement::primary_only(P);
+        p.mirror = Some(M);
+        assert!(!p.consistent_with(&t));
+        p.route = Some(RouteId(0));
+        assert!(p.consistent_with(&t));
+    }
+}

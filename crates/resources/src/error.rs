@@ -1,0 +1,106 @@
+//! Error type for resource allocation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::topology::{RouteId, SiteId};
+
+/// Why an allocation or provisioning request could not be satisfied.
+///
+/// All variants leave the [`crate::Provision`] unchanged: allocation is
+/// validate-then-commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResourceError {
+    /// The named array slot does not exist at the site.
+    NoSuchArraySlot {
+        /// Site the slot was requested at.
+        site: SiteId,
+        /// Requested slot index.
+        slot: usize,
+    },
+    /// The named tape slot does not exist at the site.
+    NoSuchTapeSlot {
+        /// Site the slot was requested at.
+        site: SiteId,
+        /// Requested slot index.
+        slot: usize,
+    },
+    /// The device cannot hold the requested capacity and bandwidth even
+    /// fully populated.
+    DeviceExhausted {
+        /// Human-readable device description.
+        device: String,
+    },
+    /// The route cannot carry the requested bandwidth even with the
+    /// maximum number of links.
+    RouteExhausted {
+        /// The saturated route.
+        route: RouteId,
+    },
+    /// No route exists between the two sites.
+    NoRoute {
+        /// One endpoint.
+        a: SiteId,
+        /// The other endpoint.
+        b: SiteId,
+    },
+    /// The site has no free compute servers left.
+    ComputeExhausted {
+        /// The saturated site.
+        site: SiteId,
+    },
+    /// Adding the requested extra units would exceed a device maximum.
+    ExtraUnitsExceedMaximum {
+        /// Human-readable device description.
+        device: String,
+    },
+}
+
+impl fmt::Display for ResourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceError::NoSuchArraySlot { site, slot } => {
+                write!(f, "no array slot {slot} at {site}")
+            }
+            ResourceError::NoSuchTapeSlot { site, slot } => {
+                write!(f, "no tape slot {slot} at {site}")
+            }
+            ResourceError::DeviceExhausted { device } => {
+                write!(f, "device exhausted: {device}")
+            }
+            ResourceError::RouteExhausted { route } => {
+                write!(f, "route exhausted: {route}")
+            }
+            ResourceError::NoRoute { a, b } => write!(f, "no route between {a} and {b}"),
+            ResourceError::ComputeExhausted { site } => {
+                write!(f, "compute exhausted at {site}")
+            }
+            ResourceError::ExtraUnitsExceedMaximum { device } => {
+                write!(f, "extra units exceed maximum for {device}")
+            }
+        }
+    }
+}
+
+impl Error for ResourceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_messages() {
+        let e = ResourceError::NoRoute { a: SiteId(0), b: SiteId(1) };
+        assert_eq!(e.to_string(), "no route between site#0 and site#1");
+        let e = ResourceError::ComputeExhausted { site: SiteId(2) };
+        assert!(e.to_string().contains("site#2"));
+        let e = ResourceError::DeviceExhausted { device: "XP1200 @ site#0".into() };
+        assert!(e.to_string().starts_with("device exhausted"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ResourceError>();
+    }
+}

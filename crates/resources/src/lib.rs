@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Device infrastructure for the dependable storage designer.
+//!
+//! Models the paper's §2.3 resource layer:
+//!
+//! * [`DeviceSpec`] — a purchasable device type with a fixed (enclosure)
+//!   cost, discrete capacity units (disks, cartridges) and bandwidth units
+//!   (disks again, tape drives), per-unit incremental costs, and hard
+//!   capacity/bandwidth ceilings. Table 3's disk arrays and tape libraries
+//!   are provided as constructors.
+//! * [`NetworkSpec`] / [`ComputeSpec`] — inter-site links and servers.
+//! * [`Site`] and [`Topology`] — data-center sites with device slots,
+//!   facility costs, and the link routes connecting them.
+//! * [`Provision`] — the mutable resource state of one candidate design:
+//!   which devices are instantiated with how many units, per-application
+//!   allocations, spare bandwidth for recovery, and the amortized annual
+//!   outlay (§2.5).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dsd_resources::{DeviceSpec, Site, Topology, Provision, ArrayRef};
+//! use dsd_units::{Gigabytes, MegabytesPerSec};
+//! use dsd_workload::AppId;
+//!
+//! let site = Site::new(0, "P1")
+//!     .with_array_slot(DeviceSpec::xp1200())
+//!     .with_tape_library(DeviceSpec::tape_library_high())
+//!     .with_compute(8);
+//! let topology = Arc::new(Topology::new(vec![site], vec![]));
+//! let mut prov = Provision::new(topology);
+//! let array = ArrayRef { site: dsd_resources::SiteId(0), slot: 0 };
+//! prov.alloc_array(AppId(0), array, Gigabytes::new(1300.0), MegabytesPerSec::new(50.0))?;
+//! assert!(prov.annual_outlay().as_f64() > 0.0);
+//! # Ok::<(), dsd_resources::ResourceError>(())
+//! ```
+
+mod error;
+mod provision;
+mod spec;
+mod topology;
+
+pub use error::ResourceError;
+pub use provision::{
+    ArrayRef, ArrayState, ComputeState, DeviceRef, LinkState, Provision, TapeRef, TapeState,
+};
+pub use spec::{ComputeSpec, DeviceClass, DeviceKind, DeviceSpec, NetworkSpec};
+pub use topology::{Route, RouteId, Site, SiteId, Topology};

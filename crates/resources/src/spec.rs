@@ -1,0 +1,482 @@
+//! Device type specifications — the paper's Table 3 catalog.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dsd_units::{Dollars, Gigabytes, MegabytesPerSec};
+use dsd_workload::AppClass;
+
+/// Quality class of a device type. The human heuristic matches resource
+/// classes to application classes (paper §4.1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum DeviceClass {
+    /// Entry-level device.
+    Low,
+    /// Mid-range device.
+    Med,
+    /// Enterprise device.
+    High,
+}
+
+impl DeviceClass {
+    /// The application class this resource class is matched with by the
+    /// human heuristic (high ↔ gold, med ↔ silver, low ↔ bronze).
+    #[must_use]
+    pub fn matching_app_class(self) -> AppClass {
+        match self {
+            DeviceClass::High => AppClass::Gold,
+            DeviceClass::Med => AppClass::Silver,
+            DeviceClass::Low => AppClass::Bronze,
+        }
+    }
+}
+
+impl fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeviceClass::High => "high",
+            DeviceClass::Med => "med",
+            DeviceClass::Low => "low",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a [`DeviceSpec`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A disk array: capacity units are disks, which also carry bandwidth.
+    DiskArray,
+    /// A tape library: capacity units are cartridges, bandwidth units are
+    /// tape drives.
+    TapeLibrary,
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceKind::DiskArray => f.write_str("disk array"),
+            DeviceKind::TapeLibrary => f.write_str("tape library"),
+        }
+    }
+}
+
+/// A purchasable storage device type (one row of Table 3).
+///
+/// Capacity and bandwidth are allocated in discrete units (paper §2.3).
+/// For disk arrays, a single unit (a disk) provides both capacity and
+/// bandwidth, so `max_bandwidth_units == 0` and effective bandwidth is
+/// `min(enclosure_bandwidth, capacity_units × bandwidth_per_unit)`. For
+/// tape libraries, capacity units are cartridges and bandwidth units are
+/// drives, purchased independently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Model name from Table 3, e.g. `"XP1200"`.
+    pub name: String,
+    /// Device kind.
+    pub kind: DeviceKind,
+    /// Quality class.
+    pub class: DeviceClass,
+    /// Fixed acquisition cost of the enclosure (unamortized).
+    pub fixed_cost: Dollars,
+    /// Hard ceiling on aggregate bandwidth through the enclosure.
+    pub enclosure_bandwidth: MegabytesPerSec,
+    /// Incremental cost per capacity unit (disk or cartridge).
+    pub cost_per_capacity_unit: Dollars,
+    /// Incremental cost per bandwidth unit (tape drive); zero for arrays.
+    pub cost_per_bandwidth_unit: Dollars,
+    /// Maximum number of capacity units.
+    pub max_capacity_units: u32,
+    /// Maximum number of bandwidth units; zero means bandwidth is derived
+    /// from capacity units (disk arrays).
+    pub max_bandwidth_units: u32,
+    /// Capacity provided by one capacity unit.
+    pub capacity_per_unit: Gigabytes,
+    /// Bandwidth provided by one unit (per disk, or per tape drive).
+    pub bandwidth_per_unit: MegabytesPerSec,
+}
+
+impl DeviceSpec {
+    /// Table 3: high-end disk array (XP1200) — $375k enclosure, 512 MB/s,
+    /// 1024 disks of 143 GB / 25 MB/s at $8,723 each.
+    #[must_use]
+    pub fn xp1200() -> Self {
+        DeviceSpec {
+            name: "XP1200".into(),
+            kind: DeviceKind::DiskArray,
+            class: DeviceClass::High,
+            fixed_cost: Dollars::new(375_000.0),
+            enclosure_bandwidth: MegabytesPerSec::new(512.0),
+            cost_per_capacity_unit: Dollars::new(8_723.0),
+            cost_per_bandwidth_unit: Dollars::ZERO,
+            max_capacity_units: 1024,
+            max_bandwidth_units: 0,
+            capacity_per_unit: Gigabytes::new(143.0),
+            bandwidth_per_unit: MegabytesPerSec::new(25.0),
+        }
+    }
+
+    /// Table 3: mid-range disk array (EVA800) — $123k enclosure, 256 MB/s,
+    /// 512 disks of 143 GB / 10 MB/s at $3,720 each.
+    #[must_use]
+    pub fn eva800() -> Self {
+        DeviceSpec {
+            name: "EVA800".into(),
+            kind: DeviceKind::DiskArray,
+            class: DeviceClass::Med,
+            fixed_cost: Dollars::new(123_000.0),
+            enclosure_bandwidth: MegabytesPerSec::new(256.0),
+            cost_per_capacity_unit: Dollars::new(3_720.0),
+            cost_per_bandwidth_unit: Dollars::ZERO,
+            max_capacity_units: 512,
+            max_bandwidth_units: 0,
+            capacity_per_unit: Gigabytes::new(143.0),
+            bandwidth_per_unit: MegabytesPerSec::new(10.0),
+        }
+    }
+
+    /// Table 3: low-end disk array (MSA1500) — $123k enclosure, 128 MB/s,
+    /// 128 disks of 143 GB / 8 MB/s at $3,720 each.
+    #[must_use]
+    pub fn msa1500() -> Self {
+        DeviceSpec {
+            name: "MSA1500".into(),
+            kind: DeviceKind::DiskArray,
+            class: DeviceClass::Low,
+            fixed_cost: Dollars::new(123_000.0),
+            enclosure_bandwidth: MegabytesPerSec::new(128.0),
+            cost_per_capacity_unit: Dollars::new(3_720.0),
+            cost_per_bandwidth_unit: Dollars::ZERO,
+            max_capacity_units: 128,
+            max_bandwidth_units: 0,
+            capacity_per_unit: Gigabytes::new(143.0),
+            bandwidth_per_unit: MegabytesPerSec::new(8.0),
+        }
+    }
+
+    /// Table 3: high-end tape library — $141k enclosure, up to 24 drives
+    /// of 120 MB/s at $18,400 each (2400 MB/s enclosure ceiling), 720
+    /// cartridges of 60 GB at $100 each (cartridge price is our documented
+    /// substitution; the table's media cost column is illegible).
+    #[must_use]
+    pub fn tape_library_high() -> Self {
+        DeviceSpec {
+            name: "tape library (high)".into(),
+            kind: DeviceKind::TapeLibrary,
+            class: DeviceClass::High,
+            fixed_cost: Dollars::new(141_000.0),
+            enclosure_bandwidth: MegabytesPerSec::new(2400.0),
+            cost_per_capacity_unit: Dollars::new(100.0),
+            cost_per_bandwidth_unit: Dollars::new(18_400.0),
+            max_capacity_units: 720,
+            max_bandwidth_units: 24,
+            capacity_per_unit: Gigabytes::new(60.0),
+            bandwidth_per_unit: MegabytesPerSec::new(120.0),
+        }
+    }
+
+    /// Table 3: mid-range tape library — $76k enclosure, up to 4 drives of
+    /// 120 MB/s at $10,400 each (400 MB/s ceiling), 120 cartridges.
+    #[must_use]
+    pub fn tape_library_med() -> Self {
+        DeviceSpec {
+            name: "tape library (med)".into(),
+            kind: DeviceKind::TapeLibrary,
+            class: DeviceClass::Med,
+            fixed_cost: Dollars::new(76_000.0),
+            enclosure_bandwidth: MegabytesPerSec::new(400.0),
+            cost_per_capacity_unit: Dollars::new(100.0),
+            cost_per_bandwidth_unit: Dollars::new(10_400.0),
+            max_capacity_units: 120,
+            max_bandwidth_units: 4,
+            capacity_per_unit: Gigabytes::new(60.0),
+            bandwidth_per_unit: MegabytesPerSec::new(120.0),
+        }
+    }
+
+    /// Units needed to satisfy a (capacity, bandwidth) demand, or `None`
+    /// if the demand exceeds the device's ceilings.
+    ///
+    /// Returns `(capacity_units, bandwidth_units)`; for disk arrays
+    /// `bandwidth_units` is always zero and the capacity-unit count covers
+    /// both dimensions.
+    #[must_use]
+    pub fn units_for(
+        &self,
+        capacity: Gigabytes,
+        bandwidth: MegabytesPerSec,
+    ) -> Option<(u32, u32)> {
+        if bandwidth > self.enclosure_bandwidth {
+            return None;
+        }
+        let cap_units_for_capacity = capacity.units_of(self.capacity_per_unit);
+        if self.max_bandwidth_units == 0 {
+            // Disk array: disks provide bandwidth too.
+            let cap_units_for_bw = if bandwidth.is_zero() {
+                0
+            } else {
+                bandwidth.units_of(self.bandwidth_per_unit)
+            };
+            let units = cap_units_for_capacity.max(cap_units_for_bw);
+            if units > self.max_capacity_units {
+                return None;
+            }
+            Some((units, 0))
+        } else {
+            // Tape library: cartridges + drives.
+            let drives = if bandwidth.is_zero() {
+                0
+            } else {
+                bandwidth.units_of(self.bandwidth_per_unit)
+            };
+            if cap_units_for_capacity > self.max_capacity_units
+                || drives > self.max_bandwidth_units
+            {
+                return None;
+            }
+            Some((cap_units_for_capacity, drives))
+        }
+    }
+
+    /// Effective aggregate bandwidth of an instance with the given unit
+    /// counts: unit bandwidth capped by the enclosure ceiling.
+    #[must_use]
+    pub fn effective_bandwidth(&self, capacity_units: u32, bandwidth_units: u32) -> MegabytesPerSec {
+        let units = if self.max_bandwidth_units == 0 { capacity_units } else { bandwidth_units };
+        (self.bandwidth_per_unit * f64::from(units)).min(self.enclosure_bandwidth)
+    }
+
+    /// Total capacity of an instance with the given capacity units.
+    #[must_use]
+    pub fn total_capacity(&self, capacity_units: u32) -> Gigabytes {
+        self.capacity_per_unit * f64::from(capacity_units)
+    }
+
+    /// Unamortized purchase price of an instance with the given units.
+    #[must_use]
+    pub fn purchase_cost(&self, capacity_units: u32, bandwidth_units: u32) -> Dollars {
+        self.fixed_cost
+            + self.cost_per_capacity_unit * f64::from(capacity_units)
+            + self.cost_per_bandwidth_unit * f64::from(bandwidth_units)
+    }
+}
+
+impl fmt::Display for DeviceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} {})", self.name, self.class, self.kind)
+    }
+}
+
+/// An inter-site network link type (Table 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Class of the link type.
+    pub class: DeviceClass,
+    /// Unamortized cost per link.
+    pub cost_per_link: Dollars,
+    /// Bandwidth of one link.
+    pub link_bandwidth: MegabytesPerSec,
+    /// Maximum links on one route.
+    pub max_links: u32,
+}
+
+impl NetworkSpec {
+    /// Table 3: high-end network — 32 × 20 MB/s links at $500k each
+    /// (640 MB/s aggregate).
+    #[must_use]
+    pub fn high() -> Self {
+        NetworkSpec {
+            class: DeviceClass::High,
+            cost_per_link: Dollars::new(500_000.0),
+            link_bandwidth: MegabytesPerSec::new(20.0),
+            max_links: 32,
+        }
+    }
+
+    /// Table 3: mid-range network — 16 × 10 MB/s links at $200k each
+    /// (160 MB/s aggregate).
+    #[must_use]
+    pub fn med() -> Self {
+        NetworkSpec {
+            class: DeviceClass::Med,
+            cost_per_link: Dollars::new(200_000.0),
+            link_bandwidth: MegabytesPerSec::new(10.0),
+            max_links: 16,
+        }
+    }
+
+    /// Links needed to carry `bandwidth`, or `None` if beyond `max_links`.
+    #[must_use]
+    pub fn links_for(&self, bandwidth: MegabytesPerSec) -> Option<u32> {
+        let links =
+            if bandwidth.is_zero() { 0 } else { bandwidth.units_of(self.link_bandwidth) };
+        (links <= self.max_links).then_some(links)
+    }
+
+    /// Aggregate bandwidth of `links` provisioned links.
+    #[must_use]
+    pub fn bandwidth(&self, links: u32) -> MegabytesPerSec {
+        self.link_bandwidth * f64::from(links)
+    }
+}
+
+/// Compute resources (Table 3): one server runs one application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeSpec {
+    /// Unamortized cost per server.
+    pub cost_per_server: Dollars,
+}
+
+impl Default for ComputeSpec {
+    /// Table 3: $125k per high-end server.
+    fn default() -> Self {
+        ComputeSpec { cost_per_server: Dollars::new(125_000.0) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table3_array_numbers() {
+        let xp = DeviceSpec::xp1200();
+        assert_eq!(xp.fixed_cost.as_f64(), 375_000.0);
+        assert_eq!(xp.enclosure_bandwidth.as_f64(), 512.0);
+        assert_eq!(xp.max_capacity_units, 1024);
+        let eva = DeviceSpec::eva800();
+        assert_eq!(eva.cost_per_capacity_unit.as_f64(), 3_720.0);
+        assert_eq!(eva.bandwidth_per_unit.as_f64(), 10.0);
+        let msa = DeviceSpec::msa1500();
+        assert_eq!(msa.max_capacity_units, 128);
+        assert_eq!(msa.enclosure_bandwidth.as_f64(), 128.0);
+    }
+
+    #[test]
+    fn array_units_cover_both_dimensions() {
+        let xp = DeviceSpec::xp1200();
+        // 1300 GB needs 10 disks; 50 MB/s needs 2 disks -> 10 disks.
+        let (cap, bw) = xp
+            .units_for(Gigabytes::new(1300.0), MegabytesPerSec::new(50.0))
+            .expect("fits");
+        assert_eq!((cap, bw), (10, 0));
+        // Bandwidth-bound: 1 GB but 500 MB/s -> 20 disks.
+        let (cap, _) = xp
+            .units_for(Gigabytes::new(1.0), MegabytesPerSec::new(500.0))
+            .expect("fits");
+        assert_eq!(cap, 20);
+    }
+
+    #[test]
+    fn array_rejects_over_enclosure_bandwidth() {
+        let msa = DeviceSpec::msa1500();
+        assert!(msa.units_for(Gigabytes::new(1.0), MegabytesPerSec::new(129.0)).is_none());
+    }
+
+    #[test]
+    fn array_rejects_over_capacity() {
+        let msa = DeviceSpec::msa1500();
+        // 128 disks * 143 GB = 18,304 GB max.
+        assert!(msa.units_for(Gigabytes::new(19_000.0), MegabytesPerSec::ZERO).is_none());
+    }
+
+    #[test]
+    fn tape_units_are_cartridges_and_drives() {
+        let tape = DeviceSpec::tape_library_high();
+        let (carts, drives) = tape
+            .units_for(Gigabytes::new(2600.0), MegabytesPerSec::new(200.0))
+            .expect("fits");
+        assert_eq!(carts, 44, "ceil(2600/60)");
+        assert_eq!(drives, 2, "ceil(200/120)");
+    }
+
+    #[test]
+    fn tape_rejects_too_many_drives() {
+        let tape = DeviceSpec::tape_library_med();
+        // 5 drives needed, max 4.
+        assert!(tape.units_for(Gigabytes::new(60.0), MegabytesPerSec::new(500.0)).is_none());
+    }
+
+    #[test]
+    fn effective_bandwidth_capped_by_enclosure() {
+        let xp = DeviceSpec::xp1200();
+        assert_eq!(xp.effective_bandwidth(10, 0).as_f64(), 250.0);
+        assert_eq!(xp.effective_bandwidth(100, 0).as_f64(), 512.0, "capped");
+        let tape = DeviceSpec::tape_library_med();
+        assert_eq!(tape.effective_bandwidth(0, 2).as_f64(), 240.0);
+        assert_eq!(tape.effective_bandwidth(0, 4).as_f64(), 400.0, "capped at enclosure");
+    }
+
+    #[test]
+    fn purchase_cost_sums_components() {
+        let tape = DeviceSpec::tape_library_high();
+        let cost = tape.purchase_cost(44, 2);
+        assert_eq!(cost.as_f64(), 141_000.0 + 44.0 * 100.0 + 2.0 * 18_400.0);
+    }
+
+    #[test]
+    fn network_links_sized_and_bounded() {
+        let high = NetworkSpec::high();
+        assert_eq!(high.links_for(MegabytesPerSec::new(50.0)), Some(3));
+        assert_eq!(high.links_for(MegabytesPerSec::ZERO), Some(0));
+        assert_eq!(high.links_for(MegabytesPerSec::new(20.0 * 33.0)), None);
+        assert_eq!(high.bandwidth(32).as_f64(), 640.0, "matches Table 3 aggregate");
+        let med = NetworkSpec::med();
+        assert_eq!(med.bandwidth(16).as_f64(), 160.0);
+    }
+
+    #[test]
+    fn class_to_app_class_mapping() {
+        assert_eq!(DeviceClass::High.matching_app_class(), AppClass::Gold);
+        assert_eq!(DeviceClass::Med.matching_app_class(), AppClass::Silver);
+        assert_eq!(DeviceClass::Low.matching_app_class(), AppClass::Bronze);
+        assert!(DeviceClass::High > DeviceClass::Low);
+    }
+
+    #[test]
+    fn compute_default_is_table3() {
+        assert_eq!(ComputeSpec::default().cost_per_server.as_f64(), 125_000.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DeviceSpec::xp1200().to_string(), "XP1200 (high disk array)");
+        assert_eq!(DeviceKind::TapeLibrary.to_string(), "tape library");
+        assert_eq!(DeviceClass::Med.to_string(), "med");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_units_for_satisfies_demand(cap in 0.0..50_000.0f64, bw in 0.0..500.0f64) {
+            let xp = DeviceSpec::xp1200();
+            let capacity = Gigabytes::new(cap);
+            let bandwidth = MegabytesPerSec::new(bw);
+            if let Some((cu, bu)) = xp.units_for(capacity, bandwidth) {
+                prop_assert!(xp.total_capacity(cu) >= capacity);
+                prop_assert!(xp.effective_bandwidth(cu, bu) >= bandwidth);
+            }
+        }
+
+        #[test]
+        fn prop_tape_units_satisfy_demand(cap in 0.0..40_000.0f64, bw in 0.0..2000.0f64) {
+            let tape = DeviceSpec::tape_library_high();
+            let capacity = Gigabytes::new(cap);
+            let bandwidth = MegabytesPerSec::new(bw);
+            if let Some((cu, bu)) = tape.units_for(capacity, bandwidth) {
+                prop_assert!(tape.total_capacity(cu) >= capacity);
+                prop_assert!(tape.effective_bandwidth(cu, bu) >= bandwidth);
+            }
+        }
+
+        #[test]
+        fn prop_purchase_cost_monotone_in_units(c1 in 0u32..100, c2 in 0u32..100, b in 0u32..10) {
+            let tape = DeviceSpec::tape_library_high();
+            let (lo, hi) = if c1 < c2 { (c1, c2) } else { (c2, c1) };
+            prop_assert!(tape.purchase_cost(lo, b) <= tape.purchase_cost(hi, b));
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Data-center sites and the link routes connecting them.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dsd_units::Dollars;
+
+use crate::spec::{ComputeSpec, DeviceSpec, NetworkSpec};
+
+/// Identifier of a site within a [`Topology`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SiteId(pub usize);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site#{}", self.0)
+    }
+}
+
+/// Identifier of an inter-site route within a [`Topology`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RouteId(pub usize);
+
+impl fmt::Display for RouteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "route#{}", self.0)
+    }
+}
+
+/// A data-center site: facility cost plus slots for devices (paper §4.3:
+/// "each site can accommodate a maximum of two disk arrays ..., a single
+/// tape library and compute resources for eight applications").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Identifier (must equal the site's index in the topology).
+    pub id: SiteId,
+    /// Human-readable name, e.g. `"P1"`.
+    pub name: String,
+    /// Facility cost (unamortized; Table 3: $1M), charged if the site is
+    /// used at all.
+    pub facility_cost: Dollars,
+    /// Disk array slots; at most one array instance per slot, of the
+    /// slot's spec.
+    pub array_slots: Vec<DeviceSpec>,
+    /// Tape library slots; at most one library per slot.
+    pub tape_slots: Vec<DeviceSpec>,
+    /// Maximum compute servers at this site.
+    pub max_compute: u32,
+    /// Server pricing.
+    pub compute: ComputeSpec,
+}
+
+impl Site {
+    /// Creates an empty site with the Table 3 facility cost and no slots.
+    #[must_use]
+    pub fn new(id: usize, name: impl Into<String>) -> Self {
+        Site {
+            id: SiteId(id),
+            name: name.into(),
+            facility_cost: Dollars::new(1_000_000.0),
+            array_slots: Vec::new(),
+            tape_slots: Vec::new(),
+            max_compute: 0,
+            compute: ComputeSpec::default(),
+        }
+    }
+
+    /// Adds a disk array slot of the given spec (builder style).
+    #[must_use]
+    pub fn with_array_slot(mut self, spec: DeviceSpec) -> Self {
+        self.array_slots.push(spec);
+        self
+    }
+
+    /// Adds a tape library slot of the given spec (builder style).
+    #[must_use]
+    pub fn with_tape_library(mut self, spec: DeviceSpec) -> Self {
+        self.tape_slots.push(spec);
+        self
+    }
+
+    /// Sets the compute server limit (builder style).
+    #[must_use]
+    pub fn with_compute(mut self, max_servers: u32) -> Self {
+        self.max_compute = max_servers;
+        self
+    }
+
+    /// Overrides the facility cost (builder style).
+    #[must_use]
+    pub fn with_facility_cost(mut self, cost: Dollars) -> Self {
+        self.facility_cost = cost;
+        self
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} array slots, {} tape slots, {} compute)",
+            self.name,
+            self.array_slots.len(),
+            self.tape_slots.len(),
+            self.max_compute
+        )
+    }
+}
+
+/// An undirected link route between two sites.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// One endpoint.
+    pub a: SiteId,
+    /// The other endpoint.
+    pub b: SiteId,
+    /// Link type purchasable on this route.
+    pub network: NetworkSpec,
+}
+
+impl Route {
+    /// True if the route connects `x` and `y` (in either order).
+    #[must_use]
+    pub fn connects(&self, x: SiteId, y: SiteId) -> bool {
+        (self.a == x && self.b == y) || (self.a == y && self.b == x)
+    }
+
+    /// True if the route touches site `s`.
+    #[must_use]
+    pub fn touches(&self, s: SiteId) -> bool {
+        self.a == s || self.b == s
+    }
+}
+
+/// The static site/route structure of an environment. Provisioned state
+/// (device instances, link counts, allocations) lives in
+/// [`crate::Provision`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    sites: Vec<Site>,
+    routes: Vec<Route>,
+}
+
+impl Topology {
+    /// Builds a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if site ids don't match their indices, a route endpoint is
+    /// out of range, a route is a self-loop, or two routes connect the
+    /// same pair.
+    #[must_use]
+    pub fn new(sites: Vec<Site>, routes: Vec<Route>) -> Self {
+        for (i, s) in sites.iter().enumerate() {
+            assert_eq!(s.id.0, i, "site id must equal its index");
+        }
+        for r in &routes {
+            assert!(r.a.0 < sites.len() && r.b.0 < sites.len(), "route endpoint out of range");
+            assert_ne!(r.a, r.b, "route cannot be a self-loop");
+        }
+        for (i, r) in routes.iter().enumerate() {
+            for other in &routes[i + 1..] {
+                assert!(
+                    !other.connects(r.a, r.b),
+                    "duplicate route between {} and {}",
+                    r.a,
+                    r.b
+                );
+            }
+        }
+        Topology { sites, routes }
+    }
+
+    /// Fully connects `sites` with routes of type `network`.
+    #[must_use]
+    pub fn fully_connected(sites: Vec<Site>, network: NetworkSpec) -> Self {
+        let mut routes = Vec::new();
+        for i in 0..sites.len() {
+            for j in i + 1..sites.len() {
+                routes.push(Route { a: SiteId(i), b: SiteId(j), network: network.clone() });
+            }
+        }
+        Topology::new(sites, routes)
+    }
+
+    /// Number of sites.
+    #[must_use]
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of routes.
+    #[must_use]
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// The sites in id order.
+    #[must_use]
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// The routes in id order.
+    #[must_use]
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
+    /// Looks up a site.
+    #[must_use]
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.0]
+    }
+
+    /// Looks up a route.
+    #[must_use]
+    pub fn route(&self, id: RouteId) -> &Route {
+        &self.routes[id.0]
+    }
+
+    /// All site ids.
+    pub fn site_ids(&self) -> impl Iterator<Item = SiteId> + '_ {
+        (0..self.sites.len()).map(SiteId)
+    }
+
+    /// All route ids.
+    pub fn route_ids(&self) -> impl Iterator<Item = RouteId> + '_ {
+        (0..self.routes.len()).map(RouteId)
+    }
+
+    /// The route between two sites, if one exists.
+    #[must_use]
+    pub fn route_between(&self, x: SiteId, y: SiteId) -> Option<RouteId> {
+        self.routes.iter().position(|r| r.connects(x, y)).map(RouteId)
+    }
+
+    /// Sites reachable from `s` by a direct route.
+    pub fn neighbors(&self, s: SiteId) -> impl Iterator<Item = SiteId> + '_ {
+        self.routes
+            .iter()
+            .filter(move |r| r.touches(s))
+            .map(move |r| if r.a == s { r.b } else { r.a })
+    }
+
+    /// Global slot index of `(site, slot)` used by flat per-array tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot doesn't exist.
+    #[must_use]
+    pub fn array_slot_index(&self, site: SiteId, slot: usize) -> usize {
+        assert!(slot < self.site(site).array_slots.len(), "array slot out of range");
+        self.sites[..site.0].iter().map(|s| s.array_slots.len()).sum::<usize>() + slot
+    }
+
+    /// Total number of array slots across all sites.
+    #[must_use]
+    pub fn total_array_slots(&self) -> usize {
+        self.sites.iter().map(|s| s.array_slots.len()).sum()
+    }
+
+    /// Total number of tape slots across all sites.
+    #[must_use]
+    pub fn total_tape_slots(&self) -> usize {
+        self.sites.iter().map(|s| s.tape_slots.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_sites() -> Vec<Site> {
+        vec![
+            Site::new(0, "P1")
+                .with_array_slot(DeviceSpec::xp1200())
+                .with_array_slot(DeviceSpec::msa1500())
+                .with_tape_library(DeviceSpec::tape_library_high())
+                .with_compute(8),
+            Site::new(1, "P2")
+                .with_array_slot(DeviceSpec::xp1200())
+                .with_tape_library(DeviceSpec::tape_library_med())
+                .with_compute(8),
+        ]
+    }
+
+    #[test]
+    fn fully_connected_route_count() {
+        let sites: Vec<Site> = (0..4).map(|i| Site::new(i, format!("S{i}"))).collect();
+        let t = Topology::fully_connected(sites, NetworkSpec::high());
+        assert_eq!(t.route_count(), 6);
+        for x in t.site_ids() {
+            for y in t.site_ids() {
+                if x != y {
+                    assert!(t.route_between(x, y).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_between_is_symmetric() {
+        let t = Topology::fully_connected(two_sites(), NetworkSpec::high());
+        let ab = t.route_between(SiteId(0), SiteId(1));
+        let ba = t.route_between(SiteId(1), SiteId(0));
+        assert_eq!(ab, ba);
+        assert!(ab.is_some());
+    }
+
+    #[test]
+    fn neighbors_enumerates_connected_sites() {
+        let sites: Vec<Site> = (0..3).map(|i| Site::new(i, format!("S{i}"))).collect();
+        let routes = vec![
+            Route { a: SiteId(0), b: SiteId(1), network: NetworkSpec::med() },
+            Route { a: SiteId(1), b: SiteId(2), network: NetworkSpec::med() },
+        ];
+        let t = Topology::new(sites, routes);
+        let n1: Vec<SiteId> = t.neighbors(SiteId(1)).collect();
+        assert_eq!(n1, vec![SiteId(0), SiteId(2)]);
+        assert_eq!(t.neighbors(SiteId(0)).count(), 1);
+        assert!(t.route_between(SiteId(0), SiteId(2)).is_none());
+    }
+
+    #[test]
+    fn array_slot_indexing_is_dense() {
+        let t = Topology::fully_connected(two_sites(), NetworkSpec::high());
+        assert_eq!(t.array_slot_index(SiteId(0), 0), 0);
+        assert_eq!(t.array_slot_index(SiteId(0), 1), 1);
+        assert_eq!(t.array_slot_index(SiteId(1), 0), 2);
+        assert_eq!(t.total_array_slots(), 3);
+        assert_eq!(t.total_tape_slots(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "array slot out of range")]
+    fn bad_slot_panics() {
+        let t = Topology::fully_connected(two_sites(), NetworkSpec::high());
+        let _ = t.array_slot_index(SiteId(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let sites = vec![Site::new(0, "A")];
+        let routes = vec![Route { a: SiteId(0), b: SiteId(0), network: NetworkSpec::med() }];
+        let _ = Topology::new(sites, routes);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate route")]
+    fn duplicate_route_rejected() {
+        let sites = vec![Site::new(0, "A"), Site::new(1, "B")];
+        let routes = vec![
+            Route { a: SiteId(0), b: SiteId(1), network: NetworkSpec::med() },
+            Route { a: SiteId(1), b: SiteId(0), network: NetworkSpec::high() },
+        ];
+        let _ = Topology::new(sites, routes);
+    }
+
+    #[test]
+    #[should_panic(expected = "site id must equal its index")]
+    fn misnumbered_site_rejected() {
+        let _ = Topology::new(vec![Site::new(3, "X")], vec![]);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let s = Site::new(0, "X")
+            .with_facility_cost(Dollars::new(5.0))
+            .with_compute(3)
+            .with_array_slot(DeviceSpec::eva800());
+        assert_eq!(s.facility_cost.as_f64(), 5.0);
+        assert_eq!(s.max_compute, 3);
+        assert_eq!(s.array_slots[0].name, "EVA800");
+        assert!(s.to_string().contains("1 array slots"));
+    }
+}

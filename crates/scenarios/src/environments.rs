@@ -1,0 +1,112 @@
+//! The paper's evaluation environments (§4.2–§4.5).
+
+use std::sync::Arc;
+
+use dsd_core::Environment;
+use dsd_failure::{FailureModel, FailureRates};
+use dsd_protection::TechniqueCatalog;
+use dsd_resources::{DeviceSpec, NetworkSpec, Site, Topology};
+use dsd_workload::WorkloadSet;
+
+/// One evaluation site as used throughout §4: one high-end (XP1200) and
+/// one low-end (MSA1500) disk array slot, a single high-end tape library,
+/// and compute for `compute` applications.
+#[must_use]
+pub fn paper_site(id: usize, name: impl Into<String>, compute: u32) -> Site {
+    Site::new(id, name)
+        .with_array_slot(DeviceSpec::xp1200())
+        .with_array_slot(DeviceSpec::msa1500())
+        .with_tape_library(DeviceSpec::tape_library_high())
+        .with_compute(compute)
+}
+
+/// The peer-sites case study (§4.3): eight applications (two from each
+/// Table 1 class) on two sites P1 and P2, each with up to two disk arrays
+/// (one high-end, one low-end), a single tape library, compute for eight
+/// applications, and a high-end network of up to 32 links between the
+/// sites. Failure likelihoods: data object and disk array once in three
+/// years, site disaster once in five years.
+#[must_use]
+pub fn peer_sites() -> Environment {
+    peer_sites_with(8)
+}
+
+/// Peer-sites topology with a custom number of applications (cycling
+/// through the Table 1 mix).
+#[must_use]
+pub fn peer_sites_with(apps: usize) -> Environment {
+    let sites = vec![paper_site(0, "P1", 8), paper_site(1, "P2", 8)];
+    Environment::new(
+        WorkloadSet::scaled_paper_mix(apps),
+        Arc::new(Topology::fully_connected(sites, NetworkSpec::high())),
+        TechniqueCatalog::table2(),
+        FailureModel::new(FailureRates::case_study()),
+    )
+}
+
+/// The scalability setting (§4.4): four fully connected sites (six
+/// routes), each with two disk array types, one tape library and compute
+/// resources; scaled by four applications at a time. Uses the case-study
+/// failure rates as in §4.3.
+#[must_use]
+pub fn four_sites(apps: usize) -> Environment {
+    let sites = (0..4).map(|i| paper_site(i, format!("S{}", i + 1), 8)).collect();
+    Environment::new(
+        WorkloadSet::scaled_paper_mix(apps),
+        Arc::new(Topology::fully_connected(sites, NetworkSpec::high())),
+        TechniqueCatalog::table2(),
+        FailureModel::new(FailureRates::case_study()),
+    )
+}
+
+/// The sensitivity setting (§4.5): sixteen applications on four fully
+/// connected sites, with the §4.5 baseline failure rates (data object
+/// twice a year, disk once in five years, site once in twenty years).
+/// Individual rates are swept by the Figure 5–7 drivers.
+#[must_use]
+pub fn sensitivity(rates: FailureRates) -> Environment {
+    let mut env = four_sites(16);
+    env.failures = FailureModel::new(rates);
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_units::PerYear;
+
+    #[test]
+    fn peer_sites_matches_case_study_shape() {
+        let env = peer_sites();
+        assert_eq!(env.workloads.len(), 8);
+        assert_eq!(env.topology.site_count(), 2);
+        assert_eq!(env.topology.route_count(), 1);
+        let p1 = env.topology.site(dsd_resources::SiteId(0));
+        assert_eq!(p1.array_slots.len(), 2);
+        assert_eq!(p1.array_slots[0].name, "XP1200");
+        assert_eq!(p1.array_slots[1].name, "MSA1500");
+        assert_eq!(p1.tape_slots.len(), 1);
+        assert_eq!(p1.max_compute, 8);
+        assert_eq!(env.topology.route(dsd_resources::RouteId(0)).network.max_links, 32);
+        let rates = env.failures.rates();
+        assert_eq!(rates.data_object.mean_interval_years(), Some(3.0));
+        assert_eq!(rates.site_disaster.mean_interval_years(), Some(5.0));
+    }
+
+    #[test]
+    fn four_sites_is_fully_connected() {
+        let env = four_sites(16);
+        assert_eq!(env.topology.site_count(), 4);
+        assert_eq!(env.topology.route_count(), 6, "six routes connect all the sites");
+        assert_eq!(env.workloads.len(), 16);
+    }
+
+    #[test]
+    fn sensitivity_overrides_rates() {
+        let rates = FailureRates::sensitivity_baseline()
+            .with_data_object(PerYear::once_every_years(10.0));
+        let env = sensitivity(rates);
+        assert_eq!(env.workloads.len(), 16);
+        assert_eq!(env.failures.rates().data_object.mean_interval_years(), Some(10.0));
+    }
+}

@@ -1,0 +1,200 @@
+//! CSV rendering of experiment results, for external plotting.
+//!
+//! Plain string building — the formats are flat tables, no quoting
+//! needed beyond what [`escape`] provides for free-text labels.
+
+use std::fmt::Write as _;
+
+use crate::experiments::ablation::Ablation;
+use crate::experiments::figure2::Figure2;
+use crate::experiments::figure3::Figure3;
+use crate::experiments::figure4::Figure4;
+use crate::experiments::sensitivity::SensitivityFigure;
+use crate::experiments::table4::Table4;
+
+/// Quotes a CSV field if it contains separators or quotes.
+#[must_use]
+pub fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn opt(v: Option<f64>) -> String {
+    v.map_or(String::new(), |x| format!("{x}"))
+}
+
+/// Table 4 as CSV: one row per application.
+#[must_use]
+pub fn table4_csv(t: &Table4) -> String {
+    let mut out = String::from("app,type,technique,primary_site");
+    for s in &t.sites {
+        let _ = write!(out, ",{}_array,{}_tape", escape(s), escape(s));
+    }
+    out.push_str(",network\n");
+    for r in &t.rows {
+        let _ = write!(
+            out,
+            "{},{},{},{}",
+            r.app,
+            r.type_code,
+            escape(&r.technique),
+            escape(&r.primary_site)
+        );
+        for i in 0..t.sites.len() {
+            let _ = write!(out, ",{},{}", r.uses_array[i], r.uses_tape[i]);
+        }
+        let _ = writeln!(out, ",{}", r.network);
+    }
+    out
+}
+
+/// Figure 2 as CSV: histogram bins.
+#[must_use]
+pub fn figure2_csv(f: &Figure2) -> String {
+    let mut out = String::from("bin_lo_dollars,bin_hi_dollars,count\n");
+    for b in &f.bins {
+        let _ = writeln!(out, "{},{},{}", b.lo, b.hi, b.count);
+    }
+    out
+}
+
+/// Figure 3 as CSV: one row per heuristic.
+#[must_use]
+pub fn figure3_csv(f: &Figure3) -> String {
+    let mut out =
+        String::from("heuristic,outlay_dollars,loss_dollars,outage_dollars,total_dollars\n");
+    for (name, result) in
+        [("design_tool", &f.tool), ("human", &f.human), ("random", &f.random)]
+    {
+        match result {
+            Some(c) => {
+                let _ = writeln!(
+                    out,
+                    "{name},{},{},{},{}",
+                    c.outlay.as_f64(),
+                    c.penalties.loss.as_f64(),
+                    c.penalties.outage.as_f64(),
+                    c.total().as_f64()
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{name},,,,");
+            }
+        }
+    }
+    out
+}
+
+/// Figure 4 as CSV: one row per application count.
+#[must_use]
+pub fn figure4_csv(f: &Figure4) -> String {
+    let mut out = String::from("apps,tool_dollars,human_dollars,random_dollars\n");
+    for p in &f.points {
+        let _ =
+            writeln!(out, "{},{},{},{}", p.apps, opt(p.tool), opt(p.human), opt(p.random));
+    }
+    out
+}
+
+/// Figures 5–7 as CSV: one row per swept likelihood.
+#[must_use]
+pub fn sensitivity_csv(f: &SensitivityFigure) -> String {
+    let mut out = String::from(
+        "events_per_year,outlay_dollars,penalties_dollars,total_dollars\n",
+    );
+    for p in &f.points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            p.likelihood.as_f64(),
+            opt(p.outlay),
+            opt(p.penalties),
+            opt(p.total)
+        );
+    }
+    out
+}
+
+/// Ablation table as CSV: one row per variant.
+#[must_use]
+pub fn ablation_csv(a: &Ablation) -> String {
+    let mut out = String::from("variant,mean_dollars,min_dollars,infeasible_seeds\n");
+    for r in &a.rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            escape(&r.variant),
+            opt(r.mean()),
+            opt(r.min()),
+            r.infeasible
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{figure2, figure4, sensitivity, table4};
+    use dsd_core::Budget;
+    use dsd_units::PerYear;
+
+    #[test]
+    fn escape_handles_commas_and_quotes() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn table4_csv_has_row_per_app() {
+        let t = table4::run(Budget::iterations(8), 2).expect("feasible");
+        let csv = table4_csv(&t);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 1 + t.rows.len());
+        assert!(lines[0].starts_with("app,type,technique"));
+        assert!(lines[1].contains("mirror") || lines[1].contains("backup"));
+    }
+
+    #[test]
+    fn figure2_csv_counts_match() {
+        let f = figure2::run(30, 8, 1);
+        let csv = figure2_csv(&f);
+        let total: usize = csv
+            .trim()
+            .lines()
+            .skip(1)
+            .map(|l| l.rsplit(',').next().unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, f.summary.costs.len());
+    }
+
+    #[test]
+    fn figure4_csv_marks_infeasible_as_empty() {
+        let f = figure4::Figure4 {
+            points: vec![figure4::Figure4Point {
+                apps: 99,
+                tool: None,
+                human: Some(1.5e6),
+                random: None,
+            }],
+        };
+        let csv = figure4_csv(&f);
+        assert!(csv.lines().nth(1).unwrap().starts_with("99,,1500000,"));
+    }
+
+    #[test]
+    fn sensitivity_csv_lists_rates() {
+        let fig = sensitivity::run(
+            sensitivity::SweepKind::DiskArray,
+            &[PerYear::once_every_years(5.0)],
+            Budget::iterations(3),
+            4,
+        );
+        let csv = sensitivity_csv(&fig);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0.2,"));
+    }
+}

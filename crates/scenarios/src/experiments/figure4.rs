@@ -1,0 +1,146 @@
+//! Figure 4: scalability of the three heuristics with the number of
+//! applications on four fully connected sites.
+
+use std::fmt;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use dsd_core::heuristics::{HumanHeuristic, RandomHeuristic};
+use dsd_core::{Budget, DesignSolver};
+
+use crate::environments::four_sites;
+
+/// Results at one application count. `None` = no feasible design found
+/// within the budget (the paper observes the human heuristic and the
+/// design solver failing first as the fixed resources saturate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Figure4Point {
+    /// Number of applications.
+    pub apps: usize,
+    /// Design tool total annual cost, dollars.
+    pub tool: Option<f64>,
+    /// Human heuristic total annual cost, dollars.
+    pub human: Option<f64>,
+    /// Random heuristic total annual cost, dollars.
+    pub random: Option<f64>,
+}
+
+/// The regenerated Figure 4 series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure4 {
+    /// One point per application count.
+    pub points: Vec<Figure4Point>,
+}
+
+impl Figure4 {
+    /// Advantage of the tool over the human heuristic at each feasible
+    /// point (the paper reports 2–3×).
+    #[must_use]
+    pub fn human_ratios(&self) -> Vec<f64> {
+        self.points
+            .iter()
+            .filter_map(|p| match (p.human, p.tool) {
+                (Some(h), Some(t)) if t > 0.0 => Some(h / t),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Figure4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 4: design tool scalability, fully connected four sites ($M/yr)")?;
+        writeln!(f, "{:>5} {:>12} {:>12} {:>12}", "apps", "tool", "human", "random")?;
+        let cell = |v: Option<f64>| match v {
+            Some(c) => format!("{:.2}", c / 1e6),
+            None => "infeasible".to_string(),
+        };
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>5} {:>12} {:>12} {:>12}",
+                p.apps,
+                cell(p.tool),
+                cell(p.human),
+                cell(p.random)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Sweeps the application count (the paper scales "by four applications
+/// at a time, one from each class") and runs all three heuristics at each
+/// point with equal budgets.
+#[must_use]
+pub fn run(app_counts: &[usize], budget: Budget, seed: u64) -> Figure4 {
+    let points = app_counts
+        .iter()
+        .map(|&apps| {
+            let env = four_sites(apps);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (apps as u64) << 8);
+            let tool = DesignSolver::new(&env)
+                .solve(budget, &mut rng)
+                .best
+                .map(|b| b.cost().total().as_f64());
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (apps as u64) << 8 ^ 1);
+            let human = HumanHeuristic::new(&env)
+                .solve(budget, &mut rng)
+                .best
+                .map(|b| b.cost().total().as_f64());
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (apps as u64) << 8 ^ 2);
+            let random = RandomHeuristic::new(&env)
+                .solve(budget, &mut rng)
+                .best
+                .map(|b| b.cost().total().as_f64());
+            Figure4Point { apps, tool, human, random }
+        })
+        .collect();
+    Figure4 { points }
+}
+
+/// The paper's application counts: 4 to 24 in steps of four.
+#[must_use]
+pub fn paper_app_counts() -> Vec<usize> {
+    (1..=6).map(|i| i * 4).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counts_step_by_four() {
+        assert_eq!(paper_app_counts(), vec![4, 8, 12, 16, 20, 24]);
+    }
+
+    #[test]
+    fn tool_leads_at_small_scale() {
+        let fig = run(&[4, 8], Budget::iterations(20), 31);
+        for p in &fig.points {
+            let tool = p.tool.expect("feasible at small scale");
+            if let Some(h) = p.human {
+                assert!(tool <= h, "apps={}: tool {tool} vs human {h}", p.apps);
+            }
+            if let Some(r) = p.random {
+                assert!(tool <= r, "apps={}: tool {tool} vs random {r}", p.apps);
+            }
+        }
+        assert!(fig.human_ratios().iter().all(|&r| r >= 1.0));
+    }
+
+    #[test]
+    fn cost_grows_with_scale() {
+        let fig = run(&[4, 12], Budget::iterations(15), 32);
+        let small = fig.points[0].tool.unwrap();
+        let large = fig.points[1].tool.unwrap();
+        assert!(large > small, "more applications must cost more: {small} -> {large}");
+    }
+
+    #[test]
+    fn renders_series() {
+        let fig = run(&[4], Budget::iterations(5), 33);
+        assert!(fig.to_string().contains("Figure 4"));
+    }
+}

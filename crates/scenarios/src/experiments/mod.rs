@@ -1,0 +1,24 @@
+//! One driver per table/figure of the paper's evaluation (§4).
+//!
+//! | driver | regenerates |
+//! |---|---|
+//! | [`table4`] | Table 4 — solution chosen for the peer-sites case study |
+//! | [`figure2`] | Figure 2 — random-solution cost distribution |
+//! | [`figure3`] | Figure 3 — cost comparison of the three heuristics |
+//! | [`figure4`] | Figure 4 — scalability with application count |
+//! | [`sensitivity`] | Figures 5–7 — sensitivity to failure likelihoods |
+//! | [`ablation`] | (extension) ablation of the tool's own design choices |
+//! | [`scheduling`] | (extension) recovery-scheduling policy study |
+//!
+//! Every driver is deterministic under a seed and budgeted in solver
+//! iterations, so the experiments run in seconds yet scale to the paper's
+//! thirty-minute setting via [`dsd_core::Budget::wall_clock`].
+
+pub mod ablation;
+pub mod csv;
+pub mod figure2;
+pub mod figure3;
+pub mod figure4;
+pub mod scheduling;
+pub mod sensitivity;
+pub mod table4;

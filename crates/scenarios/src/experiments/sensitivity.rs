@@ -1,0 +1,192 @@
+//! Figures 5–7: sensitivity of the design tool's solution cost to the
+//! likelihood of each failure kind (sixteen applications, four fully
+//! connected sites, §4.5 baseline rates for the non-swept kinds).
+
+use std::fmt;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use dsd_core::{Budget, DesignSolver};
+use dsd_failure::FailureRates;
+use dsd_units::PerYear;
+
+use crate::environments::sensitivity;
+
+/// Which failure likelihood a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepKind {
+    /// Figure 5: data object failures.
+    DataObject,
+    /// Figure 6: disk array failures.
+    DiskArray,
+    /// Figure 7: site disasters.
+    SiteDisaster,
+}
+
+impl SweepKind {
+    /// Paper figure number.
+    #[must_use]
+    pub fn figure(self) -> u32 {
+        match self {
+            SweepKind::DataObject => 5,
+            SweepKind::DiskArray => 6,
+            SweepKind::SiteDisaster => 7,
+        }
+    }
+
+    /// The paper's swept ranges: data object from twice a year to once in
+    /// ten years; disk from once in two to once in twenty years; site
+    /// from once in five to once in fifty years.
+    #[must_use]
+    pub fn paper_rates(self) -> Vec<PerYear> {
+        let years: &[f64] = match self {
+            SweepKind::DataObject => &[0.5, 1.0, 2.0, 3.0, 5.0, 10.0],
+            SweepKind::DiskArray => &[2.0, 3.0, 5.0, 10.0, 20.0],
+            SweepKind::SiteDisaster => &[5.0, 10.0, 20.0, 50.0],
+        };
+        years.iter().map(|&y| PerYear::once_every_years(y)).collect()
+    }
+}
+
+impl fmt::Display for SweepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepKind::DataObject => f.write_str("data object failure"),
+            SweepKind::DiskArray => f.write_str("disk array failure"),
+            SweepKind::SiteDisaster => f.write_str("site disaster"),
+        }
+    }
+}
+
+/// Solution cost at one swept likelihood.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Swept annual likelihood.
+    pub likelihood: PerYear,
+    /// Amortized annual outlay, dollars (`None` when infeasible).
+    pub outlay: Option<f64>,
+    /// Expected annual penalties, dollars.
+    pub penalties: Option<f64>,
+    /// Total, dollars.
+    pub total: Option<f64>,
+}
+
+/// The regenerated sensitivity figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityFigure {
+    /// What was swept.
+    pub kind: SweepKind,
+    /// One point per swept likelihood, in input order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl fmt::Display for SensitivityFigure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure {}: design tool's sensitivity to the likelihood of {}",
+            self.kind.figure(),
+            self.kind
+        )?;
+        writeln!(
+            f,
+            "{:>18} {:>12} {:>12} {:>12}",
+            "likelihood", "outlay $M", "penalty $M", "total $M"
+        )?;
+        let cell = |v: Option<f64>| match v {
+            Some(c) => format!("{:.2}", c / 1e6),
+            None => "infeasible".to_string(),
+        };
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>18} {:>12} {:>12} {:>12}",
+                p.likelihood.to_string(),
+                cell(p.outlay),
+                cell(p.penalties),
+                cell(p.total)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Sweeps one failure likelihood over `rates` (others pinned at the §4.5
+/// baseline) and runs the design tool at each point.
+#[must_use]
+pub fn run(kind: SweepKind, rates: &[PerYear], budget: Budget, seed: u64) -> SensitivityFigure {
+    let points = rates
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            let swept = match kind {
+                SweepKind::DataObject => {
+                    FailureRates::sensitivity_baseline().with_data_object(rate)
+                }
+                SweepKind::DiskArray => {
+                    FailureRates::sensitivity_baseline().with_disk_array(rate)
+                }
+                SweepKind::SiteDisaster => {
+                    FailureRates::sensitivity_baseline().with_site_disaster(rate)
+                }
+            };
+            let env = sensitivity(swept);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64 * 101));
+            let best = DesignSolver::new(&env).solve(budget, &mut rng).best;
+            match best {
+                Some(b) => SweepPoint {
+                    likelihood: rate,
+                    outlay: Some(b.cost().outlay.as_f64()),
+                    penalties: Some(b.cost().penalties.total().as_f64()),
+                    total: Some(b.cost().total().as_f64()),
+                },
+                None => SweepPoint { likelihood: rate, outlay: None, penalties: None, total: None },
+            }
+        })
+        .collect();
+    SensitivityFigure { kind, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ranges_match_section_4_5() {
+        assert_eq!(SweepKind::DataObject.paper_rates().len(), 6);
+        assert_eq!(SweepKind::DataObject.paper_rates()[0].as_f64(), 2.0);
+        assert_eq!(
+            SweepKind::SiteDisaster.paper_rates().last().unwrap().mean_interval_years(),
+            Some(50.0)
+        );
+        assert_eq!(SweepKind::DiskArray.figure(), 6);
+    }
+
+    #[test]
+    fn sweep_runs_and_costs_rise_with_object_failure_rate() {
+        // Two extreme points of the Figure 5 sweep on a small budget.
+        let rates = [PerYear::once_every_years(10.0), PerYear::new(2.0)];
+        let fig = run(SweepKind::DataObject, &rates, Budget::iterations(8), 41);
+        assert_eq!(fig.points.len(), 2);
+        let rare = fig.points[0].total.expect("feasible");
+        let frequent = fig.points[1].total.expect("feasible");
+        assert!(
+            frequent >= rare,
+            "more frequent data-object failures cannot be cheaper: {rare} vs {frequent}"
+        );
+    }
+
+    #[test]
+    fn renders_figure() {
+        let fig = run(
+            SweepKind::SiteDisaster,
+            &[PerYear::once_every_years(20.0)],
+            Budget::iterations(4),
+            42,
+        );
+        let text = fig.to_string();
+        assert!(text.contains("Figure 7"));
+        assert!(text.contains("site disaster"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Table 4: the data protection solution chosen by the design tool for
+//! the peer-sites case study.
+
+use std::fmt;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use dsd_core::{Budget, CostBreakdown, DesignSolver, Environment};
+use dsd_workload::AppId;
+
+use crate::environments::peer_sites;
+
+/// One row of Table 4: an application's chosen technique and footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Application number (1-based, as in the paper).
+    pub app: usize,
+    /// Table 1 type code (B, W, C, S).
+    pub type_code: char,
+    /// Chosen technique name.
+    pub technique: String,
+    /// Name of the primary site.
+    pub primary_site: String,
+    /// Per-site: does the design place an array copy (primary or mirror)
+    /// of this application there?
+    pub uses_array: Vec<bool>,
+    /// Per-site: does the application back up to a tape library there?
+    pub uses_tape: Vec<bool>,
+    /// Whether the design consumes inter-site network links.
+    pub network: bool,
+}
+
+/// The regenerated Table 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4 {
+    /// Site names, in id order (column headers).
+    pub sites: Vec<String>,
+    /// Per-application rows in application order.
+    pub rows: Vec<Table4Row>,
+    /// Cost of the chosen solution.
+    pub cost: CostBreakdown,
+}
+
+impl Table4 {
+    /// True if every application's design includes some form of tape
+    /// backup — the paper's headline observation for this table.
+    #[must_use]
+    pub fn all_have_backup(&self) -> bool {
+        self.rows.iter().all(|r| r.uses_tape.iter().any(|&t| t))
+    }
+
+    /// True if every gold application (high outage penalty) recovers by
+    /// failover.
+    #[must_use]
+    pub fn gold_apps_use_failover(&self) -> bool {
+        self.rows
+            .iter()
+            .filter(|r| r.type_code == 'B')
+            .all(|r| r.technique.contains("(F)"))
+    }
+}
+
+impl fmt::Display for Table4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 4: data protection solution chosen by design tool for peer sites"
+        )?;
+        write!(f, "{:<4} {:<5} {:<30} {:<8}", "App", "Type", "Technique", "Primary")?;
+        for s in &self.sites {
+            write!(f, " {s}.array {s}.tape")?;
+        }
+        writeln!(f, " network")?;
+        for r in &self.rows {
+            write!(
+                f,
+                "{:<4} {:<5} {:<30} {:<8}",
+                r.app, r.type_code, r.technique, r.primary_site
+            )?;
+            for i in 0..self.sites.len() {
+                let mark = |b: bool| if b { "x" } else { "-" };
+                write!(
+                    f,
+                    " {:>8} {:>7}",
+                    mark(r.uses_array[i]),
+                    mark(r.uses_tape[i])
+                )?;
+            }
+            writeln!(f, " {:>7}", if r.network { "x" } else { "-" })?;
+        }
+        writeln!(f, "solution cost: {}", self.cost)
+    }
+}
+
+/// Runs the design tool on the peer-sites environment and formats its
+/// chosen solution as Table 4. Returns `None` if no feasible design was
+/// found within the budget (does not happen at the paper's scale).
+#[must_use]
+pub fn run(budget: Budget, seed: u64) -> Option<Table4> {
+    let env = peer_sites();
+    run_in(&env, budget, seed)
+}
+
+/// Same, against a caller-provided environment.
+#[must_use]
+pub fn run_in(env: &Environment, budget: Budget, seed: u64) -> Option<Table4> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let outcome = DesignSolver::new(env).solve(budget, &mut rng);
+    let best = outcome.best?;
+
+    let sites: Vec<String> =
+        env.topology.sites().iter().map(|s| s.name.clone()).collect();
+    let rows = env
+        .workloads
+        .iter()
+        .map(|app| {
+            let a = best.assignment(app.id).expect("complete design");
+            let technique = &env.catalog[a.technique];
+            let mut uses_array = vec![false; sites.len()];
+            let mut uses_tape = vec![false; sites.len()];
+            uses_array[a.placement.primary.site.0] = true;
+            if let Some(m) = a.placement.mirror {
+                uses_array[m.site.0] = true;
+            }
+            if let Some(t) = a.placement.tape {
+                uses_tape[t.site.0] = true;
+            }
+            Table4Row {
+                app: app.id.0 + 1,
+                type_code: app.profile.code,
+                technique: technique.name.clone(),
+                primary_site: sites[a.placement.primary.site.0].clone(),
+                uses_array,
+                uses_tape,
+                network: a.placement.mirror.is_some(),
+            }
+        })
+        .collect();
+    let _ = AppId(0);
+    Some(Table4 { sites, rows, cost: best.cost().clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_has_paper_shape() {
+        let t = run(Budget::iterations(25), 2).expect("peer sites is feasible");
+        assert_eq!(t.rows.len(), 8);
+        assert_eq!(t.sites, vec!["P1", "P2"]);
+        assert!(t.all_have_backup(), "every app employs some form of tape backup");
+        assert!(t.gold_apps_use_failover(), "high outage penalty => failover recovery");
+        let text = t.to_string();
+        assert!(text.contains("Table 4"));
+        assert!(text.contains("central") || text.contains("mirror"));
+    }
+
+    #[test]
+    fn table4_deterministic_under_seed() {
+        let a = run(Budget::iterations(10), 7).unwrap();
+        let b = run(Budget::iterations(10), 7).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Paper environments and experiment drivers.
+//!
+//! [`environments`] builds the two evaluation settings of the paper's §4:
+//! the *peer sites* case study (eight applications on two sites, §4.3)
+//! and the *fully connected four-site* scalability setting (§4.4–4.5).
+//!
+//! [`experiments`] contains one driver per table/figure of the evaluation;
+//! each returns structured data and renders a text table comparable to
+//! the paper's, so the `dsd-bench` binaries and Criterion benches stay
+//! thin.
+//!
+//! # Examples
+//!
+//! ```
+//! use dsd_scenarios::environments;
+//!
+//! let env = environments::peer_sites();
+//! assert_eq!(env.workloads.len(), 8);
+//! assert_eq!(env.topology.site_count(), 2);
+//! ```
+
+pub mod environments;
+pub mod experiments;

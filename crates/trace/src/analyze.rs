@@ -1,0 +1,244 @@
+//! Trace analysis: extracting Table 1 workload characteristics.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dsd_units::{Gigabytes, MegabytesPerSec, TimeSpan};
+use dsd_workload::{PenaltyRates, WorkloadProfile};
+
+use crate::generate::{IoEvent, IoKind, Trace};
+
+/// The workload characteristics the design tool consumes (paper §2.2),
+/// measured from a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Dataset capacity (the traced volume size).
+    pub capacity: Gigabytes,
+    /// Average (non-unique) update rate: bytes written / duration.
+    pub avg_update: MegabytesPerSec,
+    /// Peak (non-unique) update rate: the largest 1-minute write window.
+    pub peak_update: MegabytesPerSec,
+    /// Average access rate (reads + writes).
+    pub avg_access: MegabytesPerSec,
+    /// Unique update rate: distinct blocks dirtied / duration — what a
+    /// periodic copy actually has to move.
+    pub unique_update: MegabytesPerSec,
+}
+
+impl TraceStats {
+    /// Measures a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace duration is zero.
+    #[must_use]
+    pub fn analyze(trace: &Trace) -> Self {
+        assert!(trace.duration.as_secs() > 0.0, "trace duration must be positive");
+        let secs = trace.duration.as_secs();
+
+        let mut written_mb = 0.0;
+        let mut accessed_mb = 0.0;
+        let mut dirty: HashSet<u64> = HashSet::new();
+
+        // Peak over 60-second windows.
+        let window = 60.0;
+        let windows = (secs / window).ceil().max(1.0) as usize;
+        let mut per_window_mb = vec![0.0f64; windows];
+
+        for e in &trace.events {
+            let mb = e.megabytes();
+            accessed_mb += mb;
+            if e.kind == IoKind::Write {
+                written_mb += mb;
+                for b in e.block..e.block + u64::from(e.blocks) {
+                    dirty.insert(b);
+                }
+                let w = ((e.at.as_secs() / window) as usize).min(windows - 1);
+                per_window_mb[w] += mb;
+            }
+        }
+
+        let peak_window_mb = per_window_mb.iter().copied().fold(0.0, f64::max);
+        let avg_update = MegabytesPerSec::new(written_mb / secs);
+        // The peak cannot be below the average by construction of maxima,
+        // but guard against degenerate traces shorter than one window.
+        let peak_update =
+            MegabytesPerSec::new(peak_window_mb / window.min(secs)).max(avg_update);
+
+        TraceStats {
+            capacity: trace.volume,
+            avg_update,
+            peak_update,
+            avg_access: MegabytesPerSec::new(accessed_mb / secs),
+            unique_update: MegabytesPerSec::new(
+                dirty.len() as f64 * crate::generate::BLOCK_MB / secs,
+            ),
+        }
+    }
+
+    /// The unique fraction: unique / average update rate, clamped to
+    /// `(0, 1]` (a trace that rewrites nothing has fraction 1).
+    #[must_use]
+    pub fn unique_fraction(&self) -> f64 {
+        if self.avg_update.is_zero() {
+            return 1.0;
+        }
+        (self.unique_update / self.avg_update).clamp(1e-6, 1.0)
+    }
+
+    /// Builds a solver-ready workload profile from the measurements plus
+    /// the business requirements (which no trace can tell you).
+    #[must_use]
+    pub fn to_profile(
+        &self,
+        name: impl Into<String>,
+        code: char,
+        penalties: PenaltyRates,
+    ) -> WorkloadProfile {
+        WorkloadProfile::new(
+            name,
+            code,
+            penalties,
+            self.capacity,
+            self.avg_update,
+            self.peak_update,
+            self.avg_access,
+            self.unique_fraction(),
+        )
+    }
+
+    /// Measures only a time slice of the trace (for stationarity checks).
+    #[must_use]
+    pub fn analyze_window(trace: &Trace, from: TimeSpan, to: TimeSpan) -> Self {
+        let events: Vec<IoEvent> = trace
+            .events
+            .iter()
+            .filter(|e| e.at >= from && e.at < to)
+            .map(|e| IoEvent { at: e.at - from, ..*e })
+            .collect();
+        let slice = Trace { duration: to - from, volume: trace.volume, events };
+        TraceStats::analyze(&slice)
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: update {} avg / {} peak / {} unique, access {}",
+            self.capacity, self.avg_update, self.peak_update, self.unique_update, self.avg_access
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{TraceConfig, TraceGenerator};
+    use dsd_units::DollarsPerHour;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn config() -> TraceConfig {
+        TraceConfig {
+            duration: TimeSpan::from_hours(2.0),
+            volume: Gigabytes::new(200.0),
+            mean_update: MegabytesPerSec::new(2.0),
+            read_ratio: 3.0,
+            peak_to_mean: 2.0,
+            working_set_fraction: 0.2,
+            mean_io_blocks: 4,
+        }
+    }
+
+    fn trace() -> Trace {
+        TraceGenerator::new(config()).generate(&mut ChaCha8Rng::seed_from_u64(11))
+    }
+
+    #[test]
+    fn stats_recover_generator_parameters() {
+        let stats = TraceStats::analyze(&trace());
+        assert!((stats.avg_update.as_f64() - 2.0).abs() < 0.5, "{stats}");
+        // Access = (1 + read_ratio) x update.
+        let access_ratio = stats.avg_access / stats.avg_update;
+        assert!((access_ratio - 4.0).abs() < 0.8, "access ratio {access_ratio}");
+        // Diurnal peak visible.
+        assert!(stats.peak_update.as_f64() > stats.avg_update.as_f64() * 1.3);
+        // Rewrites shrink the unique rate below the raw update rate.
+        assert!(stats.unique_update < stats.avg_update);
+        assert!(stats.unique_fraction() < 1.0);
+        assert!(stats.unique_fraction() > 0.0);
+    }
+
+    #[test]
+    fn working_set_bounds_unique_volume() {
+        let stats = TraceStats::analyze(&trace());
+        // Unique bytes cannot exceed the working set (20% of 200 GB).
+        let unique_gb =
+            stats.unique_update.as_f64() * 7200.0 / 1024.0;
+        assert!(unique_gb <= 0.2 * 200.0 + 1.0, "unique {unique_gb} GB");
+    }
+
+    #[test]
+    fn profile_conversion_is_solver_ready() {
+        let stats = TraceStats::analyze(&trace());
+        let profile = stats.to_profile(
+            "traced oltp",
+            'T',
+            PenaltyRates::new(DollarsPerHour::new(1e6), DollarsPerHour::new(1e5)),
+        );
+        assert_eq!(profile.capacity, Gigabytes::new(200.0));
+        assert!(profile.peak_update >= profile.avg_update);
+        assert!(profile.unique_fraction > 0.0 && profile.unique_fraction <= 1.0);
+        assert!((profile.unique_update_rate().as_f64() - stats.unique_update.as_f64()).abs() < 0.2);
+    }
+
+    #[test]
+    fn window_analysis_sees_the_diurnal_shape() {
+        let mut cfg = config();
+        cfg.duration = TimeSpan::from_hours(24.0);
+        cfg.volume = Gigabytes::new(50.0);
+        cfg.mean_update = MegabytesPerSec::new(0.2);
+        let trace = TraceGenerator::new(cfg).generate(&mut ChaCha8Rng::seed_from_u64(12));
+        // The sinusoid peaks at hour 6 and troughs at hour 18.
+        let peak_window = TraceStats::analyze_window(
+            &trace,
+            TimeSpan::from_hours(5.0),
+            TimeSpan::from_hours(7.0),
+        );
+        let trough_window = TraceStats::analyze_window(
+            &trace,
+            TimeSpan::from_hours(17.0),
+            TimeSpan::from_hours(19.0),
+        );
+        assert!(
+            peak_window.avg_update.as_f64() > trough_window.avg_update.as_f64() * 2.0,
+            "peak {} vs trough {}",
+            peak_window.avg_update,
+            trough_window.avg_update
+        );
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_rates() {
+        let empty = Trace {
+            duration: TimeSpan::from_hours(1.0),
+            volume: Gigabytes::new(10.0),
+            events: Vec::new(),
+        };
+        let stats = TraceStats::analyze(&empty);
+        assert!(stats.avg_update.is_zero());
+        assert!(stats.avg_access.is_zero());
+        assert_eq!(stats.unique_fraction(), 1.0);
+    }
+
+    #[test]
+    fn display_mentions_rates() {
+        let stats = TraceStats::analyze(&trace());
+        let text = stats.to_string();
+        assert!(text.contains("update"));
+        assert!(text.contains("access"));
+    }
+}

@@ -1,0 +1,364 @@
+//! Synthetic trace generation.
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use dsd_units::{Gigabytes, MegabytesPerSec, TimeSpan};
+
+/// Block size of trace addressing (1 MB blocks keep day-long traces
+/// tractable while preserving the statistics the design tool consumes).
+pub const BLOCK_MB: f64 = 1.0;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoKind {
+    /// Read access (contributes to the access rate only).
+    Read,
+    /// Write access (contributes to update and access rates).
+    Write,
+}
+
+impl fmt::Display for IoKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoKind::Read => f.write_str("R"),
+            IoKind::Write => f.write_str("W"),
+        }
+    }
+}
+
+/// One I/O in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoEvent {
+    /// Time since trace start.
+    pub at: TimeSpan,
+    /// First block touched.
+    pub block: u64,
+    /// Number of consecutive blocks.
+    pub blocks: u32,
+    /// Read or write.
+    pub kind: IoKind,
+}
+
+impl IoEvent {
+    /// Bytes moved, in megabytes.
+    #[must_use]
+    pub fn megabytes(&self) -> f64 {
+        f64::from(self.blocks) * BLOCK_MB
+    }
+}
+
+/// A block-level I/O trace over a fixed-size volume.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Trace duration.
+    pub duration: TimeSpan,
+    /// Volume size.
+    pub volume: Gigabytes,
+    /// Events in time order.
+    pub events: Vec<IoEvent>,
+}
+
+impl Trace {
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the trace contains no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// First-order workload knobs of the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Trace length.
+    pub duration: TimeSpan,
+    /// Volume size (determines the block address space).
+    pub volume: Gigabytes,
+    /// Target mean write (update) rate.
+    pub mean_update: MegabytesPerSec,
+    /// Reads per write byte: access = (1 + read_ratio) × update.
+    pub read_ratio: f64,
+    /// Diurnal peak-to-mean intensity ratio (≥ 1; 1 = flat).
+    pub peak_to_mean: f64,
+    /// Fraction of the volume that receives writes (the working set);
+    /// writes are skewed 80/20 toward its hot fifth.
+    pub working_set_fraction: f64,
+    /// Mean I/O size in blocks.
+    pub mean_io_blocks: u32,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            duration: TimeSpan::from_hours(24.0),
+            volume: Gigabytes::new(1000.0),
+            mean_update: MegabytesPerSec::new(2.0),
+            read_ratio: 4.0,
+            peak_to_mean: 3.0,
+            working_set_fraction: 0.25,
+            mean_io_blocks: 4,
+        }
+    }
+}
+
+impl TraceConfig {
+    fn validate(&self) {
+        assert!(self.duration.as_secs() > 0.0, "duration must be positive");
+        assert!(self.volume.as_f64() > 0.0, "volume must be positive");
+        assert!(self.read_ratio >= 0.0, "read ratio must be non-negative");
+        assert!(self.peak_to_mean >= 1.0, "peak-to-mean must be at least 1");
+        assert!(
+            self.working_set_fraction > 0.0 && self.working_set_fraction <= 1.0,
+            "working set fraction must be in (0, 1]"
+        );
+        assert!(self.mean_io_blocks >= 1, "I/O size must be at least one block");
+    }
+}
+
+/// Generates synthetic traces with a sinusoidal diurnal intensity and a
+/// skewed write working set.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceGenerator {
+    config: TraceConfig,
+}
+
+impl TraceGenerator {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (non-positive duration or
+    /// volume, peak-to-mean below 1, working set outside `(0, 1]`).
+    #[must_use]
+    pub fn new(config: TraceConfig) -> Self {
+        config.validate();
+        TraceGenerator { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Instantaneous intensity multiplier at time `t`: a raised sinusoid
+    /// with period 24 h whose mean is 1 and whose maximum is
+    /// `peak_to_mean`.
+    #[must_use]
+    pub fn intensity(&self, t: TimeSpan) -> f64 {
+        let amplitude = self.config.peak_to_mean - 1.0;
+        let phase = t.as_secs() / 86_400.0 * std::f64::consts::TAU;
+        // sin is negative half the time; clamp at zero keeps the mean
+        // slightly above 1 for large amplitudes, which the analyzer
+        // tolerates (it measures, it doesn't trust the config).
+        (1.0 + amplitude * phase.sin()).max(0.05)
+    }
+
+    /// Generates one trace. Deterministic for a given RNG state.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Trace {
+        let c = &self.config;
+        let total_blocks = (c.volume.as_megabytes() / BLOCK_MB).max(1.0) as u64;
+        let ws_blocks = ((total_blocks as f64) * c.working_set_fraction).max(1.0) as u64;
+        let hot_blocks = (ws_blocks / 5).max(1);
+
+        // Time-sliced generation: 60 s slots, Poisson event counts per
+        // slot at the diurnally modulated rate.
+        let slot = 60.0_f64;
+        let slots = (c.duration.as_secs() / slot).ceil() as usize;
+        let mean_event_mb = f64::from(c.mean_io_blocks) * BLOCK_MB;
+        let mut events = Vec::new();
+
+        for s in 0..slots {
+            let t0 = s as f64 * slot;
+            let intensity = self.intensity(TimeSpan::from_secs(t0));
+            let write_mb_this_slot = c.mean_update.as_f64() * slot * intensity;
+            let write_events = sample_count(rng, write_mb_this_slot / mean_event_mb);
+            let read_events =
+                sample_count(rng, write_mb_this_slot * c.read_ratio / mean_event_mb);
+
+            for _ in 0..write_events {
+                let at = TimeSpan::from_secs(t0 + rng.gen_range(0.0..slot));
+                // 80% of writes land in the hot fifth of the working set.
+                let block = if rng.gen_bool(0.8) {
+                    rng.gen_range(0..hot_blocks)
+                } else {
+                    rng.gen_range(0..ws_blocks)
+                };
+                events.push(IoEvent {
+                    at,
+                    block,
+                    blocks: sample_size(rng, c.mean_io_blocks),
+                    kind: IoKind::Write,
+                });
+            }
+            for _ in 0..read_events {
+                let at = TimeSpan::from_secs(t0 + rng.gen_range(0.0..slot));
+                events.push(IoEvent {
+                    at,
+                    block: rng.gen_range(0..total_blocks),
+                    blocks: sample_size(rng, c.mean_io_blocks),
+                    kind: IoKind::Read,
+                });
+            }
+        }
+        events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
+        Trace { duration: c.duration, volume: c.volume, events }
+    }
+}
+
+/// Poisson-ish count with the right mean (normal approximation above 30).
+fn sample_count<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        // Knuth's method.
+        let l = (-mean).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen_range(0.0..1.0f64);
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                return k;
+            }
+        }
+    }
+    let std = mean.sqrt();
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let v: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u.max(1e-12).ln()).sqrt() * (std::f64::consts::TAU * v).cos();
+    (mean + std * z).round().max(0.0) as usize
+}
+
+/// Geometric-ish I/O size with the requested mean, at least one block.
+fn sample_size<R: Rng + ?Sized>(rng: &mut R, mean_blocks: u32) -> u32 {
+    if mean_blocks <= 1 {
+        return 1;
+    }
+    let p = 1.0 / f64::from(mean_blocks);
+    let u: f64 = rng.gen_range(0.0..1.0f64);
+    let size = (u.max(1e-12).ln() / (1.0 - p).ln()).ceil();
+    (size.max(1.0) as u32).min(mean_blocks * 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn short_config() -> TraceConfig {
+        TraceConfig {
+            duration: TimeSpan::from_hours(1.0),
+            volume: Gigabytes::new(100.0),
+            mean_update: MegabytesPerSec::new(1.0),
+            read_ratio: 2.0,
+            peak_to_mean: 1.0,
+            working_set_fraction: 0.5,
+            mean_io_blocks: 4,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = TraceGenerator::new(short_config());
+        let a = g.generate(&mut ChaCha8Rng::seed_from_u64(1));
+        let b = g.generate(&mut ChaCha8Rng::seed_from_u64(1));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn flat_trace_hits_target_write_rate() {
+        let g = TraceGenerator::new(short_config());
+        let trace = g.generate(&mut ChaCha8Rng::seed_from_u64(2));
+        let written_mb: f64 = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == IoKind::Write)
+            .map(IoEvent::megabytes)
+            .sum();
+        let rate = written_mb / trace.duration.as_secs();
+        assert!((rate - 1.0).abs() < 0.2, "measured {rate} MB/s vs target 1.0");
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_in_range() {
+        let g = TraceGenerator::new(short_config());
+        let trace = g.generate(&mut ChaCha8Rng::seed_from_u64(3));
+        let total_blocks = (trace.volume.as_megabytes() / BLOCK_MB) as u64;
+        for pair in trace.events.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        for e in &trace.events {
+            assert!(e.at <= trace.duration);
+            assert!(e.block < total_blocks);
+            assert!(e.blocks >= 1);
+        }
+    }
+
+    #[test]
+    fn writes_stay_inside_the_working_set() {
+        let config = TraceConfig { working_set_fraction: 0.1, ..short_config() };
+        let g = TraceGenerator::new(config);
+        let trace = g.generate(&mut ChaCha8Rng::seed_from_u64(4));
+        let ws_blocks = ((trace.volume.as_megabytes() / BLOCK_MB) * 0.1) as u64;
+        for e in trace.events.iter().filter(|e| e.kind == IoKind::Write) {
+            assert!(e.block < ws_blocks, "write at {} beyond working set", e.block);
+        }
+    }
+
+    #[test]
+    fn intensity_has_requested_peak() {
+        let config = TraceConfig { peak_to_mean: 3.0, ..short_config() };
+        let g = TraceGenerator::new(config);
+        let peak = (0..1440)
+            .map(|m| g.intensity(TimeSpan::from_mins(f64::from(m))))
+            .fold(0.0f64, f64::max);
+        assert!((peak - 3.0).abs() < 0.01);
+        let flat = TraceGenerator::new(short_config());
+        assert_eq!(flat.intensity(TimeSpan::from_hours(6.0)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "peak-to-mean")]
+    fn sub_unit_peak_rejected() {
+        let _ = TraceGenerator::new(TraceConfig { peak_to_mean: 0.5, ..short_config() });
+    }
+
+    #[test]
+    fn sample_count_matches_mean_roughly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for mean in [0.5, 5.0, 80.0] {
+            let n = 2000;
+            let total: usize = (0..n).map(|_| sample_count(&mut rng, mean)).sum();
+            let measured = total as f64 / n as f64;
+            assert!(
+                (measured - mean).abs() < mean.max(1.0) * 0.15,
+                "mean {mean}: measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_size_is_positive_with_roughly_right_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let n = 4000;
+        let total: u32 = (0..n).map(|_| sample_size(&mut rng, 4)).sum();
+        let mean = f64::from(total) / f64::from(n);
+        assert!((mean - 4.0).abs() < 1.0, "measured mean {mean}");
+        assert_eq!(sample_size(&mut rng, 1), 1);
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! Synthetic block-I/O traces and workload characterization.
+//!
+//! The paper's workload characteristics (Table 1) are "based on scaled
+//! versions of the cello2002 workload" — an HP Labs internal trace that
+//! is not publicly available. Per the reproduction's substitution policy
+//! (DESIGN.md §3), this crate provides the equivalent capability:
+//!
+//! * [`TraceGenerator`] synthesizes block-level I/O traces with the
+//!   first-order properties that matter to the design tool — a mean
+//!   update rate, a diurnal peak-to-mean ratio, a working-set size
+//!   (which determines the *unique* update rate periodic copies see),
+//!   and a read/write mix;
+//! * [`TraceStats`] extracts exactly the Table 1 parameters from any
+//!   trace (synthetic or otherwise): average and peak (non-unique)
+//!   update rates, average access rate, and the unique update fraction;
+//! * [`TraceStats::to_profile`] turns those measurements into a
+//!   [`dsd_workload::WorkloadProfile`] ready for the solver.
+//!
+//! # Examples
+//!
+//! ```
+//! use dsd_trace::{TraceConfig, TraceGenerator, TraceStats};
+//! use dsd_units::{Gigabytes, MegabytesPerSec, TimeSpan};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let config = TraceConfig {
+//!     duration: TimeSpan::from_hours(2.0),
+//!     volume: Gigabytes::new(500.0),
+//!     mean_update: MegabytesPerSec::new(2.0),
+//!     peak_to_mean: 1.0, // flat: a 2 h window of a diurnal day is biased
+//!     ..TraceConfig::default()
+//! };
+//! let mut rng = ChaCha8Rng::seed_from_u64(7);
+//! let trace = TraceGenerator::new(config).generate(&mut rng);
+//! let stats = TraceStats::analyze(&trace);
+//! assert!((stats.avg_update.as_f64() - 2.0).abs() < 0.5);
+//! assert!(stats.peak_update >= stats.avg_update);
+//! ```
+
+mod analyze;
+mod generate;
+mod io;
+
+pub use analyze::TraceStats;
+pub use generate::{IoEvent, IoKind, Trace, TraceConfig, TraceGenerator};
+pub use io::{from_csv, to_csv, ParseTraceError};

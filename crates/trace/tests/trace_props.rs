@@ -1,0 +1,96 @@
+//! Property tests on trace generation and analysis.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use dsd_trace::{from_csv, to_csv, TraceConfig, TraceGenerator, TraceStats};
+use dsd_units::{Gigabytes, MegabytesPerSec, TimeSpan};
+
+fn config_strategy() -> impl Strategy<Value = (TraceConfig, u64)> {
+    (
+        0.2..2.0f64,    // duration hours
+        10.0..500.0f64, // volume GB
+        0.1..4.0f64,    // mean update MB/s
+        0.0..8.0f64,    // read ratio
+        1.0..4.0f64,    // peak to mean
+        0.05..1.0f64,   // working set fraction
+        1u32..8,        // mean io blocks
+        any::<u64>(),   // seed
+    )
+        .prop_map(|(h, gb, upd, rr, pm, ws, io, seed)| {
+            (
+                TraceConfig {
+                    duration: TimeSpan::from_hours(h),
+                    volume: Gigabytes::new(gb),
+                    mean_update: MegabytesPerSec::new(upd),
+                    read_ratio: rr,
+                    peak_to_mean: pm,
+                    working_set_fraction: ws,
+                    mean_io_blocks: io,
+                },
+                seed,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn analyzer_invariants_hold_for_any_generated_trace((config, seed) in config_strategy()) {
+        let trace =
+            TraceGenerator::new(config).generate(&mut ChaCha8Rng::seed_from_u64(seed));
+        let stats = TraceStats::analyze(&trace);
+
+        // Peak is a windowed max of the same stream the average is
+        // computed from.
+        prop_assert!(stats.peak_update >= stats.avg_update);
+        // Distinct dirtied bytes cannot exceed written bytes.
+        prop_assert!(stats.unique_update.as_f64() <= stats.avg_update.as_f64() + 1e-9);
+        // Access includes the writes.
+        prop_assert!(stats.avg_access.as_f64() >= stats.avg_update.as_f64() - 1e-9);
+        // Unique volume is bounded by the working set.
+        let unique_gb =
+            stats.unique_update.as_f64() * trace.duration.as_secs() / 1024.0;
+        let ws_gb = config.volume.as_f64() * config.working_set_fraction;
+        prop_assert!(unique_gb <= ws_gb + 1.0, "unique {unique_gb} vs ws {ws_gb}");
+        // Fraction stays in (0, 1].
+        let f = stats.unique_fraction();
+        prop_assert!(f > 0.0 && f <= 1.0);
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_measured_statistics((config, seed) in config_strategy()) {
+        let trace =
+            TraceGenerator::new(config).generate(&mut ChaCha8Rng::seed_from_u64(seed));
+        let parsed = from_csv(&to_csv(&trace)).expect("own output parses");
+        let a = TraceStats::analyze(&trace);
+        let b = TraceStats::analyze(&parsed);
+        prop_assert!((a.avg_update.as_f64() - b.avg_update.as_f64()).abs() < 1e-6);
+        prop_assert!((a.avg_access.as_f64() - b.avg_access.as_f64()).abs() < 1e-6);
+        prop_assert!((a.unique_update.as_f64() - b.unique_update.as_f64()).abs() < 1e-6);
+        // Peak uses 60 s windows over times rounded to 1 ms in the CSV;
+        // allow a window's worth of slack.
+        prop_assert!((a.peak_update.as_f64() - b.peak_update.as_f64()).abs()
+            < a.peak_update.as_f64() * 0.05 + 0.2);
+    }
+
+    #[test]
+    fn profile_derived_from_any_trace_is_solver_legal((config, seed) in config_strategy()) {
+        use dsd_units::DollarsPerHour;
+        use dsd_workload::PenaltyRates;
+        let trace =
+            TraceGenerator::new(config).generate(&mut ChaCha8Rng::seed_from_u64(seed));
+        prop_assume!(!trace.is_empty());
+        let stats = TraceStats::analyze(&trace);
+        let profile = stats.to_profile(
+            "generated",
+            'G',
+            PenaltyRates::new(DollarsPerHour::new(1e5), DollarsPerHour::new(1e4)),
+        );
+        // WorkloadProfile::new validates peak >= avg and fraction in (0,1];
+        // reaching here without a panic is the property.
+        prop_assert!(profile.capacity.as_f64() > 0.0);
+    }
+}

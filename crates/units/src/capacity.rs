@@ -1,0 +1,460 @@
+//! Storage capacity and transfer-rate quantities.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::TimeSpan;
+
+/// A storage capacity in gigabytes (2³⁰ bytes for transfer-time purposes;
+/// the paper's tables mix decimal and binary loosely, we consistently use
+/// 1 GB = 1024 MB when dividing by a [`MegabytesPerSec`] rate).
+///
+/// # Examples
+///
+/// ```
+/// use dsd_units::Gigabytes;
+/// let a = Gigabytes::new(100.0);
+/// let b = Gigabytes::new(43.0);
+/// assert_eq!((a + b).as_f64(), 143.0);
+/// assert!(a > b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Gigabytes(f64);
+
+impl Gigabytes {
+    /// The zero capacity.
+    pub const ZERO: Gigabytes = Gigabytes(0.0);
+
+    /// Creates a capacity from a raw gigabyte count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gb` is negative or not finite.
+    #[must_use]
+    pub fn new(gb: f64) -> Self {
+        assert!(gb.is_finite() && gb >= 0.0, "capacity must be finite and non-negative: {gb}");
+        Gigabytes(gb)
+    }
+
+    /// Returns the raw gigabyte count.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the capacity in megabytes (1 GB = 1024 MB).
+    #[must_use]
+    pub fn as_megabytes(self) -> f64 {
+        self.0 * 1024.0
+    }
+
+    /// Returns true if this capacity is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Returns the larger of two capacities.
+    #[must_use]
+    pub fn max(self, other: Gigabytes) -> Gigabytes {
+        Gigabytes(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two capacities.
+    #[must_use]
+    pub fn min(self, other: Gigabytes) -> Gigabytes {
+        Gigabytes(self.0.min(other.0))
+    }
+
+    /// Number of whole allocation units of size `unit` needed to hold this
+    /// capacity (i.e. `ceil(self / unit)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is zero.
+    #[must_use]
+    pub fn units_of(self, unit: Gigabytes) -> u32 {
+        assert!(unit.0 > 0.0, "allocation unit must be positive");
+        (self.0 / unit.0).ceil() as u32
+    }
+}
+
+impl fmt::Display for Gigabytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} GB", self.0)
+    }
+}
+
+impl Add for Gigabytes {
+    type Output = Gigabytes;
+    fn add(self, rhs: Gigabytes) -> Gigabytes {
+        Gigabytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Gigabytes {
+    fn add_assign(&mut self, rhs: Gigabytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Gigabytes {
+    type Output = Gigabytes;
+    /// Saturating at zero: capacities cannot go negative. Residues below
+    /// one byte's worth of gigabytes (1e-9 GB) snap to exactly zero so
+    /// that releasing everything that was allocated frees the last
+    /// allocation unit despite floating-point rounding.
+    fn sub(self, rhs: Gigabytes) -> Gigabytes {
+        let r = self.0 - rhs.0;
+        Gigabytes(if r < 1e-9 { 0.0 } else { r })
+    }
+}
+
+impl SubAssign for Gigabytes {
+    fn sub_assign(&mut self, rhs: Gigabytes) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Gigabytes {
+    type Output = Gigabytes;
+    fn mul(self, rhs: f64) -> Gigabytes {
+        Gigabytes::new(self.0 * rhs)
+    }
+}
+
+impl Mul<Gigabytes> for f64 {
+    type Output = Gigabytes;
+    fn mul(self, rhs: Gigabytes) -> Gigabytes {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Gigabytes {
+    type Output = Gigabytes;
+    fn div(self, rhs: f64) -> Gigabytes {
+        Gigabytes::new(self.0 / rhs)
+    }
+}
+
+impl Div for Gigabytes {
+    type Output = f64;
+    fn div(self, rhs: Gigabytes) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Div<MegabytesPerSec> for Gigabytes {
+    type Output = TimeSpan;
+    /// Transfer time for this much data at the given rate.
+    fn div(self, rhs: MegabytesPerSec) -> TimeSpan {
+        if rhs.0 <= 0.0 {
+            return TimeSpan::INFINITE;
+        }
+        TimeSpan::from_secs(self.as_megabytes() / rhs.0)
+    }
+}
+
+impl Sum for Gigabytes {
+    fn sum<I: Iterator<Item = Gigabytes>>(iter: I) -> Gigabytes {
+        iter.fold(Gigabytes::ZERO, Add::add)
+    }
+}
+
+/// A data transfer rate in megabytes per second.
+///
+/// # Examples
+///
+/// ```
+/// use dsd_units::{Gigabytes, MegabytesPerSec, TimeSpan};
+/// let rate = MegabytesPerSec::new(25.0) * 4.0; // four disks
+/// assert_eq!(rate.as_f64(), 100.0);
+/// // Data written over a span of time:
+/// let written = rate * TimeSpan::from_secs(10.24);
+/// assert_eq!(written.as_f64(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct MegabytesPerSec(f64);
+
+impl MegabytesPerSec {
+    /// The zero rate.
+    pub const ZERO: MegabytesPerSec = MegabytesPerSec(0.0);
+
+    /// Creates a rate from a raw MB/s value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbps` is negative or not finite.
+    #[must_use]
+    pub fn new(mbps: f64) -> Self {
+        assert!(
+            mbps.is_finite() && mbps >= 0.0,
+            "bandwidth must be finite and non-negative: {mbps}"
+        );
+        MegabytesPerSec(mbps)
+    }
+
+    /// Returns the raw MB/s value.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Returns true if the rate is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Returns the larger of two rates.
+    #[must_use]
+    pub fn max(self, other: MegabytesPerSec) -> MegabytesPerSec {
+        MegabytesPerSec(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two rates (e.g. the bottleneck of a path).
+    #[must_use]
+    pub fn min(self, other: MegabytesPerSec) -> MegabytesPerSec {
+        MegabytesPerSec(self.0.min(other.0))
+    }
+
+    /// Number of whole bandwidth units of size `unit` needed to sustain this
+    /// rate (i.e. `ceil(self / unit)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is zero.
+    #[must_use]
+    pub fn units_of(self, unit: MegabytesPerSec) -> u32 {
+        assert!(unit.0 > 0.0, "bandwidth unit must be positive");
+        (self.0 / unit.0).ceil() as u32
+    }
+}
+
+impl fmt::Display for MegabytesPerSec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} MB/s", self.0)
+    }
+}
+
+impl Add for MegabytesPerSec {
+    type Output = MegabytesPerSec;
+    fn add(self, rhs: MegabytesPerSec) -> MegabytesPerSec {
+        MegabytesPerSec(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for MegabytesPerSec {
+    fn add_assign(&mut self, rhs: MegabytesPerSec) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for MegabytesPerSec {
+    type Output = MegabytesPerSec;
+    /// Saturating at zero: spare bandwidth cannot go negative. Residues
+    /// below 1e-9 MB/s snap to exactly zero so that releasing everything
+    /// that was allocated frees the last bandwidth unit despite
+    /// floating-point rounding.
+    fn sub(self, rhs: MegabytesPerSec) -> MegabytesPerSec {
+        let r = self.0 - rhs.0;
+        MegabytesPerSec(if r < 1e-9 { 0.0 } else { r })
+    }
+}
+
+impl SubAssign for MegabytesPerSec {
+    fn sub_assign(&mut self, rhs: MegabytesPerSec) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for MegabytesPerSec {
+    type Output = MegabytesPerSec;
+    fn mul(self, rhs: f64) -> MegabytesPerSec {
+        MegabytesPerSec::new(self.0 * rhs)
+    }
+}
+
+impl Mul<MegabytesPerSec> for f64 {
+    type Output = MegabytesPerSec;
+    fn mul(self, rhs: MegabytesPerSec) -> MegabytesPerSec {
+        rhs * self
+    }
+}
+
+impl Mul<TimeSpan> for MegabytesPerSec {
+    type Output = Gigabytes;
+    /// Amount of data transferred at this rate over the given span.
+    fn mul(self, rhs: TimeSpan) -> Gigabytes {
+        if rhs.is_infinite() {
+            panic!("cannot accumulate data over an infinite time span");
+        }
+        Gigabytes::new(self.0 * rhs.as_secs() / 1024.0)
+    }
+}
+
+impl Div<f64> for MegabytesPerSec {
+    type Output = MegabytesPerSec;
+    fn div(self, rhs: f64) -> MegabytesPerSec {
+        MegabytesPerSec::new(self.0 / rhs)
+    }
+}
+
+impl Div for MegabytesPerSec {
+    type Output = f64;
+    fn div(self, rhs: MegabytesPerSec) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for MegabytesPerSec {
+    fn sum<I: Iterator<Item = MegabytesPerSec>>(iter: I) -> MegabytesPerSec {
+        iter.fold(MegabytesPerSec::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn capacity_basic_arithmetic() {
+        let a = Gigabytes::new(10.0);
+        let b = Gigabytes::new(4.0);
+        assert_eq!((a + b).as_f64(), 14.0);
+        assert_eq!((a - b).as_f64(), 6.0);
+        assert_eq!((b - a).as_f64(), 0.0, "subtraction saturates at zero");
+        assert_eq!((a * 2.0).as_f64(), 20.0);
+        assert_eq!((a / 2.0).as_f64(), 5.0);
+        assert_eq!(a / b, 2.5);
+    }
+
+    #[test]
+    fn capacity_units_of_rounds_up() {
+        let disk = Gigabytes::new(143.0);
+        assert_eq!(Gigabytes::new(0.0).units_of(disk), 0);
+        assert_eq!(Gigabytes::new(1.0).units_of(disk), 1);
+        assert_eq!(Gigabytes::new(143.0).units_of(disk), 1);
+        assert_eq!(Gigabytes::new(143.1).units_of(disk), 2);
+        assert_eq!(Gigabytes::new(1300.0).units_of(disk), 10);
+    }
+
+    #[test]
+    fn bandwidth_units_of_rounds_up() {
+        let link = MegabytesPerSec::new(20.0);
+        assert_eq!(MegabytesPerSec::new(0.0).units_of(link), 0);
+        assert_eq!(MegabytesPerSec::new(20.0).units_of(link), 1);
+        assert_eq!(MegabytesPerSec::new(20.5).units_of(link), 2);
+    }
+
+    #[test]
+    fn transfer_time_is_capacity_over_rate() {
+        let t = Gigabytes::new(1.0) / MegabytesPerSec::new(1024.0);
+        assert!((t.as_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_at_zero_rate_takes_forever() {
+        let t = Gigabytes::new(1.0) / MegabytesPerSec::ZERO;
+        assert!(t.is_infinite());
+    }
+
+    #[test]
+    fn rate_times_span_roundtrips_capacity() {
+        let cap = Gigabytes::new(50.0);
+        let rate = MegabytesPerSec::new(10.0);
+        let span = cap / rate;
+        let back = rate * span;
+        assert!((back.as_f64() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_pick_correct_operand() {
+        let a = MegabytesPerSec::new(5.0);
+        let b = MegabytesPerSec::new(7.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        let c = Gigabytes::new(5.0);
+        let d = Gigabytes::new(7.0);
+        assert_eq!(c.min(d), c);
+        assert_eq!(c.max(d), d);
+    }
+
+    #[test]
+    fn subtraction_snaps_rounding_residue_to_zero() {
+        // 79.70248808848375 - 46.00103323524029 - 33.70145485324346 is a
+        // ~1e-14 float residue; it must come out exactly zero or a whole
+        // phantom allocation unit survives release.
+        let total = MegabytesPerSec::new(46.00103323524029)
+            + MegabytesPerSec::new(33.70145485324346);
+        let rest = total - MegabytesPerSec::new(46.00103323524029)
+            - MegabytesPerSec::new(33.70145485324346);
+        assert!(rest.is_zero(), "residue {rest} must snap to zero");
+        let cap = (Gigabytes::new(0.1) + Gigabytes::new(0.2)) - Gigabytes::new(0.3);
+        assert!(cap.is_zero());
+    }
+
+    #[test]
+    fn sums_accumulate() {
+        let total: Gigabytes = [1.0, 2.0, 3.0].iter().map(|&g| Gigabytes::new(g)).sum();
+        assert_eq!(total.as_f64(), 6.0);
+        let bw: MegabytesPerSec = [1.0, 2.0].iter().map(|&g| MegabytesPerSec::new(g)).sum();
+        assert_eq!(bw.as_f64(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_capacity_rejected() {
+        let _ = Gigabytes::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_bandwidth_rejected() {
+        let _ = MegabytesPerSec::new(-0.5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Gigabytes::new(1.25).to_string(), "1.2 GB");
+        assert_eq!(MegabytesPerSec::new(20.0).to_string(), "20.0 MB/s");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_capacity_addition_commutes(a in 0.0..1e9f64, b in 0.0..1e9f64) {
+            let x = Gigabytes::new(a) + Gigabytes::new(b);
+            let y = Gigabytes::new(b) + Gigabytes::new(a);
+            prop_assert!((x.as_f64() - y.as_f64()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_units_of_covers_capacity(cap in 0.0..1e7f64, unit in 0.1..1e4f64) {
+            let n = Gigabytes::new(cap).units_of(Gigabytes::new(unit));
+            prop_assert!(f64::from(n) * unit >= cap - 1e-9);
+            if n > 0 {
+                prop_assert!((f64::from(n) - 1.0) * unit < cap + 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_transfer_time_monotone_in_rate(cap in 0.1..1e6f64, r1 in 0.1..1e4f64, r2 in 0.1..1e4f64) {
+            let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+            let slow = Gigabytes::new(cap) / MegabytesPerSec::new(lo);
+            let fast = Gigabytes::new(cap) / MegabytesPerSec::new(hi);
+            prop_assert!(fast <= slow);
+        }
+
+        #[test]
+        fn prop_saturating_sub_never_negative(a in 0.0..1e9f64, b in 0.0..1e9f64) {
+            prop_assert!((Gigabytes::new(a) - Gigabytes::new(b)).as_f64() >= 0.0);
+            prop_assert!((MegabytesPerSec::new(a) - MegabytesPerSec::new(b)).as_f64() >= 0.0);
+        }
+    }
+}

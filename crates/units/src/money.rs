@@ -1,0 +1,329 @@
+//! Monetary quantities: absolute dollars and hourly penalty rates.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{TimeSpan, AMORTIZATION_YEARS};
+
+/// An amount of money in US dollars.
+///
+/// Used for device outlays, facility costs and computed penalties. Amounts
+/// may be summed, scaled, and amortized to annual figures; like the other
+/// quantities in this crate they are non-negative (the design problem has no
+/// notion of revenue).
+///
+/// # Examples
+///
+/// ```
+/// use dsd_units::Dollars;
+/// let array = Dollars::new(375_000.0) + Dollars::new(8_723.0) * 10.0;
+/// assert_eq!(array.as_f64(), 462_230.0);
+/// // Annual amortized share over the 3-year device lifetime:
+/// assert!((array.amortized_annual().as_f64() - 154_076.66).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Dollars(f64);
+
+impl Dollars {
+    /// Zero dollars.
+    pub const ZERO: Dollars = Dollars(0.0);
+
+    /// An unbounded cost, used to price infeasible or never-completing
+    /// designs out of consideration.
+    pub const INFINITE: Dollars = Dollars(f64::INFINITY);
+
+    /// Creates an amount from a raw dollar figure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `usd` is negative or NaN.
+    #[must_use]
+    pub fn new(usd: f64) -> Self {
+        assert!(!usd.is_nan() && usd >= 0.0, "money must be non-negative: {usd}");
+        Dollars(usd)
+    }
+
+    /// Returns the raw dollar figure.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// True if the amount is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// True if the amount is finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Annual share of a purchase price amortized over the device lifetime
+    /// ([`AMORTIZATION_YEARS`], three years per the paper §2.5).
+    #[must_use]
+    pub fn amortized_annual(self) -> Dollars {
+        Dollars(self.0 / AMORTIZATION_YEARS)
+    }
+
+    /// Returns the smaller of two amounts.
+    #[must_use]
+    pub fn min(self, other: Dollars) -> Dollars {
+        Dollars(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two amounts.
+    #[must_use]
+    pub fn max(self, other: Dollars) -> Dollars {
+        Dollars(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Dollars {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_infinite() {
+            write!(f, "$∞")
+        } else if self.0 >= 1e6 {
+            write!(f, "${:.3}M", self.0 / 1e6)
+        } else if self.0 >= 1e3 {
+            write!(f, "${:.1}K", self.0 / 1e3)
+        } else {
+            write!(f, "${:.2}", self.0)
+        }
+    }
+}
+
+impl Add for Dollars {
+    type Output = Dollars;
+    fn add(self, rhs: Dollars) -> Dollars {
+        Dollars(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dollars {
+    fn add_assign(&mut self, rhs: Dollars) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dollars {
+    type Output = Dollars;
+    /// Saturating at zero. `∞ - ∞` is defined as zero.
+    fn sub(self, rhs: Dollars) -> Dollars {
+        if self.0.is_infinite() && rhs.0.is_infinite() {
+            return Dollars::ZERO;
+        }
+        Dollars((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Dollars {
+    type Output = Dollars;
+    fn mul(self, rhs: f64) -> Dollars {
+        assert!(rhs >= 0.0, "cannot scale money by a negative factor");
+        Dollars(self.0 * rhs)
+    }
+}
+
+impl Mul<Dollars> for f64 {
+    type Output = Dollars;
+    fn mul(self, rhs: Dollars) -> Dollars {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Dollars {
+    type Output = Dollars;
+    fn div(self, rhs: f64) -> Dollars {
+        assert!(rhs > 0.0, "cannot divide money by a non-positive factor");
+        Dollars(self.0 / rhs)
+    }
+}
+
+impl Div for Dollars {
+    type Output = f64;
+    fn div(self, rhs: Dollars) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Dollars {
+    fn sum<I: Iterator<Item = Dollars>>(iter: I) -> Dollars {
+        iter.fold(Dollars::ZERO, Add::add)
+    }
+}
+
+/// A monetary rate in US dollars per hour.
+///
+/// The paper (§2.4) expresses business requirements as two such rates per
+/// application: the *data outage penalty rate* and the *recent data loss
+/// penalty rate*. Multiplying a rate by a [`TimeSpan`] yields the incurred
+/// [`Dollars`].
+///
+/// # Examples
+///
+/// ```
+/// use dsd_units::{DollarsPerHour, TimeSpan};
+/// let rate = DollarsPerHour::new(5_000.0);
+/// let penalty = rate * TimeSpan::from_hours(12.0);
+/// assert_eq!(penalty.as_f64(), 60_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DollarsPerHour(f64);
+
+impl DollarsPerHour {
+    /// Zero rate.
+    pub const ZERO: DollarsPerHour = DollarsPerHour(0.0);
+
+    /// Creates a rate from a raw $/hr figure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or not finite.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "penalty rate must be finite and non-negative: {rate}"
+        );
+        DollarsPerHour(rate)
+    }
+
+    /// Returns the raw $/hr figure.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// True if the rate is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl fmt::Display for DollarsPerHour {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/hr", Dollars(self.0))
+    }
+}
+
+impl Add for DollarsPerHour {
+    type Output = DollarsPerHour;
+    fn add(self, rhs: DollarsPerHour) -> DollarsPerHour {
+        DollarsPerHour(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for DollarsPerHour {
+    fn add_assign(&mut self, rhs: DollarsPerHour) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<TimeSpan> for DollarsPerHour {
+    type Output = Dollars;
+    /// Penalty accrued at this rate over the given span. An infinite span
+    /// with a non-zero rate yields [`Dollars::INFINITE`]; a zero rate
+    /// accrues nothing regardless of the span.
+    fn mul(self, rhs: TimeSpan) -> Dollars {
+        if self.0 == 0.0 {
+            return Dollars::ZERO;
+        }
+        Dollars(self.0 * rhs.as_hours())
+    }
+}
+
+impl Mul<f64> for DollarsPerHour {
+    type Output = DollarsPerHour;
+    fn mul(self, rhs: f64) -> DollarsPerHour {
+        DollarsPerHour::new(self.0 * rhs)
+    }
+}
+
+impl Sum for DollarsPerHour {
+    fn sum<I: Iterator<Item = DollarsPerHour>>(iter: I) -> DollarsPerHour {
+        iter.fold(DollarsPerHour::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn amortization_divides_by_lifetime() {
+        let price = Dollars::new(300_000.0);
+        assert_eq!(price.amortized_annual().as_f64(), 100_000.0);
+    }
+
+    #[test]
+    fn penalty_accrual() {
+        let p = DollarsPerHour::new(5_000_000.0) * TimeSpan::from_mins(30.0);
+        assert_eq!(p.as_f64(), 2_500_000.0);
+    }
+
+    #[test]
+    fn zero_rate_accrues_nothing_even_forever() {
+        let p = DollarsPerHour::ZERO * TimeSpan::INFINITE;
+        assert_eq!(p, Dollars::ZERO);
+    }
+
+    #[test]
+    fn nonzero_rate_over_infinite_span_is_infinite() {
+        let p = DollarsPerHour::new(1.0) * TimeSpan::INFINITE;
+        assert!(!p.is_finite());
+    }
+
+    #[test]
+    fn money_sub_saturates() {
+        assert_eq!(Dollars::new(5.0) - Dollars::new(9.0), Dollars::ZERO);
+        assert_eq!(Dollars::INFINITE - Dollars::INFINITE, Dollars::ZERO);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Dollars::new(5_000_000.0).to_string(), "$5.000M");
+        assert_eq!(Dollars::new(5_000.0).to_string(), "$5.0K");
+        assert_eq!(Dollars::new(12.5).to_string(), "$12.50");
+        assert_eq!(Dollars::INFINITE.to_string(), "$∞");
+        assert_eq!(DollarsPerHour::new(5_000.0).to_string(), "$5.0K/hr");
+    }
+
+    #[test]
+    fn rate_sums() {
+        let total: DollarsPerHour =
+            [5e6, 5e3].iter().map(|&r| DollarsPerHour::new(r)).sum();
+        assert_eq!(total.as_f64(), 5_005_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_money_rejected() {
+        let _ = Dollars::new(-1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_penalty_linear_in_time(rate in 0.0..1e7f64, h in 0.0..1e4f64, k in 1.0..4.0f64) {
+            let r = DollarsPerHour::new(rate);
+            let one = r * TimeSpan::from_hours(h);
+            let scaled = r * TimeSpan::from_hours(h * k);
+            prop_assert!((scaled.as_f64() - one.as_f64() * k).abs() <= 1e-6 * (1.0 + scaled.as_f64()));
+        }
+
+        #[test]
+        fn prop_amortized_is_cheaper(price in 0.0..1e9f64) {
+            let p = Dollars::new(price);
+            prop_assert!(p.amortized_annual() <= p);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Annualized event rates (failure likelihoods).
+
+use std::fmt;
+use std::ops::{Add, Mul};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Dollars;
+
+/// An annualized event rate: expected occurrences per year.
+///
+/// The paper (§2.4–2.5) converts every failure likelihood to an *annual
+/// expected failure likelihood* so that penalties and amortized outlays can
+/// be summed over a common one-year time frame. A failure "once in three
+/// years" is `PerYear::once_every_years(3.0)` = 0.333/yr; "twice a year" is
+/// `PerYear::new(2.0)`.
+///
+/// Multiplying a rate by a per-event [`Dollars`] penalty yields the expected
+/// annual penalty in dollars.
+///
+/// # Examples
+///
+/// ```
+/// use dsd_units::{PerYear, Dollars};
+/// let site_disaster = PerYear::once_every_years(5.0);
+/// let per_event = Dollars::new(1_000_000.0);
+/// assert_eq!((site_disaster * per_event).as_f64(), 200_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct PerYear(f64);
+
+impl PerYear {
+    /// Zero occurrences per year: the event never happens.
+    pub const NEVER: PerYear = PerYear(0.0);
+
+    /// Creates a rate of `events_per_year` expected occurrences per year.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events_per_year` is negative or not finite.
+    #[must_use]
+    pub fn new(events_per_year: f64) -> Self {
+        assert!(
+            events_per_year.is_finite() && events_per_year >= 0.0,
+            "annual rate must be finite and non-negative: {events_per_year}"
+        );
+        PerYear(events_per_year)
+    }
+
+    /// Creates the rate of an event expected once every `years` years.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `years` is not strictly positive.
+    #[must_use]
+    pub fn once_every_years(years: f64) -> Self {
+        assert!(years > 0.0 && years.is_finite(), "interval must be positive: {years}");
+        PerYear(1.0 / years)
+    }
+
+    /// Returns expected occurrences per year.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the mean interval between events in years, or `None` for
+    /// [`PerYear::NEVER`].
+    #[must_use]
+    pub fn mean_interval_years(self) -> Option<f64> {
+        if self.0 == 0.0 {
+            None
+        } else {
+            Some(1.0 / self.0)
+        }
+    }
+
+    /// True if the event never occurs.
+    #[must_use]
+    pub fn is_never(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl fmt::Display for PerYear {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean_interval_years() {
+            None => write!(f, "never"),
+            Some(y) if y >= 1.0 => write!(f, "once per {y:.1} yr"),
+            Some(_) => write!(f, "{:.1}/yr", self.0),
+        }
+    }
+}
+
+impl Add for PerYear {
+    type Output = PerYear;
+    fn add(self, rhs: PerYear) -> PerYear {
+        PerYear(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for PerYear {
+    type Output = PerYear;
+    fn mul(self, rhs: f64) -> PerYear {
+        PerYear::new(self.0 * rhs)
+    }
+}
+
+impl Mul<Dollars> for PerYear {
+    type Output = Dollars;
+    /// Expected annual cost: likelihood-weighted per-event penalty.
+    fn mul(self, rhs: Dollars) -> Dollars {
+        if self.0 == 0.0 {
+            // Never-occurring events cost nothing, even if the per-event
+            // penalty is infinite (an unreachable recovery path).
+            return Dollars::ZERO;
+        }
+        Dollars::new(self.0 * rhs.as_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn once_every_years_inverts() {
+        let r = PerYear::once_every_years(3.0);
+        assert!((r.as_f64() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.mean_interval_years(), Some(3.0));
+    }
+
+    #[test]
+    fn never_weights_everything_to_zero() {
+        assert_eq!(PerYear::NEVER * Dollars::INFINITE, Dollars::ZERO);
+        assert!(PerYear::NEVER.is_never());
+        assert_eq!(PerYear::NEVER.mean_interval_years(), None);
+    }
+
+    #[test]
+    fn weighting_scales_linearly() {
+        let twice_yearly = PerYear::new(2.0);
+        assert_eq!((twice_yearly * Dollars::new(100.0)).as_f64(), 200.0);
+    }
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(PerYear::NEVER.to_string(), "never");
+        assert_eq!(PerYear::once_every_years(5.0).to_string(), "once per 5.0 yr");
+        assert_eq!(PerYear::new(2.0).to_string(), "2.0/yr");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = PerYear::once_every_years(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_weighting_monotone_in_likelihood(
+            r1 in 0.0..10.0f64, r2 in 0.0..10.0f64, cost in 0.0..1e9f64
+        ) {
+            let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+            let c = Dollars::new(cost);
+            prop_assert!(PerYear::new(lo) * c <= PerYear::new(hi) * c);
+        }
+
+        #[test]
+        fn prop_rate_addition_commutes(a in 0.0..10.0f64, b in 0.0..10.0f64) {
+            let x = PerYear::new(a) + PerYear::new(b);
+            let y = PerYear::new(b) + PerYear::new(a);
+            prop_assert!((x.as_f64() - y.as_f64()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Spans of time, with an explicit "infinite" value for unreachable events.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A non-negative span of time.
+///
+/// `TimeSpan` is the common currency for accumulation windows, propagation
+/// windows, recovery times and data-loss times. It supports an explicit
+/// [`TimeSpan::INFINITE`] value, used for transfers over zero bandwidth and
+/// for recovery paths that do not exist; infinite spans propagate through
+/// arithmetic like IEEE infinities.
+///
+/// # Examples
+///
+/// ```
+/// use dsd_units::TimeSpan;
+/// let acc = TimeSpan::from_hours(12.0);
+/// let prop = TimeSpan::from_days(1.0);
+/// assert_eq!((acc + prop).as_hours(), 36.0);
+/// assert!(acc < prop);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TimeSpan(f64);
+
+impl TimeSpan {
+    /// The zero span.
+    pub const ZERO: TimeSpan = TimeSpan(0.0);
+
+    /// An unbounded span: the event never completes.
+    pub const INFINITE: TimeSpan = TimeSpan(f64::INFINITY);
+
+    /// Creates a span from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or NaN.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(!secs.is_nan() && secs >= 0.0, "time span must be non-negative: {secs}");
+        TimeSpan(secs)
+    }
+
+    /// Creates a span from minutes.
+    #[must_use]
+    pub fn from_mins(mins: f64) -> Self {
+        TimeSpan::from_secs(mins * 60.0)
+    }
+
+    /// Creates a span from hours.
+    #[must_use]
+    pub fn from_hours(hours: f64) -> Self {
+        TimeSpan::from_secs(hours * 3600.0)
+    }
+
+    /// Creates a span from days.
+    #[must_use]
+    pub fn from_days(days: f64) -> Self {
+        TimeSpan::from_secs(days * 86_400.0)
+    }
+
+    /// The span in seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The span in minutes.
+    #[must_use]
+    pub fn as_mins(self) -> f64 {
+        self.0 / 60.0
+    }
+
+    /// The span in hours.
+    #[must_use]
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// The span in days.
+    #[must_use]
+    pub fn as_days(self) -> f64 {
+        self.0 / 86_400.0
+    }
+
+    /// True if the span is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// True for [`TimeSpan::INFINITE`].
+    #[must_use]
+    pub fn is_infinite(self) -> bool {
+        self.0.is_infinite()
+    }
+
+    /// True if the span is finite (i.e. the event completes).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Returns the larger of two spans.
+    #[must_use]
+    pub fn max(self, other: TimeSpan) -> TimeSpan {
+        TimeSpan(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two spans.
+    #[must_use]
+    pub fn min(self, other: TimeSpan) -> TimeSpan {
+        TimeSpan(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for TimeSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else if self.0 >= 86_400.0 {
+            write!(f, "{:.2} d", self.as_days())
+        } else if self.0 >= 3600.0 {
+            write!(f, "{:.2} h", self.as_hours())
+        } else if self.0 >= 60.0 {
+            write!(f, "{:.2} min", self.as_mins())
+        } else {
+            write!(f, "{:.2} s", self.0)
+        }
+    }
+}
+
+impl Add for TimeSpan {
+    type Output = TimeSpan;
+    fn add(self, rhs: TimeSpan) -> TimeSpan {
+        TimeSpan(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimeSpan {
+    fn add_assign(&mut self, rhs: TimeSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TimeSpan {
+    type Output = TimeSpan;
+    /// Saturating at zero. `∞ - ∞` is defined as zero.
+    fn sub(self, rhs: TimeSpan) -> TimeSpan {
+        if self.0.is_infinite() && rhs.0.is_infinite() {
+            return TimeSpan::ZERO;
+        }
+        TimeSpan((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for TimeSpan {
+    type Output = TimeSpan;
+    fn mul(self, rhs: f64) -> TimeSpan {
+        assert!(rhs >= 0.0, "cannot scale a time span by a negative factor");
+        TimeSpan(self.0 * rhs)
+    }
+}
+
+impl Mul<TimeSpan> for f64 {
+    type Output = TimeSpan;
+    fn mul(self, rhs: TimeSpan) -> TimeSpan {
+        rhs * self
+    }
+}
+
+impl Div<f64> for TimeSpan {
+    type Output = TimeSpan;
+    fn div(self, rhs: f64) -> TimeSpan {
+        assert!(rhs > 0.0, "cannot divide a time span by a non-positive factor");
+        TimeSpan(self.0 / rhs)
+    }
+}
+
+impl Div for TimeSpan {
+    type Output = f64;
+    fn div(self, rhs: TimeSpan) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for TimeSpan {
+    fn sum<I: Iterator<Item = TimeSpan>>(iter: I) -> TimeSpan {
+        iter.fold(TimeSpan::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = TimeSpan::from_days(2.0);
+        assert_eq!(t.as_hours(), 48.0);
+        assert_eq!(t.as_mins(), 48.0 * 60.0);
+        assert_eq!(t.as_secs(), 172_800.0);
+        assert_eq!(TimeSpan::from_mins(90.0).as_hours(), 1.5);
+        assert_eq!(TimeSpan::from_hours(1.0).as_secs(), 3600.0);
+    }
+
+    #[test]
+    fn infinite_propagates_through_addition() {
+        let t = TimeSpan::INFINITE + TimeSpan::from_hours(1.0);
+        assert!(t.is_infinite());
+        assert!(!t.is_finite());
+    }
+
+    #[test]
+    fn saturating_sub() {
+        let a = TimeSpan::from_hours(1.0);
+        let b = TimeSpan::from_hours(2.0);
+        assert_eq!((a - b), TimeSpan::ZERO);
+        assert_eq!((b - a).as_hours(), 1.0);
+        assert_eq!(TimeSpan::INFINITE - TimeSpan::INFINITE, TimeSpan::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_sensible() {
+        assert!(TimeSpan::from_mins(30.0) < TimeSpan::from_hours(1.0));
+        assert!(TimeSpan::INFINITE > TimeSpan::from_days(10_000.0));
+        assert_eq!(
+            TimeSpan::from_mins(5.0).min(TimeSpan::from_mins(3.0)).as_mins(),
+            3.0
+        );
+        assert_eq!(
+            TimeSpan::from_mins(5.0).max(TimeSpan::from_mins(3.0)).as_mins(),
+            5.0
+        );
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(TimeSpan::from_secs(30.0).to_string(), "30.00 s");
+        assert_eq!(TimeSpan::from_mins(5.0).to_string(), "5.00 min");
+        assert_eq!(TimeSpan::from_hours(3.0).to_string(), "3.00 h");
+        assert_eq!(TimeSpan::from_days(7.0).to_string(), "7.00 d");
+        assert_eq!(TimeSpan::INFINITE.to_string(), "∞");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_span_rejected() {
+        let _ = TimeSpan::from_secs(-1.0);
+    }
+
+    #[test]
+    fn sum_of_spans() {
+        let total: TimeSpan = [1.0, 2.0, 3.0].iter().map(|&h| TimeSpan::from_hours(h)).sum();
+        assert_eq!(total.as_hours(), 6.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_addition_associative(a in 0.0..1e7f64, b in 0.0..1e7f64, c in 0.0..1e7f64) {
+            let x = (TimeSpan::from_secs(a) + TimeSpan::from_secs(b)) + TimeSpan::from_secs(c);
+            let y = TimeSpan::from_secs(a) + (TimeSpan::from_secs(b) + TimeSpan::from_secs(c));
+            prop_assert!((x.as_secs() - y.as_secs()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_scaling_monotone(t in 0.0..1e7f64, k in 1.0..10.0f64) {
+            let base = TimeSpan::from_secs(t);
+            prop_assert!(base * k >= base);
+            prop_assert!(base / k <= base);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Randomized workload generation for stress tests and sensitivity studies.
+//!
+//! The paper evaluates on scaled copies of the Table 1 mix; for broader
+//! testing (property tests, fuzzing the solvers) we also provide a
+//! generator that perturbs the Table 1 profiles within configurable
+//! multiplicative bounds, using a caller-supplied RNG so runs are
+//! reproducible.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use dsd_units::{DollarsPerHour, Gigabytes, MegabytesPerSec};
+
+use crate::profile::{PenaltyRates, WorkloadProfile};
+use crate::set::WorkloadSet;
+
+/// Bounds for the multiplicative perturbation applied by
+/// [`WorkloadGenerator`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Lower bound of the scale factor applied to sizes and rates.
+    pub scale_min: f64,
+    /// Upper bound of the scale factor applied to sizes and rates.
+    pub scale_max: f64,
+    /// Lower bound of the scale factor applied to penalty rates.
+    pub penalty_scale_min: f64,
+    /// Upper bound of the scale factor applied to penalty rates.
+    pub penalty_scale_max: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            scale_min: 0.5,
+            scale_max: 2.0,
+            penalty_scale_min: 0.5,
+            penalty_scale_max: 2.0,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    fn validate(&self) {
+        assert!(
+            self.scale_min > 0.0 && self.scale_min <= self.scale_max,
+            "invalid size scale bounds"
+        );
+        assert!(
+            self.penalty_scale_min > 0.0 && self.penalty_scale_min <= self.penalty_scale_max,
+            "invalid penalty scale bounds"
+        );
+    }
+}
+
+/// Generates randomized variants of the Table 1 workloads.
+///
+/// # Examples
+///
+/// ```
+/// use dsd_workload::{WorkloadGenerator, GeneratorConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let generator = WorkloadGenerator::new(GeneratorConfig::default());
+/// let set = generator.generate(12, &mut rng);
+/// assert_eq!(set.len(), 12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadGenerator {
+    config: GeneratorConfig,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator with the given perturbation bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are empty or non-positive.
+    #[must_use]
+    pub fn new(config: GeneratorConfig) -> Self {
+        config.validate();
+        WorkloadGenerator { config }
+    }
+
+    /// The perturbation bounds in use.
+    #[must_use]
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates `n` applications cycling through the Table 1 mix, each
+    /// perturbed by independent scale factors drawn from the configured
+    /// ranges.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> WorkloadSet {
+        let base = WorkloadProfile::paper_mix();
+        let mut set = WorkloadSet::new();
+        for i in 0..n {
+            set.push(self.perturb(&base[i % base.len()], rng));
+        }
+        set
+    }
+
+    /// Produces one perturbed copy of `profile`.
+    pub fn perturb<R: Rng + ?Sized>(
+        &self,
+        profile: &WorkloadProfile,
+        rng: &mut R,
+    ) -> WorkloadProfile {
+        let size_scale = rng.gen_range(self.config.scale_min..=self.config.scale_max);
+        let rate_scale = rng.gen_range(self.config.scale_min..=self.config.scale_max);
+        let penalty_scale =
+            rng.gen_range(self.config.penalty_scale_min..=self.config.penalty_scale_max);
+        WorkloadProfile::new(
+            profile.name.clone(),
+            profile.code,
+            PenaltyRates::new(
+                DollarsPerHour::new(profile.penalties.outage.as_f64() * penalty_scale),
+                DollarsPerHour::new(profile.penalties.recent_loss.as_f64() * penalty_scale),
+            ),
+            Gigabytes::new(profile.capacity.as_f64() * size_scale),
+            MegabytesPerSec::new(profile.avg_update.as_f64() * rate_scale),
+            MegabytesPerSec::new(profile.peak_update.as_f64() * rate_scale),
+            MegabytesPerSec::new(profile.avg_access.as_f64() * rate_scale),
+            profile.unique_fraction,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn generation_is_deterministic_under_seed() {
+        let g = WorkloadGenerator::new(GeneratorConfig::default());
+        let a = g.generate(8, &mut ChaCha8Rng::seed_from_u64(42));
+        let b = g.generate(8, &mut ChaCha8Rng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = WorkloadGenerator::new(GeneratorConfig::default());
+        let a = g.generate(8, &mut ChaCha8Rng::seed_from_u64(1));
+        let b = g.generate(8, &mut ChaCha8Rng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn perturbation_respects_bounds() {
+        let config = GeneratorConfig {
+            scale_min: 0.9,
+            scale_max: 1.1,
+            penalty_scale_min: 1.0,
+            penalty_scale_max: 1.0,
+        };
+        let g = WorkloadGenerator::new(config);
+        let base = WorkloadProfile::central_banking();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..50 {
+            let p = g.perturb(&base, &mut rng);
+            let ratio = p.capacity.as_f64() / base.capacity.as_f64();
+            assert!((0.9..=1.1).contains(&ratio), "ratio {ratio} out of bounds");
+            assert_eq!(p.penalties, base.penalties, "penalty scale pinned to 1.0");
+            assert!(p.peak_update >= p.avg_update);
+        }
+    }
+
+    #[test]
+    fn identity_config_reproduces_base() {
+        let config = GeneratorConfig {
+            scale_min: 1.0,
+            scale_max: 1.0,
+            penalty_scale_min: 1.0,
+            penalty_scale_max: 1.0,
+        };
+        let g = WorkloadGenerator::new(config);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let set = g.generate(4, &mut rng);
+        let expected = WorkloadSet::scaled_paper_mix(4);
+        assert_eq!(set, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid size scale bounds")]
+    fn bad_bounds_rejected() {
+        let _ = WorkloadGenerator::new(GeneratorConfig {
+            scale_min: 2.0,
+            scale_max: 1.0,
+            ..GeneratorConfig::default()
+        });
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Application workloads and their business requirements.
+//!
+//! An [`ApplicationWorkload`] carries the two inputs the design tool needs
+//! per application (paper §2.2 and §2.4, Table 1):
+//!
+//! * **business requirements**, expressed as [`PenaltyRates`] — a data
+//!   outage penalty rate and a recent data loss penalty rate in $/hr;
+//! * **workload characteristics** — dataset capacity, average and peak
+//!   (non-unique) update rates, unique update rate, and average access rate.
+//!
+//! Applications fall into a business [`AppClass`] (gold / silver / bronze)
+//! determined by fixed thresholds on the sum of their penalty rates
+//! (paper §3.1.3); the thresholds live in [`ClassThresholds`].
+//!
+//! The four application types of Table 1 are provided as
+//! [`WorkloadProfile`] constructors, and [`WorkloadSet`] builds the scaled
+//! multi-application environments used in the paper's evaluation (§4.4:
+//! "scaled by four applications at a time, one from each class").
+//!
+//! # Examples
+//!
+//! ```
+//! use dsd_workload::{WorkloadProfile, WorkloadSet, AppClass};
+//!
+//! let set = WorkloadSet::scaled_paper_mix(8);
+//! assert_eq!(set.len(), 8);
+//! let gold = set.iter().filter(|w| w.class() == AppClass::Gold).count();
+//! assert_eq!(gold, 2); // two central-banking instances
+//!
+//! let b = WorkloadProfile::central_banking();
+//! assert_eq!(b.class(), AppClass::Gold);
+//! ```
+
+mod generator;
+mod penalty;
+mod profile;
+mod set;
+
+pub use generator::{GeneratorConfig, WorkloadGenerator};
+pub use penalty::{PenaltyModel, PenaltySchedule};
+pub use profile::{AppClass, ClassThresholds, PenaltyRates, WorkloadProfile};
+pub use set::{AppId, ApplicationWorkload, WorkloadSet};

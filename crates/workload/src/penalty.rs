@@ -1,0 +1,164 @@
+//! Penalty schedules: how outage and loss durations turn into dollars.
+//!
+//! The paper charges linearly: penalty = rate × duration (§2.4). Real
+//! service-level agreements are usually *deductible*: outages shorter
+//! than the recovery-time objective (RTO) and losses shorter than the
+//! recovery-point objective (RPO) cost nothing, anything beyond accrues
+//! at the rate, plus an optional fixed breach fine. [`PenaltySchedule`]
+//! captures both; the evaluator charges through
+//! [`PenaltyModel::outage_penalty`] / [`PenaltyModel::loss_penalty`] so
+//! designs are judged against the schedule the business actually signs.
+
+use serde::{Deserialize, Serialize};
+
+use dsd_units::{Dollars, TimeSpan};
+
+use crate::profile::PenaltyRates;
+
+/// Shape of the duration → dollars mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum PenaltySchedule {
+    /// The paper's model: every second of outage/loss accrues at the
+    /// rate.
+    #[default]
+    Linear,
+    /// SLA-style deductible: durations within the objective are free;
+    /// beyond it, the excess accrues at the rate and a fixed breach fine
+    /// is charged once.
+    Deductible {
+        /// Recovery-time objective: outage up to this long is free.
+        rto: TimeSpan,
+        /// Recovery-point objective: data loss up to this long is free.
+        rpo: TimeSpan,
+        /// One-time fine per breached objective.
+        breach_fine: Dollars,
+    },
+}
+
+/// Penalty rates plus their schedule — everything needed to price one
+/// application's outage and loss durations.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PenaltyModel {
+    /// The $/hr rates (Table 1).
+    pub rates: PenaltyRates,
+    /// The schedule the rates are charged under.
+    pub schedule: PenaltySchedule,
+}
+
+impl PenaltyModel {
+    /// A linear model (the paper's).
+    #[must_use]
+    pub fn linear(rates: PenaltyRates) -> Self {
+        PenaltyModel { rates, schedule: PenaltySchedule::Linear }
+    }
+
+    /// Dollars charged for a data outage of `duration`.
+    #[must_use]
+    pub fn outage_penalty(&self, duration: TimeSpan) -> Dollars {
+        match self.schedule {
+            PenaltySchedule::Linear => self.rates.outage * duration,
+            PenaltySchedule::Deductible { rto, breach_fine, .. } => {
+                if duration <= rto {
+                    Dollars::ZERO
+                } else {
+                    self.rates.outage * (duration - rto) + breach_fine
+                }
+            }
+        }
+    }
+
+    /// Dollars charged for recent data loss of `duration`.
+    #[must_use]
+    pub fn loss_penalty(&self, duration: TimeSpan) -> Dollars {
+        match self.schedule {
+            PenaltySchedule::Linear => self.rates.recent_loss * duration,
+            PenaltySchedule::Deductible { rpo, breach_fine, .. } => {
+                if duration <= rpo {
+                    Dollars::ZERO
+                } else {
+                    self.rates.recent_loss * (duration - rpo) + breach_fine
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_units::DollarsPerHour;
+
+    fn rates() -> PenaltyRates {
+        PenaltyRates::new(DollarsPerHour::new(1000.0), DollarsPerHour::new(100.0))
+    }
+
+    #[test]
+    fn linear_schedule_matches_rate_times_time() {
+        let m = PenaltyModel::linear(rates());
+        assert_eq!(m.outage_penalty(TimeSpan::from_hours(3.0)).as_f64(), 3000.0);
+        assert_eq!(m.loss_penalty(TimeSpan::from_hours(2.0)).as_f64(), 200.0);
+        assert_eq!(m.outage_penalty(TimeSpan::ZERO), Dollars::ZERO);
+    }
+
+    #[test]
+    fn deductible_is_free_within_objectives() {
+        let m = PenaltyModel {
+            rates: rates(),
+            schedule: PenaltySchedule::Deductible {
+                rto: TimeSpan::from_hours(1.0),
+                rpo: TimeSpan::from_mins(30.0),
+                breach_fine: Dollars::new(5000.0),
+            },
+        };
+        assert_eq!(m.outage_penalty(TimeSpan::from_mins(59.0)), Dollars::ZERO);
+        assert_eq!(m.outage_penalty(TimeSpan::from_hours(1.0)), Dollars::ZERO);
+        assert_eq!(m.loss_penalty(TimeSpan::from_mins(30.0)), Dollars::ZERO);
+    }
+
+    #[test]
+    fn deductible_charges_excess_plus_fine() {
+        let m = PenaltyModel {
+            rates: rates(),
+            schedule: PenaltySchedule::Deductible {
+                rto: TimeSpan::from_hours(1.0),
+                rpo: TimeSpan::from_mins(30.0),
+                breach_fine: Dollars::new(5000.0),
+            },
+        };
+        // 3h outage: 2h excess x $1000 + $5000 fine.
+        assert_eq!(m.outage_penalty(TimeSpan::from_hours(3.0)).as_f64(), 7000.0);
+        // 90min loss: 1h excess x $100 + $5000 fine.
+        assert_eq!(m.loss_penalty(TimeSpan::from_mins(90.0)).as_f64(), 5100.0);
+    }
+
+    #[test]
+    fn deductible_infinite_duration_is_infinite() {
+        let m = PenaltyModel {
+            rates: rates(),
+            schedule: PenaltySchedule::Deductible {
+                rto: TimeSpan::from_hours(1.0),
+                rpo: TimeSpan::ZERO,
+                breach_fine: Dollars::ZERO,
+            },
+        };
+        assert!(!m.outage_penalty(TimeSpan::INFINITE).is_finite());
+    }
+
+    #[test]
+    fn schedules_agree_at_zero_objectives() {
+        let linear = PenaltyModel::linear(rates());
+        let degenerate = PenaltyModel {
+            rates: rates(),
+            schedule: PenaltySchedule::Deductible {
+                rto: TimeSpan::ZERO,
+                rpo: TimeSpan::ZERO,
+                breach_fine: Dollars::ZERO,
+            },
+        };
+        for h in [0.5, 1.0, 7.0] {
+            let t = TimeSpan::from_hours(h);
+            assert_eq!(linear.outage_penalty(t), degenerate.outage_penalty(t));
+            assert_eq!(linear.loss_penalty(t), degenerate.loss_penalty(t));
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Workload profiles (Table 1) and business classification.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dsd_units::{DollarsPerHour, Gigabytes, MegabytesPerSec};
+
+use crate::penalty::{PenaltyModel, PenaltySchedule};
+
+/// Business penalty rates for one application (paper §2.4, Table 1).
+///
+/// * `outage` — cost per hour of data unavailability while the application
+///   is down after a failure;
+/// * `recent_loss` — cost per hour of lost recent updates (the staleness of
+///   the copy used for recovery).
+///
+/// # Examples
+///
+/// ```
+/// use dsd_workload::PenaltyRates;
+/// use dsd_units::DollarsPerHour;
+/// let p = PenaltyRates::new(DollarsPerHour::new(5e6), DollarsPerHour::new(5e3));
+/// assert_eq!(p.sum().as_f64(), 5_005_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PenaltyRates {
+    /// Data outage penalty rate ($/hr of downtime).
+    pub outage: DollarsPerHour,
+    /// Recent data loss penalty rate ($/hr of lost updates).
+    pub recent_loss: DollarsPerHour,
+}
+
+impl PenaltyRates {
+    /// Creates a pair of penalty rates.
+    #[must_use]
+    pub fn new(outage: DollarsPerHour, recent_loss: DollarsPerHour) -> Self {
+        PenaltyRates { outage, recent_loss }
+    }
+
+    /// Sum of the two rates: the paper uses this as the application's
+    /// priority for recovery scheduling (§3.2.2), for the greedy insertion
+    /// order (§3.1.1) and for business classification (§3.1.3).
+    #[must_use]
+    pub fn sum(&self) -> DollarsPerHour {
+        self.outage + self.recent_loss
+    }
+}
+
+impl fmt::Display for PenaltyRates {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "outage {}, loss {}", self.outage, self.recent_loss)
+    }
+}
+
+/// Business class of an application, data protection technique, or resource
+/// (paper §3.1.3 / §4.1).
+///
+/// The ordering is significant: `Gold > Silver > Bronze`. An application of
+/// a given class may be protected by a technique of the *same or better*
+/// class.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum AppClass {
+    /// Least stringent requirements.
+    Bronze,
+    /// Intermediate requirements.
+    Silver,
+    /// Most stringent requirements.
+    Gold,
+}
+
+impl AppClass {
+    /// All classes in descending order of protection.
+    pub const ALL: [AppClass; 3] = [AppClass::Gold, AppClass::Silver, AppClass::Bronze];
+
+    /// True if a technique/resource of class `self` may serve an
+    /// application of class `required` (same or better).
+    #[must_use]
+    pub fn satisfies(self, required: AppClass) -> bool {
+        self >= required
+    }
+}
+
+impl fmt::Display for AppClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AppClass::Gold => "gold",
+            AppClass::Silver => "silver",
+            AppClass::Bronze => "bronze",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Fixed thresholds classifying applications by the sum of their penalty
+/// rates (paper §3.1.3: "applications are categorized based on fixed
+/// thresholds of the sum of their penalty rates").
+///
+/// Defaults are chosen so the Table 1 classes come out as printed there:
+/// central banking ($10M/hr) → gold, web service and consumer banking
+/// (~$5M/hr) → silver, student accounts ($10K/hr) → bronze.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassThresholds {
+    /// Sum of penalty rates at or above which an application is gold.
+    pub gold_at_least: DollarsPerHour,
+    /// Sum of penalty rates at or above which an application is silver.
+    pub silver_at_least: DollarsPerHour,
+}
+
+impl ClassThresholds {
+    /// Classifies a penalty-rate sum.
+    #[must_use]
+    pub fn classify(&self, sum: DollarsPerHour) -> AppClass {
+        if sum >= self.gold_at_least {
+            AppClass::Gold
+        } else if sum >= self.silver_at_least {
+            AppClass::Silver
+        } else {
+            AppClass::Bronze
+        }
+    }
+}
+
+impl Default for ClassThresholds {
+    fn default() -> Self {
+        ClassThresholds {
+            gold_at_least: DollarsPerHour::new(8e6),
+            silver_at_least: DollarsPerHour::new(1e5),
+        }
+    }
+}
+
+/// A reusable application workload template — one row of Table 1.
+///
+/// A profile carries everything the solver needs to estimate bandwidth and
+/// capacity requirements for creating secondary copies (paper §2.2):
+///
+/// * `capacity` — for techniques that retain a full copy;
+/// * `peak_update` — for synchronous mirroring network sizing;
+/// * `avg_update` — for asynchronous mirroring network sizing;
+/// * `unique_fraction × avg_update` — for periodic copies (snapshots,
+///   backups), which only see each byte's last write in the window;
+/// * `avg_access` — for recovery techniques that redirect computation
+///   (failover).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Human-readable name, e.g. `"central banking"`.
+    pub name: String,
+    /// One-letter code from Table 1 (B, W, C, S).
+    pub code: char,
+    /// Business penalty rates.
+    pub penalties: PenaltyRates,
+    /// Dataset capacity.
+    pub capacity: Gigabytes,
+    /// Average (non-unique) update rate.
+    pub avg_update: MegabytesPerSec,
+    /// Peak (non-unique) update rate.
+    pub peak_update: MegabytesPerSec,
+    /// Average access (read + write) rate.
+    pub avg_access: MegabytesPerSec,
+    /// Fraction of the average update stream that is unique within a copy
+    /// window. Table 1 does not list the unique update rate; this is our
+    /// documented substitution (DESIGN.md §3), default 0.6.
+    pub unique_fraction: f64,
+    /// How the penalty rates are charged (linear by default; see
+    /// [`PenaltySchedule::Deductible`] for SLA-style objectives).
+    #[serde(default)]
+    pub schedule: PenaltySchedule,
+}
+
+/// Default unique-update fraction (see DESIGN.md §3).
+pub(crate) const DEFAULT_UNIQUE_FRACTION: f64 = 0.6;
+
+impl WorkloadProfile {
+    /// Builds a profile from raw Table 1 numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unique_fraction` is outside `(0, 1]` or peak update is
+    /// below average update.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        code: char,
+        penalties: PenaltyRates,
+        capacity: Gigabytes,
+        avg_update: MegabytesPerSec,
+        peak_update: MegabytesPerSec,
+        avg_access: MegabytesPerSec,
+        unique_fraction: f64,
+    ) -> Self {
+        assert!(
+            unique_fraction > 0.0 && unique_fraction <= 1.0,
+            "unique fraction must be in (0, 1]: {unique_fraction}"
+        );
+        assert!(
+            peak_update >= avg_update,
+            "peak update rate must be at least the average update rate"
+        );
+        WorkloadProfile {
+            name: name.into(),
+            code,
+            penalties,
+            capacity,
+            avg_update,
+            peak_update,
+            avg_access,
+            unique_fraction,
+            schedule: PenaltySchedule::Linear,
+        }
+    }
+
+    /// Replaces the penalty schedule (builder style).
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: PenaltySchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// The full penalty model (rates + schedule).
+    #[must_use]
+    pub fn penalty_model(&self) -> PenaltyModel {
+        PenaltyModel { rates: self.penalties, schedule: self.schedule }
+    }
+
+    /// Table 1 row B — central banking: critical, expects zero data loss
+    /// and zero outage ($5M/hr each), 1300 GB.
+    #[must_use]
+    pub fn central_banking() -> Self {
+        WorkloadProfile::new(
+            "central banking",
+            'B',
+            PenaltyRates::new(DollarsPerHour::new(5e6), DollarsPerHour::new(5e6)),
+            Gigabytes::new(1300.0),
+            MegabytesPerSec::new(5.0),
+            MegabytesPerSec::new(50.0),
+            MegabytesPerSec::new(50.0),
+            DEFAULT_UNIQUE_FRACTION,
+        )
+    }
+
+    /// Table 1 row W — company web service: high transaction volume,
+    /// modest recent loss tolerance, zero outage tolerance.
+    #[must_use]
+    pub fn company_web_service() -> Self {
+        WorkloadProfile::new(
+            "company web service",
+            'W',
+            PenaltyRates::new(DollarsPerHour::new(5e6), DollarsPerHour::new(5e3)),
+            Gigabytes::new(4300.0),
+            MegabytesPerSec::new(2.0),
+            MegabytesPerSec::new(20.0),
+            MegabytesPerSec::new(20.0),
+            DEFAULT_UNIQUE_FRACTION,
+        )
+    }
+
+    /// Table 1 row C — consumer banking: zero recent-loss tolerance,
+    /// modest outage tolerance.
+    #[must_use]
+    pub fn consumer_banking() -> Self {
+        WorkloadProfile::new(
+            "consumer banking",
+            'C',
+            PenaltyRates::new(DollarsPerHour::new(5e3), DollarsPerHour::new(5e6)),
+            Gigabytes::new(4300.0),
+            MegabytesPerSec::new(1.0),
+            MegabytesPerSec::new(10.0),
+            MegabytesPerSec::new(10.0),
+            DEFAULT_UNIQUE_FRACTION,
+        )
+    }
+
+    /// Table 1 row S — student accounts: tolerant to loss and outage.
+    #[must_use]
+    pub fn student_accounts() -> Self {
+        WorkloadProfile::new(
+            "student accounts",
+            'S',
+            PenaltyRates::new(DollarsPerHour::new(5e3), DollarsPerHour::new(5e3)),
+            Gigabytes::new(500.0),
+            MegabytesPerSec::new(0.5),
+            MegabytesPerSec::new(5.0),
+            MegabytesPerSec::new(5.0),
+            DEFAULT_UNIQUE_FRACTION,
+        )
+    }
+
+    /// The four Table 1 profiles in paper order (B, W, C, S).
+    #[must_use]
+    pub fn paper_mix() -> Vec<WorkloadProfile> {
+        vec![
+            WorkloadProfile::central_banking(),
+            WorkloadProfile::company_web_service(),
+            WorkloadProfile::consumer_banking(),
+            WorkloadProfile::student_accounts(),
+        ]
+    }
+
+    /// Unique update rate: the rate at which *distinct* bytes are dirtied,
+    /// relevant for periodic copies (paper §2.2).
+    #[must_use]
+    pub fn unique_update_rate(&self) -> MegabytesPerSec {
+        self.avg_update * self.unique_fraction
+    }
+
+    /// Business class under the default [`ClassThresholds`].
+    #[must_use]
+    pub fn class(&self) -> AppClass {
+        self.class_with(&ClassThresholds::default())
+    }
+
+    /// Business class under explicit thresholds.
+    #[must_use]
+    pub fn class_with(&self, thresholds: &ClassThresholds) -> AppClass {
+        thresholds.classify(self.penalties.sum())
+    }
+}
+
+impl fmt::Display for WorkloadProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}): {}, {}, {} class",
+            self.name,
+            self.code,
+            self.capacity,
+            self.penalties,
+            self.class()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_classes_match_paper() {
+        assert_eq!(WorkloadProfile::central_banking().class(), AppClass::Gold);
+        assert_eq!(WorkloadProfile::company_web_service().class(), AppClass::Silver);
+        assert_eq!(WorkloadProfile::consumer_banking().class(), AppClass::Silver);
+        assert_eq!(WorkloadProfile::student_accounts().class(), AppClass::Bronze);
+    }
+
+    #[test]
+    fn table1_numbers_match_paper() {
+        let b = WorkloadProfile::central_banking();
+        assert_eq!(b.capacity.as_f64(), 1300.0);
+        assert_eq!(b.avg_update.as_f64(), 5.0);
+        assert_eq!(b.peak_update.as_f64(), 50.0);
+        assert_eq!(b.avg_access.as_f64(), 50.0);
+        assert_eq!(b.penalties.outage.as_f64(), 5e6);
+        assert_eq!(b.penalties.recent_loss.as_f64(), 5e6);
+
+        let s = WorkloadProfile::student_accounts();
+        assert_eq!(s.capacity.as_f64(), 500.0);
+        assert_eq!(s.penalties.sum().as_f64(), 1e4);
+    }
+
+    #[test]
+    fn class_ordering_and_satisfaction() {
+        assert!(AppClass::Gold > AppClass::Silver);
+        assert!(AppClass::Silver > AppClass::Bronze);
+        assert!(AppClass::Gold.satisfies(AppClass::Bronze));
+        assert!(AppClass::Gold.satisfies(AppClass::Gold));
+        assert!(!AppClass::Bronze.satisfies(AppClass::Silver));
+    }
+
+    #[test]
+    fn unique_rate_is_fraction_of_average() {
+        let w = WorkloadProfile::company_web_service();
+        assert!((w.unique_update_rate().as_f64() - 2.0 * 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_thresholds_shift_classes() {
+        let strict = ClassThresholds {
+            gold_at_least: DollarsPerHour::new(1e3),
+            silver_at_least: DollarsPerHour::new(1.0),
+        };
+        assert_eq!(WorkloadProfile::student_accounts().class_with(&strict), AppClass::Gold);
+    }
+
+    #[test]
+    fn penalty_sum_adds_both_rates() {
+        let p = WorkloadProfile::consumer_banking().penalties;
+        assert_eq!(p.sum().as_f64(), 5_005_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique fraction")]
+    fn zero_unique_fraction_rejected() {
+        let _ = WorkloadProfile::new(
+            "bad",
+            'X',
+            PenaltyRates::default(),
+            Gigabytes::new(1.0),
+            MegabytesPerSec::new(1.0),
+            MegabytesPerSec::new(1.0),
+            MegabytesPerSec::new(1.0),
+            0.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "peak update")]
+    fn peak_below_average_rejected() {
+        let _ = WorkloadProfile::new(
+            "bad",
+            'X',
+            PenaltyRates::default(),
+            Gigabytes::new(1.0),
+            MegabytesPerSec::new(2.0),
+            MegabytesPerSec::new(1.0),
+            MegabytesPerSec::new(1.0),
+            0.5,
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = WorkloadProfile::central_banking().to_string();
+        assert!(text.contains("central banking"));
+        assert!(text.contains("gold"));
+    }
+}

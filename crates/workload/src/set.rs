@@ -1,0 +1,307 @@
+//! Deployed application instances and collections of them.
+
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use dsd_units::{DollarsPerHour, Gigabytes, MegabytesPerSec};
+
+use crate::profile::{AppClass, ClassThresholds, PenaltyRates, WorkloadProfile};
+
+/// Identifier of a deployed application within a [`WorkloadSet`].
+///
+/// Ids are dense indices assigned in insertion order, so they can be used
+/// to index per-application side tables.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct AppId(pub usize);
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app#{}", self.0)
+    }
+}
+
+/// One deployed application: a [`WorkloadProfile`] instance with an
+/// identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationWorkload {
+    /// Dense identifier within the owning [`WorkloadSet`].
+    pub id: AppId,
+    /// Instance name, e.g. `"central banking #1"`.
+    pub name: String,
+    /// The workload template this instance was stamped from.
+    pub profile: WorkloadProfile,
+}
+
+impl ApplicationWorkload {
+    /// Business penalty rates.
+    #[must_use]
+    pub fn penalties(&self) -> PenaltyRates {
+        self.profile.penalties
+    }
+
+    /// The full penalty model (rates + schedule).
+    #[must_use]
+    pub fn penalty_model(&self) -> crate::PenaltyModel {
+        self.profile.penalty_model()
+    }
+
+    /// Sum of penalty rates: recovery priority / classification key.
+    #[must_use]
+    pub fn priority(&self) -> DollarsPerHour {
+        self.profile.penalties.sum()
+    }
+
+    /// Dataset capacity.
+    #[must_use]
+    pub fn capacity(&self) -> Gigabytes {
+        self.profile.capacity
+    }
+
+    /// Average (non-unique) update rate.
+    #[must_use]
+    pub fn avg_update(&self) -> MegabytesPerSec {
+        self.profile.avg_update
+    }
+
+    /// Peak (non-unique) update rate.
+    #[must_use]
+    pub fn peak_update(&self) -> MegabytesPerSec {
+        self.profile.peak_update
+    }
+
+    /// Average access (read + write) rate.
+    #[must_use]
+    pub fn avg_access(&self) -> MegabytesPerSec {
+        self.profile.avg_access
+    }
+
+    /// Unique update rate for periodic-copy sizing.
+    #[must_use]
+    pub fn unique_update_rate(&self) -> MegabytesPerSec {
+        self.profile.unique_update_rate()
+    }
+
+    /// Business class under the default thresholds.
+    #[must_use]
+    pub fn class(&self) -> AppClass {
+        self.profile.class()
+    }
+
+    /// Business class under explicit thresholds.
+    #[must_use]
+    pub fn class_with(&self, thresholds: &ClassThresholds) -> AppClass {
+        self.profile.class_with(thresholds)
+    }
+}
+
+impl fmt::Display for ApplicationWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.name, self.id)
+    }
+}
+
+/// An ordered collection of deployed applications.
+///
+/// # Examples
+///
+/// ```
+/// use dsd_workload::{WorkloadSet, WorkloadProfile};
+///
+/// let mut set = WorkloadSet::new();
+/// let id = set.push(WorkloadProfile::central_banking());
+/// assert_eq!(set[id].profile.code, 'B');
+/// assert_eq!(set.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSet {
+    apps: Vec<ApplicationWorkload>,
+}
+
+impl WorkloadSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        WorkloadSet::default()
+    }
+
+    /// Adds an application stamped from `profile`, returning its id.
+    /// Instance names are suffixed with a per-profile ordinal.
+    pub fn push(&mut self, profile: WorkloadProfile) -> AppId {
+        let ordinal =
+            self.apps.iter().filter(|a| a.profile.code == profile.code).count() + 1;
+        let id = AppId(self.apps.len());
+        let name = format!("{} #{}", profile.name, ordinal);
+        self.apps.push(ApplicationWorkload { id, name, profile });
+        id
+    }
+
+    /// The paper's scaled environment: `n` applications drawn cyclically
+    /// from the Table 1 mix (B, W, C, S, B, W, ...). §4.4 scales "by four
+    /// applications at a time, one from each class".
+    #[must_use]
+    pub fn scaled_paper_mix(n: usize) -> Self {
+        let profiles = WorkloadProfile::paper_mix();
+        let mut set = WorkloadSet::new();
+        for i in 0..n {
+            set.push(profiles[i % profiles.len()].clone());
+        }
+        set
+    }
+
+    /// Number of applications.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// True if no applications are deployed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Iterates over the applications in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, ApplicationWorkload> {
+        self.apps.iter()
+    }
+
+    /// Looks up an application by id.
+    #[must_use]
+    pub fn get(&self, id: AppId) -> Option<&ApplicationWorkload> {
+        self.apps.get(id.0)
+    }
+
+    /// All application ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = AppId> + '_ {
+        (0..self.apps.len()).map(AppId)
+    }
+
+    /// Total dataset capacity across all applications.
+    #[must_use]
+    pub fn total_capacity(&self) -> Gigabytes {
+        self.apps.iter().map(|a| a.capacity()).sum()
+    }
+
+    /// Sum of all applications' penalty-rate sums; used to normalize
+    /// selection probabilities in the design solver.
+    #[must_use]
+    pub fn total_priority(&self) -> DollarsPerHour {
+        self.apps.iter().map(|a| a.priority()).sum()
+    }
+}
+
+impl Index<AppId> for WorkloadSet {
+    type Output = ApplicationWorkload;
+
+    /// # Panics
+    ///
+    /// Panics if `id` is not a member of this set.
+    fn index(&self, id: AppId) -> &ApplicationWorkload {
+        &self.apps[id.0]
+    }
+}
+
+impl<'a> IntoIterator for &'a WorkloadSet {
+    type Item = &'a ApplicationWorkload;
+    type IntoIter = std::slice::Iter<'a, ApplicationWorkload>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.apps.iter()
+    }
+}
+
+impl FromIterator<WorkloadProfile> for WorkloadSet {
+    fn from_iter<I: IntoIterator<Item = WorkloadProfile>>(iter: I) -> Self {
+        let mut set = WorkloadSet::new();
+        for p in iter {
+            set.push(p);
+        }
+        set
+    }
+}
+
+impl Extend<WorkloadProfile> for WorkloadSet {
+    fn extend<I: IntoIterator<Item = WorkloadProfile>>(&mut self, iter: I) {
+        for p in iter {
+            self.push(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_assigns_dense_ids_and_ordinals() {
+        let mut set = WorkloadSet::new();
+        let a = set.push(WorkloadProfile::central_banking());
+        let b = set.push(WorkloadProfile::central_banking());
+        let c = set.push(WorkloadProfile::student_accounts());
+        assert_eq!((a, b, c), (AppId(0), AppId(1), AppId(2)));
+        assert_eq!(set[a].name, "central banking #1");
+        assert_eq!(set[b].name, "central banking #2");
+        assert_eq!(set[c].name, "student accounts #1");
+    }
+
+    #[test]
+    fn scaled_mix_cycles_through_classes() {
+        let set = WorkloadSet::scaled_paper_mix(8);
+        let codes: String = set.iter().map(|a| a.profile.code).collect();
+        assert_eq!(codes, "BWCSBWCS");
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let set = WorkloadSet::scaled_paper_mix(4);
+        assert_eq!(set.total_capacity().as_f64(), 1300.0 + 4300.0 + 4300.0 + 500.0);
+        let expected = 1e7 + 5_005_000.0 + 5_005_000.0 + 1e4;
+        assert!((set.total_priority().as_f64() - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn collect_from_profiles() {
+        let set: WorkloadSet = WorkloadProfile::paper_mix().into_iter().collect();
+        assert_eq!(set.len(), 4);
+        assert!(set.get(AppId(3)).is_some());
+        assert!(set.get(AppId(4)).is_none());
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut set = WorkloadSet::scaled_paper_mix(2);
+        set.extend(WorkloadProfile::paper_mix());
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let set = WorkloadSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.total_capacity(), Gigabytes::ZERO);
+        assert_eq!(set.ids().count(), 0);
+    }
+
+    #[test]
+    fn accessors_delegate_to_profile() {
+        let set = WorkloadSet::scaled_paper_mix(1);
+        let app = &set[AppId(0)];
+        assert_eq!(app.capacity().as_f64(), 1300.0);
+        assert_eq!(app.class(), AppClass::Gold);
+        assert_eq!(app.priority().as_f64(), 1e7);
+        assert!((app.unique_update_rate().as_f64() - 3.0).abs() < 1e-12);
+        assert_eq!(app.avg_access().as_f64(), 50.0);
+        assert_eq!(app.peak_update().as_f64(), 50.0);
+        assert_eq!(app.avg_update().as_f64(), 5.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let set = WorkloadSet::scaled_paper_mix(1);
+        assert_eq!(set[AppId(0)].to_string(), "central banking #1 [app#0]");
+        assert_eq!(AppId(7).to_string(), "app#7");
+    }
+}

@@ -1,0 +1,59 @@
+//! Budget-capped design: "minimize our risk exposure, but capital
+//! expenditure must stay under the cap."
+//!
+//! Sweeps the outlay cap and shows the resulting penalty/outlay frontier
+//! — the trade-off curve a storage architect actually negotiates with
+//! finance.
+//!
+//! ```text
+//! cargo run --release --example budget_capped
+//! ```
+
+use dsd::core::{Budget, DesignSolver, Objective};
+use dsd::scenarios::environments::peer_sites;
+use dsd::units::Dollars;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // Learn the unconstrained design first.
+    let env = peer_sites();
+    let mut rng = ChaCha8Rng::seed_from_u64(2006);
+    let unconstrained = DesignSolver::new(&env)
+        .solve(Budget::iterations(150), &mut rng)
+        .best
+        .expect("feasible");
+    let natural = unconstrained.cost().outlay;
+    println!(
+        "unconstrained optimum: outlay {}, penalties {}",
+        natural,
+        unconstrained.cost().penalties.total()
+    );
+
+    println!("\n{:>12} {:>14} {:>16} {:>10}", "cap $M/yr", "outlay $M/yr", "penalties $M/yr", "feasible");
+    for fraction in [1.2, 1.0, 0.8, 0.6, 0.4] {
+        let cap = Dollars::new(natural.as_f64() * fraction);
+        let mut capped_env = peer_sites();
+        capped_env.objective = Objective::PenaltiesWithOutlayCap { cap };
+        let mut rng = ChaCha8Rng::seed_from_u64(2006);
+        let best = DesignSolver::new(&capped_env).solve(Budget::iterations(150), &mut rng).best;
+        match best {
+            Some(b) if capped_env.objective.is_compliant(b.cost()) => println!(
+                "{:>12.2} {:>14.2} {:>16.2} {:>10}",
+                cap.as_f64() / 1e6,
+                b.cost().outlay.as_f64() / 1e6,
+                b.cost().penalties.total().as_f64() / 1e6,
+                "yes"
+            ),
+            Some(b) => println!(
+                "{:>12.2} {:>14.2} {:>16.2} {:>10}",
+                cap.as_f64() / 1e6,
+                b.cost().outlay.as_f64() / 1e6,
+                b.cost().penalties.total().as_f64() / 1e6,
+                "over cap"
+            ),
+            None => println!("{:>12.2} {:>14} {:>16} {:>10}", cap.as_f64() / 1e6, "-", "-", "no"),
+        }
+    }
+    println!("\nlower caps force cheaper protection; penalties rise as the cap tightens.");
+}

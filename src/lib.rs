@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # dsd — dependable storage designer
+//!
+//! A Rust reproduction of *"Designing dependable storage solutions for
+//! shared application environments"* (Gaonkar, Keeton, Merchant, Sanders —
+//! DSN 2006): an automated design tool that chooses data protection
+//! techniques (remote mirroring, snapshots, tape backup, offsite
+//! vaulting), their configuration parameters, and the resources backing
+//! them for *multiple* applications sharing an infrastructure, minimizing
+//! amortized outlays plus expected downtime/data-loss penalties.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`units`] — typed quantities (GB, MB/s, $, $/hr, time spans, annual
+//!   rates);
+//! * [`workload`] — application workloads and business requirements
+//!   (Table 1);
+//! * [`protection`] — the copy-hierarchy technique framework (Table 2);
+//! * [`resources`] — device catalog, sites, topology, provisioning
+//!   (Table 3);
+//! * [`failure`] — failure scopes and annualized likelihoods;
+//! * [`recovery`] — the contention-aware recovery evaluation engine;
+//! * [`core`] — the design solver (Algorithm 1), configuration solver,
+//!   and baseline heuristics;
+//! * [`scenarios`] — the paper's evaluation environments and one driver
+//!   per table/figure;
+//! * [`trace`] — synthetic block-I/O trace generation and analysis
+//!   (substitutes the paper's proprietary cello2002 traces).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dsd::core::{Budget, DesignSolver};
+//! use dsd::scenarios::environments::peer_sites;
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let env = peer_sites();
+//! let mut rng = ChaCha8Rng::seed_from_u64(2006);
+//! let outcome = DesignSolver::new(&env).solve(Budget::iterations(10), &mut rng);
+//! let best = outcome.best.expect("the case study is feasible");
+//! println!("annual cost: {}", best.cost().total());
+//! for (app, assignment) in best.assignments() {
+//!     println!("{app}: {}", env.catalog[assignment.technique].name);
+//! }
+//! ```
+
+pub use dsd_core as core;
+pub use dsd_failure as failure;
+pub use dsd_protection as protection;
+pub use dsd_recovery as recovery;
+pub use dsd_resources as resources;
+pub use dsd_scenarios as scenarios;
+pub use dsd_trace as trace;
+pub use dsd_units as units;
+pub use dsd_workload as workload;

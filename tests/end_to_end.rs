@@ -1,0 +1,102 @@
+//! End-to-end integration: the full pipeline on the paper's environments.
+
+use dsd::core::heuristics::{HumanHeuristic, RandomHeuristic};
+use dsd::core::{Budget, DesignSolver};
+use dsd::scenarios::environments::{four_sites, peer_sites};
+use dsd::scenarios::experiments::{figure3, table4};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn design_tool_produces_complete_feasible_peer_sites_design() {
+    let env = peer_sites();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let outcome = DesignSolver::new(&env).solve(Budget::iterations(40), &mut rng);
+    let best = outcome.best.expect("feasible");
+    assert!(best.is_complete(&env));
+    assert_eq!(best.assigned_count(), 8);
+    let cost = best.cost();
+    assert!(cost.total().is_finite());
+    assert!(cost.outlay.as_f64() > 0.0, "real designs buy hardware");
+    // Every application's resources are actually provisioned.
+    for a in best.assignments().values() {
+        assert!(best.provision().array(a.placement.primary).is_some());
+        if let Some(m) = a.placement.mirror {
+            assert!(best.provision().array(m).is_some());
+        }
+        if let Some(t) = a.placement.tape {
+            assert!(best.provision().tape(t).is_some());
+        }
+    }
+}
+
+#[test]
+fn design_tool_beats_human_and_random_on_peer_sites() {
+    let fig = figure3::run(Budget::iterations(40), 0, 99);
+    let tool = fig.tool.expect("tool design").total();
+    let human = fig.human.expect("human design").total();
+    let random = fig.random.expect("random design").total();
+    assert!(tool <= human);
+    assert!(tool <= random);
+}
+
+#[test]
+fn table4_reproduces_paper_observations() {
+    let table = table4::run(Budget::iterations(60), 2006).expect("feasible");
+    assert_eq!(table.rows.len(), 8);
+    assert!(table.all_have_backup(), "paper: all apps employ some form of tape backup");
+    assert!(
+        table.gold_apps_use_failover(),
+        "paper: high outage penalty rates always employ failover"
+    );
+}
+
+#[test]
+fn whole_pipeline_is_deterministic_under_seed() {
+    let env = peer_sites();
+    let run = || {
+        let mut rng = ChaCha8Rng::seed_from_u64(4242);
+        DesignSolver::new(&env)
+            .solve(Budget::iterations(25), &mut rng)
+            .best
+            .map(|b| b.cost().total().as_f64())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn four_site_environment_solves_at_moderate_scale() {
+    let env = four_sites(12);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let outcome = DesignSolver::new(&env).solve(Budget::iterations(25), &mut rng);
+    let best = outcome.best.expect("12 apps fit on four sites");
+    assert!(best.is_complete(&env));
+    // Primaries must not all pile onto one site at this scale: capacity
+    // and compute limits force spreading.
+    let sites_used: std::collections::BTreeSet<_> =
+        best.assignments().values().map(|a| a.placement.primary.site).collect();
+    assert!(sites_used.len() >= 2);
+}
+
+#[test]
+fn heuristics_all_respect_class_eligibility_end_to_end() {
+    let env = peer_sites();
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let tool = DesignSolver::new(&env).solve(Budget::iterations(20), &mut rng).best.unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    let human = HumanHeuristic::new(&env).solve(Budget::iterations(3), &mut rng).best.unwrap();
+    for best in [&tool, &human] {
+        for (app, a) in best.assignments() {
+            let class = env.workloads[*app].class_with(&env.thresholds);
+            assert!(
+                env.catalog[a.technique].category.satisfies(class),
+                "{app} under-protected"
+            );
+        }
+    }
+    // The random heuristic deliberately ignores classes; it must still
+    // produce complete designs.
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let random = RandomHeuristic::new(&env).solve(Budget::iterations(10), &mut rng).best.unwrap();
+    assert!(random.is_complete(&env));
+}

@@ -1,0 +1,89 @@
+//! Integration tests for the budget-capped objective.
+
+use dsd::core::{Budget, DesignSolver, Objective};
+use dsd::scenarios::environments::peer_sites;
+use dsd::units::Dollars;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn outlay_cap_is_respected_when_attainable() {
+    // Solve unconstrained to learn the natural outlay; capping *at* that
+    // outlay is attainable by construction (the unconstrained design
+    // itself complies), so the capped solver must return a compliant
+    // design.
+    let env = peer_sites();
+    let mut rng = ChaCha8Rng::seed_from_u64(71);
+    let unconstrained =
+        DesignSolver::new(&env).solve(Budget::iterations(40), &mut rng).best.unwrap();
+    let cap = unconstrained.cost().outlay;
+
+    let mut capped_env = peer_sites();
+    capped_env.objective = Objective::PenaltiesWithOutlayCap { cap };
+    let mut rng = ChaCha8Rng::seed_from_u64(71);
+    // The cap binds on the cumulative outlay, so the refit stage needs
+    // room to swap expensive techniques back out; give it a real budget.
+    let capped = DesignSolver::new(&capped_env)
+        .solve(Budget::iterations(150), &mut rng)
+        .best
+        .expect("a compliant design exists");
+
+    assert!(
+        capped.cost().outlay <= cap,
+        "capped design spends {} over the attainable {} cap",
+        capped.cost().outlay,
+        cap
+    );
+    assert!(capped.is_complete(&capped_env));
+}
+
+#[test]
+fn unattainable_cap_still_pushes_outlay_down() {
+    // A cap below the hardware floor (facilities + compute + minimum
+    // devices) cannot be met; the exact-penalty objective must still
+    // drive outlay *toward* it, well below the unconstrained optimum.
+    let env = peer_sites();
+    let mut rng = ChaCha8Rng::seed_from_u64(74);
+    let unconstrained =
+        DesignSolver::new(&env).solve(Budget::iterations(30), &mut rng).best.unwrap();
+
+    let mut capped_env = peer_sites();
+    capped_env.objective =
+        Objective::PenaltiesWithOutlayCap { cap: Dollars::new(1.0) };
+    let mut rng = ChaCha8Rng::seed_from_u64(74);
+    let squeezed =
+        DesignSolver::new(&capped_env).solve(Budget::iterations(30), &mut rng).best.unwrap();
+
+    assert!(
+        squeezed.cost().outlay.as_f64() < unconstrained.cost().outlay.as_f64() * 0.95,
+        "squeezed {} vs unconstrained {}",
+        squeezed.cost().outlay,
+        unconstrained.cost().outlay
+    );
+}
+
+#[test]
+fn generous_cap_changes_nothing() {
+    let mut env = peer_sites();
+    env.objective =
+        Objective::PenaltiesWithOutlayCap { cap: Dollars::new(1e12) };
+    let mut rng = ChaCha8Rng::seed_from_u64(72);
+    let capped =
+        DesignSolver::new(&env).solve(Budget::iterations(25), &mut rng).best.unwrap();
+    assert!(env.objective.is_compliant(capped.cost()));
+    assert!(capped.is_complete(&env));
+}
+
+#[test]
+fn score_matches_objective_semantics_on_solved_designs() {
+    let env = peer_sites();
+    let mut rng = ChaCha8Rng::seed_from_u64(73);
+    let best = DesignSolver::new(&env).solve(Budget::iterations(15), &mut rng).best.unwrap();
+    let cost = best.cost();
+    assert_eq!(env.score(cost), cost.total(), "default objective scores the total");
+    let capped = Objective::PenaltiesWithOutlayCap { cap: Dollars::new(0.0) };
+    assert!(
+        capped.score(cost) > cost.penalties.total(),
+        "an unattainable cap charges every outlay dollar as overrun"
+    );
+}

@@ -1,0 +1,77 @@
+//! Integration: SLA-style deductible penalty schedules change which
+//! designs are worth buying.
+
+use dsd::core::{Budget, DesignSolver};
+use dsd::scenarios::environments::peer_sites_with;
+use dsd::units::{Dollars, TimeSpan};
+use dsd::workload::PenaltySchedule;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn generous_objectives_remove_most_penalties() {
+    // Same workloads, same infrastructure; one environment charges
+    // linearly, the other forgives outages under 2 days and losses under
+    // a week (absurdly lax objectives).
+    let linear_env = peer_sites_with(4);
+    let mut lax_env = peer_sites_with(4);
+    {
+        // Rebuild the workload set with the lax schedule on every app.
+        let mut set = dsd::workload::WorkloadSet::new();
+        for app in linear_env.workloads.iter() {
+            set.push(app.profile.clone().with_schedule(PenaltySchedule::Deductible {
+                rto: TimeSpan::from_days(2.0),
+                rpo: TimeSpan::from_days(7.0),
+                breach_fine: Dollars::ZERO,
+            }));
+        }
+        lax_env.workloads = set;
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(81);
+    let linear =
+        DesignSolver::new(&linear_env).solve(Budget::iterations(40), &mut rng).best.unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(81);
+    let lax = DesignSolver::new(&lax_env).solve(Budget::iterations(40), &mut rng).best.unwrap();
+
+    // Lax objectives absorb the 12h snapshot staleness and the short
+    // recoveries entirely: expected penalties collapse.
+    assert!(
+        lax.cost().penalties.total().as_f64()
+            < linear.cost().penalties.total().as_f64() * 0.2,
+        "lax {} vs linear {}",
+        lax.cost().penalties.total(),
+        linear.cost().penalties.total()
+    );
+    // And the solver stops buying expensive protection it no longer
+    // needs (or at least never spends more).
+    assert!(lax.cost().outlay <= linear.cost().outlay);
+}
+
+#[test]
+fn breach_fines_show_up_in_expected_penalties() {
+    // Zero-rate, fine-only schedule: every breach costs exactly the fine,
+    // so expected penalties become likelihood-weighted fines.
+    let mut env = peer_sites_with(1);
+    let mut set = dsd::workload::WorkloadSet::new();
+    let profile = env.workloads.iter().next().unwrap().profile.clone();
+    let mut profile = profile;
+    profile.penalties = dsd::workload::PenaltyRates::default(); // zero rates
+    set.push(profile.with_schedule(PenaltySchedule::Deductible {
+        rto: TimeSpan::ZERO,
+        rpo: TimeSpan::ZERO,
+        breach_fine: Dollars::new(1_000_000.0),
+    }));
+    env.workloads = set;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(82);
+    let best = DesignSolver::new(&env).solve(Budget::iterations(15), &mut rng).best.unwrap();
+    let penalties = best.cost().penalties.total().as_f64();
+    // Three scenario kinds (object 1/3yr, array 1/3yr, site 1/5yr), each
+    // breaching both objectives: expected fines = (1/3 + 1/3 + 1/5) x $2M.
+    let expected = (1.0 / 3.0 + 1.0 / 3.0 + 1.0 / 5.0) * 2_000_000.0;
+    assert!(
+        (penalties - expected).abs() < expected * 0.01,
+        "measured {penalties} vs expected {expected}"
+    );
+}

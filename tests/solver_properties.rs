@@ -1,0 +1,120 @@
+//! Property-based integration tests over randomized environments.
+
+use dsd::core::{Budget, DesignSolver, Environment};
+use dsd::failure::{FailureModel, FailureRates};
+use dsd::protection::TechniqueCatalog;
+use dsd::resources::{DeviceSpec, NetworkSpec, Site, Topology};
+use dsd::workload::{GeneratorConfig, WorkloadGenerator};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// A randomized but structurally sane environment: 2–3 paper-style sites,
+/// 2–6 perturbed workloads.
+fn random_env(seed: u64, sites: usize, apps: usize) -> Environment {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let sites: Vec<Site> = (0..sites)
+        .map(|i| {
+            Site::new(i, format!("S{i}"))
+                .with_array_slot(DeviceSpec::xp1200())
+                .with_array_slot(DeviceSpec::msa1500())
+                .with_tape_library(DeviceSpec::tape_library_high())
+                .with_compute(8)
+        })
+        .collect();
+    let generator = WorkloadGenerator::new(GeneratorConfig {
+        scale_min: 0.5,
+        scale_max: 1.5,
+        penalty_scale_min: 0.5,
+        penalty_scale_max: 2.0,
+    });
+    Environment::new(
+        generator.generate(apps, &mut rng),
+        Arc::new(Topology::fully_connected(sites, NetworkSpec::high())),
+        TechniqueCatalog::table2(),
+        FailureModel::new(FailureRates::case_study()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn solver_output_is_always_complete_and_class_respecting(
+        seed in 0u64..1000,
+        sites in 2usize..4,
+        apps in 2usize..6,
+    ) {
+        let env = random_env(seed, sites, apps);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xABCD);
+        let outcome = DesignSolver::new(&env).solve(Budget::iterations(8), &mut rng);
+        if let Some(best) = outcome.best {
+            prop_assert!(best.is_complete(&env));
+            prop_assert!(best.cost().total().is_finite());
+            prop_assert!(best.validate(&env).is_ok(), "{:?}", best.validate(&env));
+            for (app, a) in best.assignments() {
+                let class = env.workloads[*app].class_with(&env.thresholds);
+                prop_assert!(env.catalog[a.technique].category.satisfies(class));
+                if let Some(m) = a.placement.mirror {
+                    prop_assert_ne!(m.site, a.placement.primary.site);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_decomposition_is_consistent(
+        seed in 0u64..1000,
+    ) {
+        let env = random_env(seed, 2, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        if let Some(best) = DesignSolver::new(&env).solve(Budget::iterations(6), &mut rng).best {
+            let cost = best.cost();
+            let sum = cost.outlay + cost.penalties.outage + cost.penalties.loss;
+            prop_assert!((cost.total().as_f64() - sum.as_f64()).abs() < 1e-6);
+            // Per-app penalties sum to the global penalty figures.
+            let per_app_outage: f64 =
+                cost.penalties.per_app.values().map(|(o, _)| o.as_f64()).sum();
+            let per_app_loss: f64 =
+                cost.penalties.per_app.values().map(|(_, l)| l.as_f64()).sum();
+            prop_assert!((per_app_outage - cost.penalties.outage.as_f64()).abs()
+                <= 1e-6 * (1.0 + per_app_outage));
+            prop_assert!((per_app_loss - cost.penalties.loss.as_f64()).abs()
+                <= 1e-6 * (1.0 + per_app_loss));
+        }
+    }
+
+    #[test]
+    fn outlay_reflects_provisioned_hardware(
+        seed in 0u64..1000,
+    ) {
+        let env = random_env(seed, 2, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 7);
+        if let Some(best) = DesignSolver::new(&env).solve(Budget::iterations(5), &mut rng).best {
+            let outlay = best.cost().outlay;
+            let hardware = best.provision().annual_outlay();
+            let media = best.vault_media_annual(&env);
+            prop_assert!(
+                (outlay.as_f64() - (hardware + media).as_f64()).abs() < 1e-6
+            );
+            prop_assert!(!best.provision().provisioned_arrays().is_empty());
+        }
+    }
+}
+
+#[test]
+fn solver_never_panics_on_hostile_tiny_environment() {
+    // One site, no tape, one compute: almost everything is infeasible.
+    let sites =
+        vec![Site::new(0, "tiny").with_array_slot(DeviceSpec::msa1500()).with_compute(1)];
+    let env = Environment::new(
+        dsd::workload::WorkloadSet::scaled_paper_mix(2),
+        Arc::new(Topology::fully_connected(sites, NetworkSpec::med())),
+        TechniqueCatalog::table2(),
+        FailureModel::new(FailureRates::case_study()),
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let outcome = DesignSolver::new(&env).solve(Budget::iterations(5), &mut rng);
+    assert!(outcome.best.is_none(), "gold app cannot be protected without a second site");
+}
