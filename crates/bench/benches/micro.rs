@@ -2,7 +2,7 @@
 //! and recovery scheduling are the solver's inner loop.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dsd_core::{Candidate, DesignSolver, Budget};
+use dsd_core::{Budget, Candidate, DesignSolver};
 use dsd_recovery::{schedule_jobs, Evaluator, RecoveryJob, RecoveryPolicy};
 use dsd_resources::{ArrayRef, DeviceRef, SiteId};
 use dsd_scenarios::environments::peer_sites;
@@ -16,10 +16,8 @@ use std::time::Duration;
 fn solved_candidate() -> (dsd_core::Environment, Candidate) {
     let env = peer_sites();
     let mut rng = ChaCha8Rng::seed_from_u64(1);
-    let best = DesignSolver::new(&env)
-        .solve(Budget::iterations(8), &mut rng)
-        .best
-        .expect("feasible");
+    let best =
+        DesignSolver::new(&env).solve(Budget::iterations(8), &mut rng).best.expect("feasible");
     (env, best)
 }
 

@@ -10,17 +10,13 @@ fn bench_sensitivity(c: &mut Criterion) {
     let mut group = c.benchmark_group("sensitivity");
     group.sample_size(10).warm_up_time(Duration::from_millis(500));
     for kind in [SweepKind::DataObject, SweepKind::DiskArray, SweepKind::SiteDisaster] {
-        group.bench_with_input(
-            BenchmarkId::new("figure", kind.figure()),
-            &kind,
-            |b, &kind| {
-                let rate = kind.paper_rates()[0];
-                b.iter(|| {
-                    let fig = run(kind, &[rate], Budget::iterations(4), black_box(41));
-                    black_box(fig.points[0].total)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("figure", kind.figure()), &kind, |b, &kind| {
+            let rate = kind.paper_rates()[0];
+            b.iter(|| {
+                let fig = run(kind, &[rate], Budget::iterations(4), black_box(41));
+                black_box(fig.points[0].total)
+            });
+        });
     }
     group.finish();
 }

@@ -1,0 +1,78 @@
+//! Measures the candidate-evaluation cache: solves the peer-sites
+//! environment (four applications) with and without a cache, checks the
+//! two runs are bit-identical, times a shared-cache parallel fan-out, and
+//! writes the numbers to `BENCH_cache.json` (`DSD_BENCH_DIR` overrides
+//! the output directory; `DSD_BUDGET` / `DSD_SEED` as usual).
+
+use dsd_bench::{budget_from_env, env_u64, outcome_value, seed_from_env, write_bench_json};
+use dsd_core::{parallel_solve, DesignSolver, EvalCache, DEFAULT_CACHE_CAPACITY};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Value;
+
+fn main() {
+    let env = dsd_scenarios::environments::peer_sites_with(4);
+    let budget = budget_from_env();
+    let seed = seed_from_env();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let uncached = DesignSolver::new(&env).solve(budget, &mut rng);
+
+    let cache = EvalCache::new(DEFAULT_CACHE_CAPACITY);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let cached = DesignSolver::new(&env).with_cache(&cache).solve(budget, &mut rng);
+
+    let (a, b) = (uncached.best.as_ref(), cached.best.as_ref());
+    assert_eq!(
+        a.map(|c| c.assignments().clone()),
+        b.map(|c| c.assignments().clone()),
+        "cached search must pick the identical design"
+    );
+    assert_eq!(
+        a.map(|c| c.cost().total()),
+        b.map(|c| c.cost().total()),
+        "cached search must report the identical cost"
+    );
+    assert_eq!(uncached.stats.nodes_evaluated, cached.stats.nodes_evaluated);
+
+    let stats = cache.stats();
+    println!("seed {seed}: identical best design with and without cache");
+    println!(
+        "  uncached: {:.3}s ({:.0} evals/s)",
+        uncached.elapsed.as_secs_f64(),
+        uncached.evals_per_sec()
+    );
+    println!(
+        "  cached:   {:.3}s ({:.0} evals/s), {} hits / {} misses ({:.1}% hit rate)",
+        cached.elapsed.as_secs_f64(),
+        cached.evals_per_sec(),
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+
+    let seeds: Vec<u64> = (1..=env_u64("DSD_SEEDS", 4)).collect();
+    let parallel = parallel_solve(&env, budget, &seeds);
+    let shared = parallel.cache.expect("parallel_solve attaches a cache");
+    println!(
+        "  parallel x{}: {:.3}s, shared cache {:.1}% hit rate ({} hits)",
+        seeds.len(),
+        parallel.elapsed.as_secs_f64(),
+        shared.hit_rate() * 100.0,
+        shared.hits
+    );
+
+    let report = Value::Map(vec![
+        ("environment".to_string(), Value::Str("peer_sites_with(4)".to_string())),
+        ("seed".to_string(), Value::Int(i64::try_from(seed).unwrap_or(i64::MAX))),
+        ("uncached".to_string(), outcome_value(&uncached)),
+        ("cached".to_string(), outcome_value(&cached)),
+        ("parallel_shared_cache".to_string(), outcome_value(&parallel)),
+        (
+            "identical_results".to_string(),
+            Value::Bool(true), // asserted above; reaching here means it held
+        ),
+    ]);
+    let path = write_bench_json("cache", &report).expect("write BENCH_cache.json");
+    println!("json written to {}", path.display());
+}

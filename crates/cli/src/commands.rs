@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use dsd_core::{Budget, DesignSolver, Environment};
+use dsd_core::{Budget, DesignSolver, Environment, EvalCache, DEFAULT_CACHE_CAPACITY};
 use dsd_recovery::Evaluator;
 use dsd_scenarios::experiments::{ablation, figure2, figure3, figure4, sensitivity, table4};
 
@@ -83,9 +83,11 @@ pub fn cmd_design(
     let spec = EnvironmentSpec::from_toml(spec_text)?;
     let env = spec.to_environment()?;
     let mut rng = ChaCha8Rng::seed_from_u64(options.seed);
-    let outcome =
-        DesignSolver::new(&env).solve(Budget::iterations(options.budget), &mut rng);
-    let Some(best) = outcome.best else {
+    let cache = EvalCache::new(DEFAULT_CACHE_CAPACITY);
+    let outcome = DesignSolver::new(&env)
+        .with_cache(&cache)
+        .solve(Budget::iterations(options.budget), &mut rng);
+    let Some(best) = outcome.best.clone() else {
         return Err("no feasible design found within the budget".into());
     };
 
@@ -95,9 +97,7 @@ pub fn cmd_design(
         let _ = writeln!(
             text,
             "  {:<28} {:<34} primary @ {}",
-            env.workloads[*app].name,
-            env.catalog[a.technique].name,
-            a.placement.primary
+            env.workloads[*app].name, env.catalog[a.technique].name, a.placement.primary
         );
     }
     let cost = best.cost();
@@ -105,6 +105,32 @@ pub fn cmd_design(
     let _ = writeln!(text, "outage penalty:  {}", cost.penalties.outage);
     let _ = writeln!(text, "loss penalty:    {}", cost.penalties.loss);
     let _ = writeln!(text, "total:           {}", cost.total());
+    let stats = outcome.stats;
+    let _ = writeln!(text, "search statistics:");
+    let _ = writeln!(
+        text,
+        "  evaluations:   {} ({:.0} evals/s)",
+        stats.nodes_evaluated,
+        outcome.evals_per_sec()
+    );
+    let _ = writeln!(
+        text,
+        "  stage times:   greedy {:.3}s, refit {:.3}s, completion {:.3}s",
+        stats.greedy_time.as_secs_f64(),
+        stats.refit_time.as_secs_f64(),
+        stats.completion_time.as_secs_f64()
+    );
+    if let Some(cache_stats) = outcome.cache {
+        let _ = writeln!(
+            text,
+            "  eval cache:    {} hits / {} misses ({:.1}% hit rate), {} evictions, {} entries",
+            cache_stats.hits,
+            cache_stats.misses,
+            cache_stats.hit_rate() * 100.0,
+            cache_stats.evictions,
+            cache_stats.entries
+        );
+    }
 
     let json = SavedDesign::from_candidate(&env, &best).to_json();
     let report = crate::report::markdown(&env, &best);
@@ -155,11 +181,8 @@ pub fn cmd_evaluate(spec_text: &str, design_text: &str) -> Result<String, Box<dy
             let _ = writeln!(out, "  {v}");
         }
         let total: f64 = windows.iter().map(|v| v.expected_annual.as_f64()).sum();
-        let _ = writeln!(
-            out,
-            "  total expected annual exposure: {}",
-            dsd_units::Dollars::new(total)
-        );
+        let _ =
+            writeln!(out, "  total expected annual exposure: {}", dsd_units::Dollars::new(total));
     }
     Ok(out)
 }
@@ -265,6 +288,8 @@ mod tests {
         let (text, json, report) =
             cmd_design(&spec, RunOptions { budget: 15, seed: 3 }).expect("solvable");
         assert!(text.contains("total:"));
+        assert!(text.contains("search statistics:"));
+        assert!(text.contains("eval cache:"));
         assert!(report.contains("# Dependable storage design report"));
         let eval = cmd_evaluate(&spec, &json).expect("evaluates");
         assert!(eval.contains("cost:"));

@@ -13,8 +13,7 @@ use std::fs;
 use std::process::ExitCode;
 
 use dsd_cli::commands::{
-    cmd_analyze_trace, cmd_design, cmd_evaluate, cmd_experiment, cmd_init, cmd_tables,
-    RunOptions,
+    cmd_analyze_trace, cmd_design, cmd_evaluate, cmd_experiment, cmd_init, cmd_tables, RunOptions,
 };
 
 fn usage() -> &'static str {
@@ -30,9 +29,7 @@ struct OutputPaths {
 
 /// Pulls `--budget`/`--seed`/`--save`/`--report` style flags out of the
 /// argument list, returning the remaining positionals.
-fn parse_flags(
-    args: &[String],
-) -> Result<(Vec<&str>, RunOptions, OutputPaths), Box<dyn Error>> {
+fn parse_flags(args: &[String]) -> Result<(Vec<&str>, RunOptions, OutputPaths), Box<dyn Error>> {
     let mut positional = Vec::new();
     let mut options = RunOptions::default();
     let mut out = OutputPaths::default();

@@ -77,17 +77,12 @@ pub fn markdown(env: &Environment, candidate: &Candidate) -> String {
         }
     }
 
-    let windows = evaluator.vulnerability_windows(
-        &protections,
-        &scenarios,
-        env.failures.rates().data_object,
-    );
+    let windows =
+        evaluator.vulnerability_windows(&protections, &scenarios, env.failures.rates().data_object);
     if !windows.is_empty() {
         let _ = writeln!(out, "\n## Double-failure exposure\n");
-        let _ = writeln!(
-            out,
-            "| first failure | application | window | fallback | expected $/yr |"
-        );
+        let _ =
+            writeln!(out, "| first failure | application | window | fallback | expected $/yr |");
         let _ = writeln!(out, "|---|---|---|---|---|");
         let mut total = Dollars::ZERO;
         for v in &windows {
@@ -184,10 +179,8 @@ mod tests {
     fn report_contains_every_section() {
         let env = peer_sites();
         let mut rng = ChaCha8Rng::seed_from_u64(8);
-        let best = DesignSolver::new(&env)
-            .solve(Budget::iterations(20), &mut rng)
-            .best
-            .expect("feasible");
+        let best =
+            DesignSolver::new(&env).solve(Budget::iterations(20), &mut rng).best.expect("feasible");
         let report = markdown(&env, &best);
         for heading in [
             "# Dependable storage design report",
@@ -212,14 +205,10 @@ mod tests {
     fn report_includes_vulnerability_when_failover_present() {
         let env = peer_sites();
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        let best = DesignSolver::new(&env)
-            .solve(Budget::iterations(30), &mut rng)
-            .best
-            .expect("feasible");
-        let has_failover = best
-            .assignments()
-            .values()
-            .any(|a| env.catalog[a.technique].is_failover());
+        let best =
+            DesignSolver::new(&env).solve(Budget::iterations(30), &mut rng).best.expect("feasible");
+        let has_failover =
+            best.assignments().values().any(|a| env.catalog[a.technique].is_failover());
         let report = markdown(&env, &best);
         assert_eq!(report.contains("## Double-failure exposure"), has_failover);
     }

@@ -87,10 +87,7 @@ impl SavedDesign {
                 placement: a.placement,
             })
             .collect();
-        SavedDesign {
-            assignments,
-            annual_cost_dollars: candidate.cost().total().as_f64(),
-        }
+        SavedDesign { assignments, annual_cost_dollars: candidate.cost().total().as_f64() }
     }
 
     /// Serializes to pretty JSON.
@@ -138,9 +135,7 @@ impl SavedDesign {
             let mut arrays = vec![saved.placement.primary];
             arrays.extend(saved.placement.mirror);
             for r in arrays {
-                if r.site.0 >= site_count
-                    || r.slot >= env.topology.site(r.site).array_slots.len()
-                {
+                if r.site.0 >= site_count || r.slot >= env.topology.site(r.site).array_slots.len() {
                     return Err(SavedError::Mismatch(format!(
                         "{}: array slot {r} does not exist in this environment",
                         saved.app_name
@@ -148,9 +143,7 @@ impl SavedDesign {
                 }
             }
             if let Some(t) = saved.placement.tape {
-                if t.site.0 >= site_count
-                    || t.slot >= env.topology.site(t.site).tape_slots.len()
-                {
+                if t.site.0 >= site_count || t.slot >= env.topology.site(t.site).tape_slots.len() {
                     return Err(SavedError::Mismatch(format!(
                         "{}: tape slot {t} does not exist in this environment",
                         saved.app_name
@@ -169,9 +162,7 @@ impl SavedDesign {
             // shape (mirror slot, tape slot) must still exist.
             candidate
                 .try_assign(env, AppId(saved.app), technique, saved.config, saved.placement)
-                .map_err(|e| {
-                    SavedError::Mismatch(format!("{}: {e}", saved.app_name))
-                })?;
+                .map_err(|e| SavedError::Mismatch(format!("{}: {e}", saved.app_name)))?;
         }
         ConfigurationSolver::new(env).complete(&mut candidate, Thoroughness::Quick);
         Ok(candidate)
@@ -189,10 +180,8 @@ mod tests {
     fn solved() -> (Environment, Candidate) {
         let env = peer_sites();
         let mut rng = ChaCha8Rng::seed_from_u64(8);
-        let best = DesignSolver::new(&env)
-            .solve(Budget::iterations(20), &mut rng)
-            .best
-            .expect("feasible");
+        let best =
+            DesignSolver::new(&env).solve(Budget::iterations(20), &mut rng).best.expect("feasible");
         (env, best)
     }
 

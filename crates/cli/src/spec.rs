@@ -10,8 +10,8 @@ use dsd_core::Environment;
 use dsd_failure::{FailureModel, FailureRates};
 use dsd_protection::TechniqueCatalog;
 use dsd_resources::{DeviceSpec, NetworkSpec, Site, Topology};
-use dsd_units::{DollarsPerHour, Gigabytes, MegabytesPerSec, PerYear};
 use dsd_units::TimeSpan;
+use dsd_units::{DollarsPerHour, Gigabytes, MegabytesPerSec, PerYear};
 use dsd_workload::{PenaltyRates, PenaltySchedule, WorkloadProfile, WorkloadSet};
 
 /// Errors raised while parsing or validating a spec.
@@ -100,9 +100,7 @@ impl ApplicationSpec {
                     "breach_fine",
                 )?),
             }),
-            _ => Err(SpecError::Invalid(
-                "rto_hours and rpo_hours must be given together".into(),
-            )),
+            _ => Err(SpecError::Invalid("rto_hours and rpo_hours must be given together".into())),
         }
     }
 
@@ -115,9 +113,7 @@ impl ApplicationSpec {
                 "consumer-banking" => WorkloadProfile::consumer_banking(),
                 "student-accounts" => WorkloadProfile::student_accounts(),
                 other => {
-                    return Err(SpecError::Invalid(format!(
-                        "unknown built-in profile: {other}"
-                    )))
+                    return Err(SpecError::Invalid(format!("unknown built-in profile: {other}")))
                 }
             };
             return Ok(base.with_schedule(schedule));
@@ -185,19 +181,15 @@ impl SiteSpec {
     fn to_site(&self, id: usize) -> Result<Site, SpecError> {
         let mut site = Site::new(id, self.name.clone()).with_compute(self.compute);
         if let Some(cost) = self.facility_cost {
-            site = site.with_facility_cost(dsd_units::Dollars::new(non_negative(
-                cost,
-                "facility_cost",
-            )?));
+            site = site
+                .with_facility_cost(dsd_units::Dollars::new(non_negative(cost, "facility_cost")?));
         }
         for a in &self.arrays {
             let spec = match a.as_str() {
                 "xp1200" => DeviceSpec::xp1200(),
                 "eva800" => DeviceSpec::eva800(),
                 "msa1500" => DeviceSpec::msa1500(),
-                other => {
-                    return Err(SpecError::Invalid(format!("unknown array model: {other}")))
-                }
+                other => return Err(SpecError::Invalid(format!("unknown array model: {other}"))),
             };
             site = site.with_array_slot(spec);
         }
@@ -319,18 +311,14 @@ impl EnvironmentSpec {
         let network = match self.network.class.as_str() {
             "high" => NetworkSpec::high(),
             "med" => NetworkSpec::med(),
-            other => {
-                return Err(SpecError::Invalid(format!("unknown network class: {other}")))
-            }
+            other => return Err(SpecError::Invalid(format!("unknown network class: {other}"))),
         };
         let topology = Arc::new(Topology::fully_connected(sites, network));
 
         let catalog = match self.catalog.as_deref() {
             None | Some("table2") => TechniqueCatalog::table2(),
             Some("extended") => TechniqueCatalog::extended(),
-            Some(other) => {
-                return Err(SpecError::Invalid(format!("unknown catalog: {other}")))
-            }
+            Some(other) => return Err(SpecError::Invalid(format!("unknown catalog: {other}"))),
         };
 
         let rates = FailureRates {
@@ -484,8 +472,7 @@ mod tests {
             [network]
             class = "med"
         "#;
-        let err =
-            EnvironmentSpec::from_toml(text).unwrap().to_environment().unwrap_err();
+        let err = EnvironmentSpec::from_toml(text).unwrap().to_environment().unwrap_err();
         assert!(err.to_string().contains("rto_hours and rpo_hours"));
     }
 
@@ -522,10 +509,7 @@ mod tests {
             [network]
             class = "med"
         "#;
-        let err = EnvironmentSpec::from_toml(missing)
-            .unwrap()
-            .to_environment()
-            .unwrap_err();
+        let err = EnvironmentSpec::from_toml(missing).unwrap().to_environment().unwrap_err();
         assert!(
             err.to_string().contains("missing"),
             "incomplete custom app must name a missing field: {err}"
@@ -562,13 +546,15 @@ mod tests {
         assert!(err.to_string().contains("unique_fraction"));
 
         // Peak below average.
-        let text = text.replace("peak_update_mbps = 2.0", "peak_update_mbps = 0.5")
+        let text = text
+            .replace("peak_update_mbps = 2.0", "peak_update_mbps = 0.5")
             .replace("unique_fraction = 7.0", "unique_fraction = 0.5");
         let err = EnvironmentSpec::from_toml(&text).unwrap().to_environment().unwrap_err();
         assert!(err.to_string().contains("peak_update_mbps"));
 
         // Negative capacity.
-        let text2 = text.replace("capacity_gb = 10.0", "capacity_gb = -10.0")
+        let text2 = text
+            .replace("capacity_gb = 10.0", "capacity_gb = -10.0")
             .replace("peak_update_mbps = 0.5", "peak_update_mbps = 2.0");
         let err = EnvironmentSpec::from_toml(&text2).unwrap().to_environment().unwrap_err();
         assert!(err.to_string().contains("capacity_gb"));

@@ -53,10 +53,8 @@ fn full_workflow_through_the_binary() {
     // analyze a hand-written trace
     let trace_path = dir.join("trace.csv");
     std::fs::write(&trace_path, "secs,block,blocks,kind\n0.0,0,4,W\n60.0,4,4,W\n").unwrap();
-    let analyze = dsd()
-        .args(["analyze-trace", trace_path.to_str().unwrap()])
-        .output()
-        .expect("runs");
+    let analyze =
+        dsd().args(["analyze-trace", trace_path.to_str().unwrap()]).output().expect("runs");
     assert!(analyze.status.success());
     assert!(String::from_utf8_lossy(&analyze.stdout).contains("avg update"));
 

@@ -14,7 +14,7 @@ use dsd_workload::AppId;
 use crate::env::Environment;
 
 /// One application's protection decisions within a candidate design.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Hash, Serialize, Deserialize)]
 pub struct AppAssignment {
     /// Chosen data protection technique.
     pub technique: TechniqueId,
@@ -290,11 +290,9 @@ impl Candidate {
                 continue;
             }
             let spec = &env.topology.site(tape.site).tape_slots[tape.slot];
-            let cartridges =
-                env.workloads[app].capacity().units_of(spec.capacity_per_unit);
+            let cartridges = env.workloads[app].capacity().units_of(spec.capacity_per_unit);
             let shipments_per_year = HOURS_PER_YEAR / chain.vault_cycle.as_hours();
-            total +=
-                spec.cost_per_capacity_unit * (f64::from(cartridges) * shipments_per_year);
+            total += spec.cost_per_capacity_unit * (f64::from(cartridges) * shipments_per_year);
         }
         total
     }
@@ -336,9 +334,7 @@ impl Candidate {
         let ledgered: Vec<AppId> = self.provision.allocated_apps().collect();
         let assigned: Vec<AppId> = self.assignments.keys().copied().collect();
         if ledgered != assigned {
-            return Err(format!(
-                "ledger {ledgered:?} does not match assignments {assigned:?}"
-            ));
+            return Err(format!("ledger {ledgered:?} does not match assignments {assigned:?}"));
         }
         Ok(())
     }
@@ -418,8 +414,7 @@ mod tests {
         assert_eq!(backup.len(), 4);
         assert!(backup.iter().all(|p| p.mirror.is_none() && p.tape.is_some()));
         // Mirrored with backup: 4 primaries x 2 remote slots = 8.
-        let mirrored =
-            PlacementOptions::enumerate(&e, tid(&e, "sync mirror (F) with backup"));
+        let mirrored = PlacementOptions::enumerate(&e, tid(&e, "sync mirror (F) with backup"));
         assert_eq!(mirrored.len(), 8);
         for p in &mirrored {
             assert_ne!(p.mirror.unwrap().site, p.primary.site);
@@ -477,8 +472,7 @@ mod tests {
             .copied()
             .unwrap();
         // central banking: access 50 + peak mirror 50 on a 128 MB/s MSA — fits.
-        c.try_assign(&e, AppId(0), t, e.catalog[t].default_config(), msa_primary)
-            .unwrap();
+        c.try_assign(&e, AppId(0), t, e.catalog[t].default_config(), msa_primary).unwrap();
         let before = c.provision().clone();
         // Web service with backup on the same MSA primary: 20 MB/s access
         // plus a ~102 MB/s backup stream exceeds the 128 MB/s enclosure
@@ -488,9 +482,8 @@ mod tests {
             .into_iter()
             .find(|p| p.primary == msa_primary.primary && p.mirror.unwrap().slot == 0)
             .unwrap();
-        let err = c
-            .try_assign(&e, AppId(1), t2, e.catalog[t2].default_config(), heavy)
-            .unwrap_err();
+        let err =
+            c.try_assign(&e, AppId(1), t2, e.catalog[t2].default_config(), heavy).unwrap_err();
         assert!(matches!(err, ResourceError::DeviceExhausted { .. }));
         assert_eq!(c.provision(), &before, "failed assignment must roll back");
         assert_eq!(c.assigned_count(), 1);
@@ -549,9 +542,6 @@ mod tests {
             .unwrap();
         let ca = a.evaluate(&e).penalties.total();
         let cb = b.evaluate(&e).penalties.total();
-        assert!(
-            cb > ca,
-            "unprotected data-object exposure must dominate: {cb} vs {ca}"
-        );
+        assert!(cb > ca, "unprotected data-object exposure must dominate: {cb} vs {ca}");
     }
 }

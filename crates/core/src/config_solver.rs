@@ -6,11 +6,12 @@ use dsd_workload::AppId;
 
 use crate::candidate::{Candidate, CostBreakdown};
 use crate::env::Environment;
+use crate::eval_cache::{CandidateKey, EvalCache};
 
 /// How much work the configuration solver does. During the design
 /// solver's inner search, `Quick` keeps node evaluation cheap; the final
 /// polish (and the human heuristic) uses `Full`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Thoroughness {
     /// Keep current configuration parameters; run a short
     /// resource-addition loop.
@@ -49,12 +50,38 @@ impl<'e> ConfigurationSolver<'e> {
         self
     }
 
-    /// Optimizes `candidate` in place and returns its final cost.
-    pub fn complete(
+    /// The `(quick, full)` resource-addition limits in force.
+    #[must_use]
+    pub fn addition_limits(&self) -> (usize, usize) {
+        (self.max_additions_quick, self.max_additions_full)
+    }
+
+    /// Memoized [`ConfigurationSolver::complete`]: looks the candidate up
+    /// in `cache` first and replays the stored completion on a hit,
+    /// otherwise completes normally and stores the result.
+    ///
+    /// Completion is deterministic in the candidate state, thoroughness,
+    /// and addition limits — all captured by the [`CandidateKey`] — and
+    /// consumes no randomness, so cached and uncached searches are
+    /// bit-identical. Returns the final cost and whether the lookup hit.
+    pub fn complete_cached(
         &self,
         candidate: &mut Candidate,
         thoroughness: Thoroughness,
-    ) -> CostBreakdown {
+        cache: &EvalCache,
+    ) -> (CostBreakdown, bool) {
+        let key = CandidateKey::of(candidate, thoroughness, self.addition_limits());
+        if let Some((cached, cost)) = cache.lookup(&key) {
+            *candidate = cached;
+            return (cost, true);
+        }
+        let cost = self.complete(candidate, thoroughness);
+        cache.insert(key, candidate.clone(), cost.clone());
+        (cost, false)
+    }
+
+    /// Optimizes `candidate` in place and returns its final cost.
+    pub fn complete(&self, candidate: &mut Candidate, thoroughness: Thoroughness) -> CostBreakdown {
         if thoroughness == Thoroughness::Full {
             self.optimize_configs(candidate);
         }
@@ -186,16 +213,12 @@ mod tests {
         let mut c = Candidate::empty(env);
         for app in env.workloads.iter() {
             let class = app.class_with(&env.thresholds);
-            let (tid, technique) = env
-                .catalog
-                .eligible_for(class)
-                .next()
-                .expect("eligible technique exists");
+            let (tid, technique) =
+                env.catalog.eligible_for(class).next().expect("eligible technique exists");
             let config = technique.default_config();
             let placements = PlacementOptions::enumerate(env, tid);
-            let placed = placements
-                .iter()
-                .any(|&p| c.try_assign(env, app.id, tid, config, p).is_ok());
+            let placed =
+                placements.iter().any(|&p| c.try_assign(env, app.id, tid, config, p).is_ok());
             assert!(placed, "fixture must be assignable");
         }
         c
@@ -230,6 +253,67 @@ mod tests {
         let mut full = base;
         let full_cost = solver.complete(&mut full, Thoroughness::Full);
         assert!(full_cost.total() <= quick_cost.total());
+    }
+
+    #[test]
+    fn zero_addition_limits_disable_the_addition_loop() {
+        let e = env(4);
+        let base = assigned_candidate(&e);
+        let solver = ConfigurationSolver::new(&e).with_addition_limits(0, 0);
+        assert_eq!(solver.addition_limits(), (0, 0));
+        let mut c = base.clone();
+        let cost = solver.complete(&mut c, Thoroughness::Quick);
+        // Quick with no additions is a pure evaluation: nothing changes.
+        assert_eq!(c.assignments(), base.assignments());
+        let mut plain = base.clone();
+        assert_eq!(cost.total(), plain.evaluate(&e).total());
+    }
+
+    #[test]
+    fn asymmetric_limits_let_full_add_what_quick_cannot() {
+        let e = env(4);
+        let base = assigned_candidate(&e);
+        let solver = ConfigurationSolver::new(&e).with_addition_limits(0, 32);
+        let mut quick = base.clone();
+        let quick_cost = solver.complete(&mut quick, Thoroughness::Quick);
+        let mut full = base;
+        let full_cost = solver.complete(&mut full, Thoroughness::Full);
+        // Full keeps its 32 addition steps (plus config search), so it can
+        // only do better than a Quick pass stripped of the loop.
+        assert!(full_cost.total() <= quick_cost.total());
+    }
+
+    #[test]
+    fn huge_limits_terminate_via_convergence() {
+        // The addition loop must stop when nothing improves, not run to
+        // the step limit.
+        let e = env(2);
+        let mut c = assigned_candidate(&e);
+        let cost = ConfigurationSolver::new(&e)
+            .with_addition_limits(10_000, 10_000)
+            .complete(&mut c, Thoroughness::Quick);
+        assert!(cost.total().is_finite());
+    }
+
+    #[test]
+    fn zero_limits_on_infeasible_environment_yield_none_without_panic() {
+        // One site, one compute slot: the gold-class app cannot be
+        // protected, and the crippled configuration solver must not mask
+        // or aggravate that.
+        let sites =
+            vec![Site::new(0, "tiny").with_array_slot(DeviceSpec::msa1500()).with_compute(1)];
+        let e = Environment::new(
+            WorkloadSet::scaled_paper_mix(2),
+            Arc::new(Topology::fully_connected(sites, NetworkSpec::med())),
+            TechniqueCatalog::table2(),
+            FailureModel::new(FailureRates::case_study()),
+        );
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let outcome = crate::design_solver::DesignSolver::new(&e)
+            .with_addition_limits(0, 0)
+            .solve(crate::budget::Budget::iterations(4), &mut rng);
+        assert!(outcome.best.is_none());
     }
 
     #[test]

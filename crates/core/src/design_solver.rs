@@ -16,7 +16,7 @@
 //! equivalent explicit best-tracking; the explored node set (b siblings ×
 //! depth-d best-of-b walks per round) is the same.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rand::Rng;
 
@@ -27,6 +27,7 @@ use crate::budget::{Budget, BudgetTracker};
 use crate::candidate::{Candidate, PlacementOptions};
 use crate::config_solver::{ConfigurationSolver, Thoroughness};
 use crate::env::Environment;
+use crate::eval_cache::{CacheStats, EvalCache};
 use crate::reconfigure::{weighted_index, Reconfigurator};
 
 /// Refit-stage shape parameters (paper §3.1.2: breadth `b`, typically 3;
@@ -47,7 +48,12 @@ impl Default for RefitParams {
     }
 }
 
-/// Counters describing one solve run.
+/// Counters and timers describing one solve run.
+///
+/// The stage timers partially overlap: `completion_time` counts every
+/// configuration-solver completion wherever it happens, so completions
+/// performed inside the refit walk are included in both `refit_time` and
+/// `completion_time`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SolveStats {
     /// Completed greedy stage-1 constructions.
@@ -58,6 +64,16 @@ pub struct SolveStats {
     pub refit_rounds: u64,
     /// Candidate nodes evaluated (configuration-solver completions).
     pub nodes_evaluated: u64,
+    /// Completions answered from the evaluation cache.
+    pub cache_hits: u64,
+    /// Completions that missed the evaluation cache (and were computed).
+    pub cache_misses: u64,
+    /// Wall time in the greedy best-fit stage.
+    pub greedy_time: Duration,
+    /// Wall time in the refit stage (including its inner completions).
+    pub refit_time: Duration,
+    /// Wall time in configuration-solver completions (cached or not).
+    pub completion_time: Duration,
 }
 
 impl SolveStats {
@@ -67,6 +83,24 @@ impl SolveStats {
         self.greedy_failures += other.greedy_failures;
         self.refit_rounds += other.refit_rounds;
         self.nodes_evaluated += other.nodes_evaluated;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.greedy_time += other.greedy_time;
+        self.refit_time += other.refit_time;
+        self.completion_time += other.completion_time;
+    }
+
+    /// Fraction of this run's completions answered from the cache, in
+    /// `[0, 1]`; zero when the run performed no completions (or ran
+    /// uncached).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 }
 
@@ -81,6 +115,18 @@ pub struct SolveOutcome {
     pub stats: SolveStats,
     /// Wall time consumed.
     pub elapsed: Duration,
+    /// Snapshot of the evaluation cache at the end of the run, when one
+    /// was attached (its counters are cache-lifetime, not per-run: a
+    /// cache shared across restarts or workers accumulates).
+    pub cache: Option<CacheStats>,
+}
+
+impl SolveOutcome {
+    /// Candidate evaluations per wall-clock second over the whole run.
+    #[must_use]
+    pub fn evals_per_sec(&self) -> f64 {
+        self.stats.nodes_evaluated as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
 }
 
 /// The two-stage randomized design solver (Algorithm 1).
@@ -91,6 +137,7 @@ pub struct DesignSolver<'e> {
     max_greedy_restarts: usize,
     alpha_util: f64,
     addition_limits: (usize, usize),
+    cache: Option<&'e EvalCache>,
 }
 
 impl<'e> DesignSolver<'e> {
@@ -103,7 +150,19 @@ impl<'e> DesignSolver<'e> {
             max_greedy_restarts: 10,
             alpha_util: 0.9,
             addition_limits: (4, 32),
+            cache: None,
         }
+    }
+
+    /// Attaches an evaluation cache (builder style). Completions are
+    /// memoized in it and replayed on revisits; the same cache can be
+    /// shared across restarts and across solver instances (including
+    /// worker threads), and results stay bit-identical to the uncached
+    /// solver.
+    #[must_use]
+    pub fn with_cache(mut self, cache: &'e EvalCache) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Overrides the refit parameters (builder style).
@@ -150,7 +209,10 @@ impl<'e> DesignSolver<'e> {
         let mut best: Option<Candidate> = None;
 
         while !tracker.expired() {
-            let Some(mut current) = self.greedy_stage(rng, &mut tracker, &mut stats) else {
+            let greedy_started = Instant::now();
+            let built = self.greedy_stage(rng, &mut tracker, &mut stats);
+            stats.greedy_time += greedy_started.elapsed();
+            let Some(mut current) = built else {
                 stats.greedy_failures += 1;
                 // Nothing feasible from this restart; if even the greedy
                 // stage keeps failing there is no point burning the rest
@@ -162,18 +224,50 @@ impl<'e> DesignSolver<'e> {
                 continue;
             };
             stats.greedy_builds += 1;
-            config.complete(&mut current, Thoroughness::Quick);
-            stats.nodes_evaluated += 1;
+            self.complete_node(&config, &mut current, Thoroughness::Quick, &mut stats);
 
+            let refit_started = Instant::now();
             self.refit_stage(&mut current, &mut reconf, rng, &mut tracker, &mut stats);
+            stats.refit_time += refit_started.elapsed();
             track_best(self.env, &mut best, current);
         }
 
         if let Some(b) = best.as_mut() {
-            config.complete(b, Thoroughness::Full);
-            stats.nodes_evaluated += 1;
+            self.complete_node(&config, b, Thoroughness::Full, &mut stats);
         }
-        SolveOutcome { best, stats, elapsed: tracker.elapsed() }
+        SolveOutcome {
+            best,
+            stats,
+            elapsed: tracker.elapsed(),
+            cache: self.cache.map(EvalCache::stats),
+        }
+    }
+
+    /// Completes one node through the attached cache (when present),
+    /// recording completion time, node count, and hit/miss counters.
+    fn complete_node(
+        &self,
+        config: &ConfigurationSolver<'e>,
+        candidate: &mut Candidate,
+        thoroughness: Thoroughness,
+        stats: &mut SolveStats,
+    ) {
+        let started = Instant::now();
+        match self.cache {
+            Some(cache) => {
+                let (_, hit) = config.complete_cached(candidate, thoroughness, cache);
+                if hit {
+                    stats.cache_hits += 1;
+                } else {
+                    stats.cache_misses += 1;
+                }
+            }
+            None => {
+                config.complete(candidate, thoroughness);
+            }
+        }
+        stats.completion_time += started.elapsed();
+        stats.nodes_evaluated += 1;
     }
 
     /// Stage 1: greedy best-fit (§3.1.1). Returns a complete feasible
@@ -191,10 +285,8 @@ impl<'e> DesignSolver<'e> {
             let mut candidate = Candidate::empty(self.env);
             let mut unassigned: Vec<AppId> = self.env.workloads.ids().collect();
             while !unassigned.is_empty() {
-                let weights: Vec<f64> = unassigned
-                    .iter()
-                    .map(|&a| self.env.workloads[a].priority().as_f64())
-                    .collect();
+                let weights: Vec<f64> =
+                    unassigned.iter().map(|&a| self.env.workloads[a].priority().as_f64()).collect();
                 let pick = weighted_index(&weights, rng).expect("non-empty");
                 let app = unassigned.swap_remove(pick);
                 if !self.best_fit_assign(&mut candidate, app, stats) {
@@ -250,12 +342,14 @@ impl<'e> DesignSolver<'e> {
         tracker: &mut BudgetTracker,
         stats: &mut SolveStats,
     ) {
-        let config = ConfigurationSolver::new(self.env);
+        // Refit nodes complete with the same addition limits as the rest
+        // of the search, so one cache namespace covers both stages.
+        let config = self.config_solver();
         let explore = |node: &Candidate,
-                           reconf: &mut Reconfigurator,
-                           rng: &mut R,
-                           tracker: &mut BudgetTracker,
-                           stats: &mut SolveStats|
+                       reconf: &mut Reconfigurator,
+                       rng: &mut R,
+                       tracker: &mut BudgetTracker,
+                       stats: &mut SolveStats|
          -> Option<Candidate> {
             if tracker.expired() {
                 return None;
@@ -265,8 +359,7 @@ impl<'e> DesignSolver<'e> {
             if !reconf.reconfigure(self.env, &mut next, rng) {
                 return None;
             }
-            config.complete(&mut next, Thoroughness::Quick);
-            stats.nodes_evaluated += 1;
+            self.complete_node(&config, &mut next, Thoroughness::Quick, stats);
             Some(next)
         };
 
@@ -398,8 +491,7 @@ mod tests {
     fn gold_apps_get_gold_protection() {
         let e = env(4);
         let mut rng = ChaCha8Rng::seed_from_u64(13);
-        let best =
-            DesignSolver::new(&e).solve(Budget::iterations(30), &mut rng).best.unwrap();
+        let best = DesignSolver::new(&e).solve(Budget::iterations(30), &mut rng).best.unwrap();
         for (app, a) in best.assignments() {
             let class = e.workloads[*app].class_with(&e.thresholds);
             assert!(e.catalog[a.technique].category.satisfies(class));
@@ -410,9 +502,8 @@ mod tests {
     fn infeasible_environment_returns_none() {
         // One tiny site without tape: central banking's gold class needs a
         // mirror to another site, but there is only one site.
-        let site = vec![Site::new(0, "solo")
-            .with_array_slot(DeviceSpec::msa1500())
-            .with_compute(1)];
+        let site =
+            vec![Site::new(0, "solo").with_array_slot(DeviceSpec::msa1500()).with_compute(1)];
         let e = Environment::new(
             WorkloadSet::scaled_paper_mix(1),
             Arc::new(Topology::fully_connected(site, NetworkSpec::med())),
@@ -427,10 +518,37 @@ mod tests {
 
     #[test]
     fn stats_merge_accumulates() {
-        let mut a = SolveStats { greedy_builds: 1, greedy_failures: 2, refit_rounds: 3, nodes_evaluated: 4 };
-        let b = SolveStats { greedy_builds: 10, greedy_failures: 20, refit_rounds: 30, nodes_evaluated: 40 };
+        let mut a = SolveStats {
+            greedy_builds: 1,
+            greedy_failures: 2,
+            refit_rounds: 3,
+            nodes_evaluated: 4,
+            cache_hits: 5,
+            cache_misses: 6,
+            greedy_time: Duration::from_millis(7),
+            refit_time: Duration::from_millis(8),
+            completion_time: Duration::from_millis(9),
+        };
+        let b = SolveStats {
+            greedy_builds: 10,
+            greedy_failures: 20,
+            refit_rounds: 30,
+            nodes_evaluated: 40,
+            cache_hits: 50,
+            cache_misses: 60,
+            greedy_time: Duration::from_millis(70),
+            refit_time: Duration::from_millis(80),
+            completion_time: Duration::from_millis(90),
+        };
         a.merge(&b);
         assert_eq!(a.greedy_builds, 11);
         assert_eq!(a.nodes_evaluated, 44);
+        assert_eq!(a.cache_hits, 55);
+        assert_eq!(a.cache_misses, 66);
+        assert_eq!(a.greedy_time, Duration::from_millis(77));
+        assert_eq!(a.refit_time, Duration::from_millis(88));
+        assert_eq!(a.completion_time, Duration::from_millis(99));
+        assert!((b.cache_hit_rate() - 50.0 / 110.0).abs() < 1e-12);
+        assert!((SolveStats::default().cache_hit_rate()).abs() < 1e-12);
     }
 }

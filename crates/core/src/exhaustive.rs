@@ -176,10 +176,7 @@ mod tests {
             };
             Environment::new(
                 WorkloadSet::scaled_paper_mix(12),
-                Arc::new(Topology::fully_connected(
-                    (0..4).map(mk).collect(),
-                    NetworkSpec::high(),
-                )),
+                Arc::new(Topology::fully_connected((0..4).map(mk).collect(), NetworkSpec::high())),
                 TechniqueCatalog::table2(),
                 FailureModel::new(FailureRates::case_study()),
             )

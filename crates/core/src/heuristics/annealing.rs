@@ -80,7 +80,7 @@ impl<'e> SimulatedAnnealing<'e> {
         // Start from a random feasible design.
         let mut current = loop {
             if tracker.expired() {
-                return SolveOutcome { best: None, stats, elapsed: tracker.elapsed() };
+                return SolveOutcome { best: None, stats, elapsed: tracker.elapsed(), cache: None };
             }
             tracker.tick();
             match random_design(self.env, 10, rng) {
@@ -107,11 +107,10 @@ impl<'e> SimulatedAnnealing<'e> {
             config.complete(&mut proposal, Thoroughness::Quick);
             stats.nodes_evaluated += 1;
 
-            let delta = self.env.score(proposal.cost()).as_f64()
-                - self.env.score(current.cost()).as_f64();
+            let delta =
+                self.env.score(proposal.cost()).as_f64() - self.env.score(current.cost()).as_f64();
             let accept = delta < 0.0
-                || (temperature > 0.0
-                    && rng.gen_range(0.0..1.0f64) < (-delta / temperature).exp());
+                || (temperature > 0.0 && rng.gen_range(0.0..1.0f64) < (-delta / temperature).exp());
             if accept {
                 current = proposal;
                 if self.env.score(current.cost()) < self.env.score(best.cost()) {
@@ -127,7 +126,7 @@ impl<'e> SimulatedAnnealing<'e> {
 
         config.complete(&mut best, Thoroughness::Full);
         stats.nodes_evaluated += 1;
-        SolveOutcome { best: Some(best), stats, elapsed: tracker.elapsed() }
+        SolveOutcome { best: Some(best), stats, elapsed: tracker.elapsed(), cache: None }
     }
 }
 
@@ -201,9 +200,7 @@ mod tests {
     #[should_panic(expected = "cooling factor")]
     fn bad_cooling_rejected() {
         let e = env();
-        let _ = SimulatedAnnealing::new(&e).with_params(AnnealingParams {
-            cooling: 1.5,
-            ..AnnealingParams::default()
-        });
+        let _ = SimulatedAnnealing::new(&e)
+            .with_params(AnnealingParams { cooling: 1.5, ..AnnealingParams::default() });
     }
 }

@@ -63,7 +63,7 @@ impl<'e> HumanHeuristic<'e> {
                 None => stats.greedy_failures += 1,
             }
         }
-        SolveOutcome { best, stats, elapsed: tracker.elapsed() }
+        SolveOutcome { best, stats, elapsed: tracker.elapsed(), cache: None }
     }
 
     /// One complete design attempt (with bounded internal restarts).
@@ -87,10 +87,8 @@ impl<'e> HumanHeuristic<'e> {
         let mut remaining: Vec<AppId> = self.env.workloads.ids().collect();
         let mut order = Vec::with_capacity(remaining.len());
         while !remaining.is_empty() {
-            let weights: Vec<f64> = remaining
-                .iter()
-                .map(|&a| self.env.workloads[a].priority().as_f64())
-                .collect();
+            let weights: Vec<f64> =
+                remaining.iter().map(|&a| self.env.workloads[a].priority().as_f64()).collect();
             let i = weighted_index(&weights, rng).expect("non-empty");
             order.push(remaining.swap_remove(i));
         }
@@ -147,10 +145,8 @@ impl<'e> HumanHeuristic<'e> {
                 .filter(|p| p.primary.site.0 == desired_site)
                 .collect();
             placements.sort_by_key(|p| {
-                let spec =
-                    &self.env.topology.site(p.primary.site).array_slots[p.primary.slot];
-                let class_mismatch =
-                    usize::from(spec.class.matching_app_class() != class);
+                let spec = &self.env.topology.site(p.primary.site).array_slots[p.primary.slot];
+                let class_mismatch = usize::from(spec.class.matching_app_class() != class);
                 (class_mismatch, p.primary.slot)
             });
             for placement in placements {
@@ -212,10 +208,7 @@ mod tests {
         for (app, a) in best.assignments() {
             let class = e.workloads[*app].class_with(&e.thresholds);
             let cat = e.catalog[a.technique].category;
-            assert!(
-                cat.satisfies(class),
-                "{app}: {cat} technique for {class} app"
-            );
+            assert!(cat.satisfies(class), "{app}: {cat} technique for {class} app");
         }
     }
 
@@ -225,11 +218,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(23);
         let out = HumanHeuristic::new(&e).solve(Budget::iterations(1), &mut rng);
         let best = out.best.unwrap();
-        let at_site0 = best
-            .assignments()
-            .values()
-            .filter(|a| a.placement.primary.site == SiteId(0))
-            .count();
+        let at_site0 =
+            best.assignments().values().filter(|a| a.placement.primary.site == SiteId(0)).count();
         // A perfect spread puts 4 of 8 at each site; allow slack for
         // feasibility-driven displacement but reject a one-sided pile-up.
         assert!((2..=6).contains(&at_site0), "primaries at site0: {at_site0}");

@@ -87,7 +87,7 @@ impl<'e> RandomHeuristic<'e> {
                 None => stats.greedy_failures += 1,
             }
         }
-        SolveOutcome { best, stats, elapsed: tracker.elapsed() }
+        SolveOutcome { best, stats, elapsed: tracker.elapsed(), cache: None }
     }
 }
 

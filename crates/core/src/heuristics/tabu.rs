@@ -61,7 +61,7 @@ impl<'e> TabuSearch<'e> {
 
         let mut current = loop {
             if tracker.expired() {
-                return SolveOutcome { best: None, stats, elapsed: tracker.elapsed() };
+                return SolveOutcome { best: None, stats, elapsed: tracker.elapsed(), cache: None };
             }
             tracker.tick();
             match random_design(self.env, 10, rng) {
@@ -92,8 +92,7 @@ impl<'e> TabuSearch<'e> {
                 stats.nodes_evaluated += 1;
                 let touched = touched_app(&current, &proposal);
                 let is_tabu = touched.is_some_and(|a| tabu.contains(&a));
-                let aspirates =
-                    self.env.score(proposal.cost()) < self.env.score(best.cost());
+                let aspirates = self.env.score(proposal.cost()) < self.env.score(best.cost());
                 if is_tabu && !aspirates {
                     continue;
                 }
@@ -119,7 +118,7 @@ impl<'e> TabuSearch<'e> {
 
         config.complete(&mut best, Thoroughness::Full);
         stats.nodes_evaluated += 1;
-        SolveOutcome { best: Some(best), stats, elapsed: tracker.elapsed() }
+        SolveOutcome { best: Some(best), stats, elapsed: tracker.elapsed(), cache: None }
     }
 }
 

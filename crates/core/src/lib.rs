@@ -46,6 +46,7 @@ mod candidate;
 mod config_solver;
 mod design_solver;
 mod env;
+pub mod eval_cache;
 mod exhaustive;
 pub mod heuristics;
 mod objective;
@@ -57,7 +58,8 @@ pub use candidate::{AppAssignment, Candidate, CostBreakdown, PlacementOptions};
 pub use config_solver::{ConfigurationSolver, Thoroughness};
 pub use design_solver::{DesignSolver, RefitParams, SolveOutcome, SolveStats};
 pub use env::Environment;
+pub use eval_cache::{CacheStats, CandidateKey, EvalCache, DEFAULT_CACHE_CAPACITY};
 pub use exhaustive::{exhaustive_optimal, ExhaustiveResult, MAX_COMBINATIONS};
 pub use objective::Objective;
-pub use parallel::parallel_solve;
+pub use parallel::{parallel_solve, parallel_solve_with_cache};
 pub use reconfigure::Reconfigurator;

@@ -2,44 +2,66 @@
 //!
 //! The paper's search restarts many times within a wall-clock budget;
 //! independent restarts are embarrassingly parallel, so we run one solver
-//! per seed on scoped threads and keep the global best.
+//! per seed on scoped threads and keep the global best. All workers share
+//! one sharded [`EvalCache`], so a completion computed on any seed is
+//! replayed for free when another seed's walk reaches the same state —
+//! without changing any worker's result (completions are deterministic,
+//! see [`crate::eval_cache`]).
 
-use crossbeam::thread;
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::budget::Budget;
 use crate::design_solver::{DesignSolver, SolveOutcome};
 use crate::env::Environment;
+use crate::eval_cache::{EvalCache, DEFAULT_CACHE_CAPACITY};
 
 /// Runs one [`DesignSolver`] per seed in parallel, each with its own
 /// budget, and returns the cheapest design found across all runs. Stats
-/// are summed; elapsed is the wall time of the whole fan-out.
+/// are summed; elapsed is the wall time of the whole fan-out. Workers
+/// share a fresh evaluation cache of [`DEFAULT_CACHE_CAPACITY`] entries.
 ///
 /// # Panics
 ///
 /// Panics if `seeds` is empty or a worker thread panics.
 #[must_use]
 pub fn parallel_solve(env: &Environment, budget: Budget, seeds: &[u64]) -> SolveOutcome {
+    let cache = EvalCache::new(DEFAULT_CACHE_CAPACITY);
+    parallel_solve_with_cache(env, budget, seeds, &cache)
+}
+
+/// [`parallel_solve`] with a caller-provided shared cache, so completions
+/// can also be reused across successive invocations (e.g. budget sweeps
+/// over the same environment).
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or a worker thread panics.
+#[must_use]
+pub fn parallel_solve_with_cache(
+    env: &Environment,
+    budget: Budget,
+    seeds: &[u64],
+    cache: &EvalCache,
+) -> SolveOutcome {
     assert!(!seeds.is_empty(), "need at least one seed");
     let started = std::time::Instant::now();
     let best = Mutex::new(None::<SolveOutcome>);
 
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for &seed in seeds {
             let best = &best;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut rng = ChaCha8Rng::seed_from_u64(seed);
-                let outcome = DesignSolver::new(env).solve(budget, &mut rng);
-                let mut slot = best.lock();
+                let outcome = DesignSolver::new(env).with_cache(cache).solve(budget, &mut rng);
+                let mut slot = best.lock().expect("best lock poisoned");
                 match slot.as_mut() {
                     None => *slot = Some(outcome),
                     Some(current) => {
                         let improved = match (&outcome.best, &current.best) {
-                            (Some(new), Some(old)) => {
-                                env.score(new.cost()) < env.score(old.cost())
-                            }
+                            (Some(new), Some(old)) => env.score(new.cost()) < env.score(old.cost()),
                             (Some(_), None) => true,
                             _ => false,
                         };
@@ -53,11 +75,12 @@ pub fn parallel_solve(env: &Environment, budget: Budget, seeds: &[u64]) -> Solve
                 }
             });
         }
-    })
-    .expect("solver worker panicked");
+    });
 
-    let mut outcome = best.into_inner().expect("at least one seed ran");
+    let mut outcome =
+        best.into_inner().expect("best lock poisoned").expect("at least one seed ran");
     outcome.elapsed = started.elapsed();
+    outcome.cache = Some(cache.stats());
     outcome
 }
 

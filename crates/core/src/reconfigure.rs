@@ -101,10 +101,7 @@ impl Reconfigurator {
                 continue;
             };
             let mut trial = candidate.clone();
-            if trial
-                .try_assign(env, app, tid, technique.default_config(), placement)
-                .is_err()
-            {
+            if trial.try_assign(env, app, tid, technique.default_config(), placement).is_err() {
                 continue;
             }
             let cost = env.score(trial.evaluate(env));
@@ -170,11 +167,8 @@ impl Reconfigurator {
         let weights: Vec<f64> = apps
             .iter()
             .map(|app| {
-                let penalty = cost
-                    .penalties
-                    .per_app
-                    .get(app)
-                    .map_or(0.0, |(o, l)| (*o + *l).as_f64());
+                let penalty =
+                    cost.penalties.per_app.get(app).map_or(0.0, |(o, l)| (*o + *l).as_f64());
                 let penalty = if penalty.is_finite() { penalty } else { 1e12 };
                 penalty + env.workloads[*app].priority().as_f64() * 1e-3 + 1.0
             })
@@ -223,8 +217,7 @@ impl Reconfigurator {
                     .iter()
                     .map(|&d| {
                         let util = provision.utilization(DeviceRef::Array(d));
-                        let usage =
-                            f64::from(*self.usage.get(&(app, d)).unwrap_or(&0)) / attempts;
+                        let usage = f64::from(*self.usage.get(&(app, d)).unwrap_or(&0)) / attempts;
                         self.alpha_util * (1.0 - util)
                             + (1.0 - self.alpha_util) * (1.0 - usage.min(1.0))
                     })

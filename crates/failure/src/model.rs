@@ -180,14 +180,10 @@ mod tests {
     fn enumeration_counts_scopes_correctly() {
         let model = FailureModel::new(FailureRates::case_study());
         let scenarios = model.enumerate(placements());
-        let objects = scenarios
-            .iter()
-            .filter(|s| matches!(s.scope, FailureScope::DataObject { .. }))
-            .count();
-        let arrays = scenarios
-            .iter()
-            .filter(|s| matches!(s.scope, FailureScope::DiskArray { .. }))
-            .count();
+        let objects =
+            scenarios.iter().filter(|s| matches!(s.scope, FailureScope::DataObject { .. })).count();
+        let arrays =
+            scenarios.iter().filter(|s| matches!(s.scope, FailureScope::DiskArray { .. })).count();
         let sites = scenarios
             .iter()
             .filter(|s| matches!(s.scope, FailureScope::SiteDisaster { .. }))

@@ -10,9 +10,7 @@ use dsd_workload::AppClass;
 use crate::technique::{BackupChain, MirrorSpec, RecoveryKind, Technique};
 
 /// Identifier of a technique within a [`TechniqueCatalog`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TechniqueId(pub usize);
 
 impl fmt::Display for TechniqueId {
@@ -102,21 +100,9 @@ impl TechniqueCatalog {
                 Some(chain()),
             ),
             Technique::new("sync mirror (F)", AppClass::Gold, Failover, Some(sync()), None),
-            Technique::new(
-                "sync mirror (R)",
-                AppClass::Silver,
-                Reconstruct,
-                Some(sync()),
-                None,
-            ),
+            Technique::new("sync mirror (R)", AppClass::Silver, Reconstruct, Some(sync()), None),
             Technique::new("async mirror (F)", AppClass::Gold, Failover, Some(async_()), None),
-            Technique::new(
-                "async mirror (R)",
-                AppClass::Silver,
-                Reconstruct,
-                Some(async_()),
-                None,
-            ),
+            Technique::new("async mirror (R)", AppClass::Silver, Reconstruct, Some(async_()), None),
             Technique::new("tape backup", AppClass::Bronze, Reconstruct, None, Some(chain())),
         ];
         TechniqueCatalog::new(techniques)
@@ -225,8 +211,7 @@ mod tests {
         let c = TechniqueCatalog::extended();
         // Five backup-bearing base techniques gain a variant each.
         assert_eq!(c.len(), 14);
-        let inc: Vec<&Technique> =
-            c.iter().filter(|t| t.name.contains("[incremental]")).collect();
+        let inc: Vec<&Technique> = c.iter().filter(|t| t.name.contains("[incremental]")).collect();
         assert_eq!(inc.len(), 5);
         for t in inc {
             assert!(t.backup.expect("has chain").is_incremental());

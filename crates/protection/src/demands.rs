@@ -126,9 +126,7 @@ impl Demands {
             }
         };
 
-        let (tape_capacity, tape_bandwidth, vault_media) = if let Some(chain) =
-            technique.backup
-        {
+        let (tape_capacity, tape_bandwidth, vault_media) = if let Some(chain) = technique.backup {
             let vault = if technique.has_vault() { data } else { Gigabytes::ZERO };
             let mut capacity = data * policy.retained_tape_copies;
             let mut bandwidth = backup_stream;
@@ -137,8 +135,8 @@ impl Demands {
                 // and accumulate one cycle's worth of deltas per retained
                 // full copy.
                 bandwidth += app.unique_update_rate();
-                capacity += (app.unique_update_rate() * config.backup_cycle)
-                    * policy.retained_tape_copies;
+                capacity +=
+                    (app.unique_update_rate() * config.backup_cycle) * policy.retained_tape_copies;
             }
             (capacity, bandwidth, vault)
         } else {
@@ -293,9 +291,7 @@ mod tests {
         // One 7-day cycle of deltas per retained copy:
         // 3 MB/s * 7d = 1771.875 GB, x2 copies.
         let extra = 3.0 * 7.0 * 86_400.0 / 1024.0 * 2.0;
-        assert!(
-            (di.tape_capacity.as_f64() - df.tape_capacity.as_f64() - extra).abs() < 1e-6
-        );
+        assert!((di.tape_capacity.as_f64() - df.tape_capacity.as_f64() - extra).abs() < 1e-6);
         // Vault media and primary-side demands are unchanged.
         assert_eq!(di.vault_media, df.vault_media);
         assert_eq!(di.primary_bandwidth, df.primary_bandwidth);

@@ -44,6 +44,6 @@ mod technique;
 pub use catalog::{TechniqueCatalog, TechniqueId};
 pub use demands::{Demands, SizingPolicy};
 pub use technique::{
-    BackupChain, BackupMode, CopyKind, MirrorSpec, PropagationDelays, RecoveryKind,
-    Technique, TechniqueConfig, INCREMENTAL_RESTORE_AMPLIFICATION,
+    BackupChain, BackupMode, CopyKind, MirrorSpec, PropagationDelays, RecoveryKind, Technique,
+    TechniqueConfig, INCREMENTAL_RESTORE_AMPLIFICATION,
 };

@@ -128,7 +128,7 @@ impl BackupChain {
 /// Tunable configuration parameters of a technique — the knobs the
 /// configuration solver optimizes (paper §3.2: "exhaustive search over a
 /// discretized range of values").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Hash, Serialize, Deserialize)]
 pub struct TechniqueConfig {
     /// Chosen snapshot accumulation window (policy: 12-hour increments).
     pub snapshot_interval: TimeSpan,
@@ -449,8 +449,10 @@ mod tests {
     fn staleness_increases_up_the_hierarchy() {
         let t = gold_full();
         let config = t.default_config();
-        let delays =
-            PropagationDelays { network: TimeSpan::from_mins(5.0), tape: TimeSpan::from_hours(2.0) };
+        let delays = PropagationDelays {
+            network: TimeSpan::from_mins(5.0),
+            tape: TimeSpan::from_hours(2.0),
+        };
         let values: Vec<TimeSpan> =
             t.copies().iter().map(|&c| t.staleness(c, &config, &delays)).collect();
         for pair in values.windows(2) {
@@ -462,8 +464,7 @@ mod tests {
     fn sync_mirror_ignores_network_delay() {
         let t = gold_full();
         let config = t.default_config();
-        let slow =
-            PropagationDelays { network: TimeSpan::from_hours(5.0), tape: TimeSpan::ZERO };
+        let slow = PropagationDelays { network: TimeSpan::from_hours(5.0), tape: TimeSpan::ZERO };
         assert_eq!(t.staleness(CopyKind::Mirror, &config, &slow).as_mins(), 0.5);
     }
 
@@ -476,8 +477,7 @@ mod tests {
             Some(MirrorSpec::asynchronous()),
             None,
         );
-        let delays =
-            PropagationDelays { network: TimeSpan::from_mins(20.0), tape: TimeSpan::ZERO };
+        let delays = PropagationDelays { network: TimeSpan::from_mins(20.0), tape: TimeSpan::ZERO };
         let loss = t.staleness(CopyKind::Mirror, &t.default_config(), &delays);
         assert_eq!(loss.as_mins(), 30.0);
     }
@@ -507,8 +507,7 @@ mod tests {
     fn backup_staleness_matches_table2_defaults() {
         let t = bronze_backup();
         let config = t.default_config();
-        let delays =
-            PropagationDelays { network: TimeSpan::ZERO, tape: TimeSpan::from_hours(1.0) };
+        let delays = PropagationDelays { network: TimeSpan::ZERO, tape: TimeSpan::from_hours(1.0) };
         let backup = t.staleness(CopyKind::Backup, &config, &delays);
         assert_eq!(backup.as_hours(), 12.0 + 7.0 * 24.0 + 1.0);
         let vault = t.staleness(CopyKind::Vault, &config, &delays);
@@ -526,8 +525,7 @@ mod tests {
             Some(BackupChain::table2_incremental()),
         );
         let config = full.default_config();
-        let delays =
-            PropagationDelays { network: TimeSpan::ZERO, tape: TimeSpan::from_hours(1.0) };
+        let delays = PropagationDelays { network: TimeSpan::ZERO, tape: TimeSpan::from_hours(1.0) };
         let full_staleness = full.staleness(CopyKind::Backup, &config, &delays);
         let inc_staleness = inc.staleness(CopyKind::Backup, &config, &delays);
         assert_eq!(inc_staleness.as_hours(), 2.0 * 12.0 + 1.0);
@@ -539,10 +537,7 @@ mod tests {
         );
         // Restores are amplified only for the incremental tape copy.
         assert_eq!(full.restore_amplification(CopyKind::Backup), 1.0);
-        assert_eq!(
-            inc.restore_amplification(CopyKind::Backup),
-            INCREMENTAL_RESTORE_AMPLIFICATION
-        );
+        assert_eq!(inc.restore_amplification(CopyKind::Backup), INCREMENTAL_RESTORE_AMPLIFICATION);
         assert_eq!(inc.restore_amplification(CopyKind::Snapshot), 1.0);
         assert_eq!(inc.restore_amplification(CopyKind::Vault), 1.0);
     }
@@ -583,13 +578,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one secondary copy")]
     fn empty_technique_rejected() {
-        let _ = Technique::new(
-            "nothing",
-            AppClass::Bronze,
-            RecoveryKind::Reconstruct,
-            None,
-            None,
-        );
+        let _ = Technique::new("nothing", AppClass::Bronze, RecoveryKind::Reconstruct, None, None);
     }
 
     #[test]

@@ -264,10 +264,7 @@ impl<'a> Evaluator<'a> {
             // the failover site itself is intact.
             let can_failover = protection.technique.is_failover()
                 && surviving.contains(&CopyKind::Mirror)
-                && protection
-                    .placement
-                    .failover_site
-                    .is_some_and(|s| !scope.fails_site(s));
+                && protection.placement.failover_site.is_some_and(|s| !scope.fails_site(s));
             if can_failover {
                 failover_outcomes.push(AppOutcome {
                     app: protection.app,
@@ -281,14 +278,11 @@ impl<'a> Evaluator<'a> {
 
             // Otherwise restore the accessible copy with minimum staleness
             // (paper §3.2.1).
-            let chosen = surviving
-                .iter()
-                .copied()
-                .min_by(|&a, &b| {
-                    self.staleness(protection, a)
-                        .partial_cmp(&self.staleness(protection, b))
-                        .expect("staleness values are comparable")
-                });
+            let chosen = surviving.iter().copied().min_by(|&a, &b| {
+                self.staleness(protection, a)
+                    .partial_cmp(&self.staleness(protection, b))
+                    .expect("staleness values are comparable")
+            });
             let Some(copy) = chosen else {
                 failover_outcomes.push(AppOutcome {
                     app: protection.app,
@@ -319,8 +313,7 @@ impl<'a> Evaluator<'a> {
                     vec![DeviceRef::Tape(tape), primary]
                 }
                 CopyKind::Mirror => {
-                    let mirror =
-                        protection.placement.mirror.expect("mirror copies have an array");
+                    let mirror = protection.placement.mirror.expect("mirror copies have an array");
                     let mut d = vec![DeviceRef::Array(mirror), primary];
                     if let Some(route) = protection.placement.route {
                         d.push(DeviceRef::Route(route));
@@ -341,10 +334,7 @@ impl<'a> Evaluator<'a> {
             // Chosen when it beats the in-place estimate — after a site
             // disaster the 7-day rebuild always loses to procurement.
             let promote = copy == CopyKind::Mirror
-                && protection
-                    .placement
-                    .mirror
-                    .is_some_and(|m| !scope.fails_site(m.site))
+                && protection.placement.mirror.is_some_and(|m| !scope.fails_site(m.site))
                 && self.policy.compute_procurement < lead_time + transfer;
             if promote {
                 job_meta.insert(
@@ -383,8 +373,7 @@ impl<'a> Evaluator<'a> {
         let schedule = schedule_jobs_with(jobs, self.policy.scheduling);
         let mut outcomes = failover_outcomes;
         for (app, (path, loss_time, failback_time)) in job_meta {
-            let recovery_time =
-                schedule.recovery_time(app).expect("every job was scheduled");
+            let recovery_time = schedule.recovery_time(app).expect("every job was scheduled");
             outcomes.push(AppOutcome { app, path, recovery_time, loss_time, failback_time });
         }
         outcomes.sort_by_key(|o| o.app);
@@ -441,8 +430,7 @@ impl<'a> Evaluator<'a> {
                 let loss = scenario.likelihood * model.loss_penalty(o.loss_time);
                 summary.outage += outage;
                 summary.loss += loss;
-                let entry =
-                    summary.per_app.entry(o.app).or_insert((Dollars::ZERO, Dollars::ZERO));
+                let entry = summary.per_app.entry(o.app).or_insert((Dollars::ZERO, Dollars::ZERO));
                 entry.0 += outage;
                 entry.1 += loss;
             }
@@ -458,9 +446,7 @@ mod tests {
     use crate::protection::Placement;
     use dsd_failure::{FailureModel, FailureRates};
     use dsd_protection::{Demands, SizingPolicy, TechniqueCatalog};
-    use dsd_resources::{
-        ArrayRef, DeviceSpec, NetworkSpec, Site, SiteId, TapeRef, Topology,
-    };
+    use dsd_resources::{ArrayRef, DeviceSpec, NetworkSpec, Site, SiteId, TapeRef, Topology};
     use dsd_units::PerYear;
     use std::sync::Arc;
 
@@ -498,12 +484,8 @@ mod tests {
         };
 
         let mut provision = Provision::new(topology());
-        let demands = Demands::compute(
-            &workloads[app],
-            &technique,
-            &config,
-            &SizingPolicy::default(),
-        );
+        let demands =
+            Demands::compute(&workloads[app], &technique, &config, &SizingPolicy::default());
         provision
             .alloc_array(app, primary, demands.primary_capacity, demands.primary_bandwidth)
             .unwrap();
@@ -519,9 +501,7 @@ mod tests {
             placement.route = Some(route);
         }
         if let Some(tape) = placement.tape {
-            provision
-                .alloc_tape(app, tape, demands.tape_capacity, demands.tape_bandwidth)
-                .unwrap();
+            provision.alloc_tape(app, tape, demands.tape_capacity, demands.tape_bandwidth).unwrap();
         }
         if placement.failover_site.is_some() {
             provision.alloc_compute(app, SiteId(1), 1).unwrap();
@@ -604,8 +584,8 @@ mod tests {
         let out = ev.evaluate_scenario(std::slice::from_ref(&prot), &scope);
         let o = out.outcomes[0];
         assert_eq!(o.path, RecoveryPath::PromoteMirror);
-        let expected = RecoveryPolicy::default().compute_procurement
-            + RecoveryPolicy::default().reconfig_time;
+        let expected =
+            RecoveryPolicy::default().compute_procurement + RecoveryPolicy::default().reconfig_time;
         assert!((o.recovery_time.as_hours() - expected.as_hours()).abs() < 1e-9);
         assert!(o.recovery_time < TimeSpan::from_days(2.0));
     }
@@ -633,10 +613,7 @@ mod tests {
         let out = ev.evaluate_scenario(std::slice::from_ref(&prot), &scope);
         let o = out.outcomes[0];
         assert_eq!(o.path, RecoveryPath::Restore(CopyKind::Vault));
-        assert!(
-            o.recovery_time > TimeSpan::from_days(7.0),
-            "site rebuild dominates the lead time"
-        );
+        assert!(o.recovery_time > TimeSpan::from_days(7.0), "site rebuild dominates the lead time");
         assert!(o.loss_time > TimeSpan::from_days(28.0), "vault staleness is weeks");
     }
 

@@ -10,7 +10,7 @@ use dsd_workload::AppId;
 /// Where an application's copies live on the provisioned infrastructure
 /// (the "mapping of primary and secondary data copies onto the provisioned
 /// resource instances", paper §2.6).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Hash, Serialize, Deserialize)]
 pub struct Placement {
     /// Array holding the primary copy (and snapshots, if any).
     pub primary: ArrayRef,

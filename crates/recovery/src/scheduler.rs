@@ -197,9 +197,8 @@ fn fair_share(jobs: Vec<RecoveryJob>) -> Schedule {
             .filter(|a| a.remaining.is_finite())
             .map(|a| now + a.remaining / rate(&jobs[a.idx]))
             .fold(f64::INFINITY, f64::min);
-        let next_arrival = pending
-            .front()
-            .map_or(f64::INFINITY, |&i| jobs[i].lead_time.as_secs().max(now));
+        let next_arrival =
+            pending.front().map_or(f64::INFINITY, |&i| jobs[i].lead_time.as_secs().max(now));
 
         if !next_completion.is_finite() && !next_arrival.is_finite() {
             // Only never-completing jobs remain active.
@@ -232,9 +231,7 @@ fn fair_share(jobs: Vec<RecoveryJob>) -> Schedule {
             });
             for idx in finished {
                 let job = &jobs[idx];
-                schedule
-                    .completions
-                    .insert(job.app, TimeSpan::from_secs(now) + job.tail);
+                schedule.completions.insert(job.app, TimeSpan::from_secs(now) + job.tail);
             }
         } else {
             // Admit every job whose lead time has arrived.
@@ -287,10 +284,7 @@ mod tests {
 
     #[test]
     fn disjoint_devices_run_in_parallel() {
-        let jobs = vec![
-            job(0, 10.0, vec![dev_a()], 2.0),
-            job(1, 100.0, vec![dev_b()], 3.0),
-        ];
+        let jobs = vec![job(0, 10.0, vec![dev_a()], 2.0), job(1, 100.0, vec![dev_b()], 3.0)];
         let s = schedule_jobs(jobs);
         assert_eq!(s.recovery_time(AppId(0)).unwrap().as_hours(), 2.0);
         assert_eq!(s.recovery_time(AppId(1)).unwrap().as_hours(), 3.0);
@@ -325,10 +319,7 @@ mod tests {
 
     #[test]
     fn priority_ties_broken_by_app_id() {
-        let jobs = vec![
-            job(7, 10.0, vec![dev_a()], 1.0),
-            job(3, 10.0, vec![dev_a()], 1.0),
-        ];
+        let jobs = vec![job(7, 10.0, vec![dev_a()], 1.0), job(3, 10.0, vec![dev_a()], 1.0)];
         let s = schedule_jobs(jobs);
         assert_eq!(s.recovery_time(AppId(3)).unwrap().as_hours(), 1.0);
         assert_eq!(s.recovery_time(AppId(7)).unwrap().as_hours(), 2.0);
@@ -370,10 +361,7 @@ mod tests {
     fn fair_share_splits_a_device_equally() {
         // Two equal 2h jobs sharing one device: both finish at 4h under
         // processor sharing (each progresses at half speed).
-        let jobs = vec![
-            job(0, 10.0, vec![dev_a()], 2.0),
-            job(1, 20.0, vec![dev_a()], 2.0),
-        ];
+        let jobs = vec![job(0, 10.0, vec![dev_a()], 2.0), job(1, 20.0, vec![dev_a()], 2.0)];
         let s = schedule_jobs_with(jobs, SchedulingPolicy::FairShare);
         assert!((s.recovery_time(AppId(0)).unwrap().as_hours() - 4.0).abs() < 1e-6);
         assert!((s.recovery_time(AppId(1)).unwrap().as_hours() - 4.0).abs() < 1e-6);
@@ -384,10 +372,7 @@ mod tests {
         // A 1h job and a 3h job share a device. Phase 1: both at half
         // speed until the short one finishes at t=2h; the long one then
         // has 2h of work left at full speed -> finishes at 4h.
-        let jobs = vec![
-            job(0, 10.0, vec![dev_a()], 1.0),
-            job(1, 20.0, vec![dev_a()], 3.0),
-        ];
+        let jobs = vec![job(0, 10.0, vec![dev_a()], 1.0), job(1, 20.0, vec![dev_a()], 3.0)];
         let s = schedule_jobs_with(jobs, SchedulingPolicy::FairShare);
         assert!((s.recovery_time(AppId(0)).unwrap().as_hours() - 2.0).abs() < 1e-6);
         assert!((s.recovery_time(AppId(1)).unwrap().as_hours() - 4.0).abs() < 1e-6);
@@ -417,11 +402,7 @@ mod tests {
 
     #[test]
     fn fair_share_makespan_never_beats_exclusive_for_identical_shared_jobs() {
-        let mk = || {
-            (0..4)
-                .map(|i| job(i, 1.0, vec![dev_a()], 2.0))
-                .collect::<Vec<_>>()
-        };
+        let mk = || (0..4).map(|i| job(i, 1.0, vec![dev_a()], 2.0)).collect::<Vec<_>>();
         let excl = schedule_jobs_with(mk(), SchedulingPolicy::PriorityExclusive);
         let fair = schedule_jobs_with(mk(), SchedulingPolicy::FairShare);
         // Total device work is identical, so the makespans agree...

@@ -26,13 +26,7 @@ struct JobSpec {
 }
 
 fn job_strategy() -> impl Strategy<Value = JobSpec> {
-    (
-        0.0..1e7f64,
-        0.0..48.0f64,
-        0.01..24.0f64,
-        0.0..2.0f64,
-        prop::collection::vec(0u8..6, 0..3),
-    )
+    (0.0..1e7f64, 0.0..48.0f64, 0.01..24.0f64, 0.0..2.0f64, prop::collection::vec(0u8..6, 0..3))
         .prop_map(|(priority, lead_h, transfer_h, tail_h, devices)| JobSpec {
             priority,
             lead_h,

@@ -14,9 +14,7 @@ use crate::spec::DeviceSpec;
 use crate::topology::{RouteId, SiteId, Topology};
 
 /// Reference to a disk array slot (and hence at most one array instance).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ArrayRef {
     /// Hosting site.
     pub site: SiteId,
@@ -31,9 +29,7 @@ impl fmt::Display for ArrayRef {
 }
 
 /// Reference to a tape library slot.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TapeRef {
     /// Hosting site.
     pub site: SiteId,
@@ -57,9 +53,7 @@ impl fmt::Display for TapeRef {
 
 /// Identity of any bandwidth-bearing device, used by the recovery
 /// scheduler to detect contention.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DeviceRef {
     /// A disk array.
     Array(ArrayRef),
@@ -358,13 +352,11 @@ impl Provision {
         b: SiteId,
         bandwidth: MegabytesPerSec,
     ) -> Result<RouteId, ResourceError> {
-        let route =
-            self.topology.route_between(a, b).ok_or(ResourceError::NoRoute { a, b })?;
+        let route = self.topology.route_between(a, b).ok_or(ResourceError::NoRoute { a, b })?;
         let spec = self.topology.route(route).network.clone();
         let state = &self.links[route.0];
         let new_bw = state.alloc_bandwidth + bandwidth;
-        let links =
-            spec.links_for(new_bw).ok_or(ResourceError::RouteExhausted { route })?;
+        let links = spec.links_for(new_bw).ok_or(ResourceError::RouteExhausted { route })?;
         let state = &mut self.links[route.0];
         state.links = links;
         state.alloc_bandwidth = new_bw;
@@ -473,9 +465,8 @@ impl Provision {
             let spec = self.topology.route(route).network.clone();
             let state = &mut self.links[route.0];
             state.alloc_bandwidth -= bw;
-            state.links = spec
-                .links_for(state.alloc_bandwidth)
-                .expect("shrinking allocation always fits");
+            state.links =
+                spec.links_for(state.alloc_bandwidth).expect("shrinking allocation always fits");
             if state.links == 0 {
                 state.extra_links = 0;
             }
@@ -502,11 +493,7 @@ impl Provision {
     ///
     /// [`ResourceError::ExtraUnitsExceedMaximum`] if the array is not
     /// instantiated or the total would exceed the spec maximum.
-    pub fn add_extra_array_units(
-        &mut self,
-        r: ArrayRef,
-        extra: u32,
-    ) -> Result<(), ResourceError> {
+    pub fn add_extra_array_units(&mut self, r: ArrayRef, extra: u32) -> Result<(), ResourceError> {
         let spec = self.array_spec(r)?.clone();
         let idx = self.array_index(r);
         let Some(state) = self.arrays[idx].as_mut() else {
@@ -515,9 +502,7 @@ impl Provision {
             });
         };
         if state.capacity_units + state.extra_units + extra > spec.max_capacity_units {
-            return Err(ResourceError::ExtraUnitsExceedMaximum {
-                device: format!("{spec} @ {r}"),
-            });
+            return Err(ResourceError::ExtraUnitsExceedMaximum { device: format!("{spec} @ {r}") });
         }
         state.extra_units += extra;
         Ok(())
@@ -528,11 +513,7 @@ impl Provision {
     /// # Errors
     ///
     /// [`ResourceError::ExtraUnitsExceedMaximum`] as for arrays.
-    pub fn add_extra_tape_drives(
-        &mut self,
-        r: TapeRef,
-        extra: u32,
-    ) -> Result<(), ResourceError> {
+    pub fn add_extra_tape_drives(&mut self, r: TapeRef, extra: u32) -> Result<(), ResourceError> {
         let spec = self.tape_spec(r)?.clone();
         let idx = self.tape_index(r);
         let Some(state) = self.tapes[idx].as_mut() else {
@@ -541,9 +522,7 @@ impl Provision {
             });
         };
         if state.drives + state.extra_drives + extra > spec.max_bandwidth_units {
-            return Err(ResourceError::ExtraUnitsExceedMaximum {
-                device: format!("{spec} @ {r}"),
-            });
+            return Err(ResourceError::ExtraUnitsExceedMaximum { device: format!("{spec} @ {r}") });
         }
         state.extra_drives += extra;
         Ok(())
@@ -559,9 +538,7 @@ impl Provision {
         let spec = self.topology.route(r).network.clone();
         let state = &mut self.links[r.0];
         if state.links + state.extra_links + extra > spec.max_links {
-            return Err(ResourceError::ExtraUnitsExceedMaximum {
-                device: format!("network {r}"),
-            });
+            return Err(ResourceError::ExtraUnitsExceedMaximum { device: format!("network {r}") });
         }
         state.extra_links += extra;
         Ok(())
@@ -598,9 +575,7 @@ impl Provision {
             DeviceRef::Array(r) => {
                 self.array(r).map_or(MegabytesPerSec::ZERO, |s| s.alloc_bandwidth)
             }
-            DeviceRef::Tape(r) => {
-                self.tape(r).map_or(MegabytesPerSec::ZERO, |s| s.alloc_bandwidth)
-            }
+            DeviceRef::Tape(r) => self.tape(r).map_or(MegabytesPerSec::ZERO, |s| s.alloc_bandwidth),
             DeviceRef::Route(r) => self.links[r.0].alloc_bandwidth,
         }
     }
@@ -615,24 +590,15 @@ impl Provision {
             return MegabytesPerSec::ZERO;
         };
         match d {
-            DeviceRef::Array(r) => ledger
-                .arrays
-                .iter()
-                .filter(|(a, _, _)| *a == r)
-                .map(|&(_, _, bw)| bw)
-                .sum(),
-            DeviceRef::Tape(r) => ledger
-                .tapes
-                .iter()
-                .filter(|(t, _, _)| *t == r)
-                .map(|&(_, _, bw)| bw)
-                .sum(),
-            DeviceRef::Route(r) => ledger
-                .routes
-                .iter()
-                .filter(|(route, _)| *route == r)
-                .map(|&(_, bw)| bw)
-                .sum(),
+            DeviceRef::Array(r) => {
+                ledger.arrays.iter().filter(|(a, _, _)| *a == r).map(|&(_, _, bw)| bw).sum()
+            }
+            DeviceRef::Tape(r) => {
+                ledger.tapes.iter().filter(|(t, _, _)| *t == r).map(|&(_, _, bw)| bw).sum()
+            }
+            DeviceRef::Route(r) => {
+                ledger.routes.iter().filter(|(route, _)| *route == r).map(|&(_, bw)| bw).sum()
+            }
         }
     }
 
@@ -662,10 +628,8 @@ impl Provision {
     #[must_use]
     pub fn site_in_use(&self, site: SiteId) -> bool {
         let s = self.topology.site(site);
-        let arrays_used = (0..s.array_slots.len()).any(|slot| {
-            self.array(ArrayRef { site, slot })
-                .is_some()
-        });
+        let arrays_used =
+            (0..s.array_slots.len()).any(|slot| self.array(ArrayRef { site, slot }).is_some());
         let tapes_used =
             (0..s.tape_slots.len()).any(|slot| self.tape(TapeRef { site, slot }).is_some());
         let links_used = self.topology.route_ids().any(|rid| {
@@ -737,8 +701,7 @@ impl Provision {
                     total += spec.purchase_cost(s.cartridges, s.drives + s.extra_drives);
                 }
             }
-            total += site.compute.cost_per_server
-                * f64::from(self.compute[site.id.0].total());
+            total += site.compute.cost_per_server * f64::from(self.compute[site.id.0].total());
             if self.site_in_use(site.id) {
                 total += site.facility_cost;
             }
@@ -815,8 +778,13 @@ mod tests {
     fn remove_app_releases_everything() {
         let mut p = Provision::new(topology());
         p.alloc_array(APP, A0, Gigabytes::new(1300.0), MegabytesPerSec::new(50.0)).unwrap();
-        p.alloc_tape(APP, TapeRef::first(SiteId(0)), Gigabytes::new(2600.0), MegabytesPerSec::new(31.0))
-            .unwrap();
+        p.alloc_tape(
+            APP,
+            TapeRef::first(SiteId(0)),
+            Gigabytes::new(2600.0),
+            MegabytesPerSec::new(31.0),
+        )
+        .unwrap();
         p.alloc_network(APP, SiteId(0), SiteId(1), MegabytesPerSec::new(5.0)).unwrap();
         p.alloc_compute(APP, SiteId(0), 1).unwrap();
         assert!(p.site_in_use(SiteId(0)));
@@ -833,10 +801,8 @@ mod tests {
     #[test]
     fn remove_app_shrinks_shared_devices() {
         let mut p = Provision::new(topology());
-        p.alloc_array(AppId(0), A0, Gigabytes::new(1300.0), MegabytesPerSec::new(50.0))
-            .unwrap();
-        p.alloc_array(AppId(1), A0, Gigabytes::new(4300.0), MegabytesPerSec::new(20.0))
-            .unwrap();
+        p.alloc_array(AppId(0), A0, Gigabytes::new(1300.0), MegabytesPerSec::new(50.0)).unwrap();
+        p.alloc_array(AppId(1), A0, Gigabytes::new(4300.0), MegabytesPerSec::new(20.0)).unwrap();
         assert_eq!(p.array(A0).unwrap().capacity_units, 40, "ceil(5600/143)");
         p.remove_app(AppId(1));
         let s = p.array(A0).unwrap();
@@ -854,8 +820,7 @@ mod tests {
     #[test]
     fn network_allocation_sizes_links() {
         let mut p = Provision::new(topology());
-        let route =
-            p.alloc_network(APP, SiteId(0), SiteId(1), MegabytesPerSec::new(50.0)).unwrap();
+        let route = p.alloc_network(APP, SiteId(0), SiteId(1), MegabytesPerSec::new(50.0)).unwrap();
         assert_eq!(p.link(route).links, 3, "ceil(50/20)");
         assert_eq!(p.device_bandwidth(DeviceRef::Route(route)).as_f64(), 60.0);
         assert_eq!(p.spare_bandwidth(DeviceRef::Route(route)).as_f64(), 10.0);
@@ -887,8 +852,13 @@ mod tests {
         assert!(p.add_extra_array_units(A0, 1).is_err(), "not instantiated");
         p.alloc_array(APP, A0, Gigabytes::new(143.0), MegabytesPerSec::ZERO).unwrap();
         assert!(p.add_extra_array_units(A0, 2000).is_err(), "beyond max disks");
-        p.alloc_tape(APP, TapeRef::first(SiteId(0)), Gigabytes::new(60.0), MegabytesPerSec::new(120.0))
-            .unwrap();
+        p.alloc_tape(
+            APP,
+            TapeRef::first(SiteId(0)),
+            Gigabytes::new(60.0),
+            MegabytesPerSec::new(120.0),
+        )
+        .unwrap();
         assert!(p.add_extra_tape_drives(TapeRef::first(SiteId(0)), 24).is_err());
         p.alloc_network(APP, SiteId(0), SiteId(1), MegabytesPerSec::new(20.0)).unwrap();
         assert!(p.add_extra_links(RouteId(0), 32).is_err());
@@ -983,10 +953,8 @@ mod tests {
     #[test]
     fn per_app_bandwidth_on_device() {
         let mut p = Provision::new(topology());
-        p.alloc_array(AppId(0), A0, Gigabytes::new(143.0), MegabytesPerSec::new(10.0))
-            .unwrap();
-        p.alloc_array(AppId(1), A0, Gigabytes::new(143.0), MegabytesPerSec::new(30.0))
-            .unwrap();
+        p.alloc_array(AppId(0), A0, Gigabytes::new(143.0), MegabytesPerSec::new(10.0)).unwrap();
+        p.alloc_array(AppId(1), A0, Gigabytes::new(143.0), MegabytesPerSec::new(30.0)).unwrap();
         let d = DeviceRef::Array(A0);
         assert_eq!(p.app_alloc_bandwidth_on(AppId(0), d).as_f64(), 10.0);
         assert_eq!(p.app_alloc_bandwidth_on(AppId(1), d).as_f64(), 30.0);

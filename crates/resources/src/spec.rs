@@ -9,9 +9,7 @@ use dsd_workload::AppClass;
 
 /// Quality class of a device type. The human heuristic matches resource
 /// classes to application classes (paper §4.1).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DeviceClass {
     /// Entry-level device.
     Low,
@@ -204,22 +202,15 @@ impl DeviceSpec {
     /// `bandwidth_units` is always zero and the capacity-unit count covers
     /// both dimensions.
     #[must_use]
-    pub fn units_for(
-        &self,
-        capacity: Gigabytes,
-        bandwidth: MegabytesPerSec,
-    ) -> Option<(u32, u32)> {
+    pub fn units_for(&self, capacity: Gigabytes, bandwidth: MegabytesPerSec) -> Option<(u32, u32)> {
         if bandwidth > self.enclosure_bandwidth {
             return None;
         }
         let cap_units_for_capacity = capacity.units_of(self.capacity_per_unit);
         if self.max_bandwidth_units == 0 {
             // Disk array: disks provide bandwidth too.
-            let cap_units_for_bw = if bandwidth.is_zero() {
-                0
-            } else {
-                bandwidth.units_of(self.bandwidth_per_unit)
-            };
+            let cap_units_for_bw =
+                if bandwidth.is_zero() { 0 } else { bandwidth.units_of(self.bandwidth_per_unit) };
             let units = cap_units_for_capacity.max(cap_units_for_bw);
             if units > self.max_capacity_units {
                 return None;
@@ -227,13 +218,9 @@ impl DeviceSpec {
             Some((units, 0))
         } else {
             // Tape library: cartridges + drives.
-            let drives = if bandwidth.is_zero() {
-                0
-            } else {
-                bandwidth.units_of(self.bandwidth_per_unit)
-            };
-            if cap_units_for_capacity > self.max_capacity_units
-                || drives > self.max_bandwidth_units
+            let drives =
+                if bandwidth.is_zero() { 0 } else { bandwidth.units_of(self.bandwidth_per_unit) };
+            if cap_units_for_capacity > self.max_capacity_units || drives > self.max_bandwidth_units
             {
                 return None;
             }
@@ -244,7 +231,11 @@ impl DeviceSpec {
     /// Effective aggregate bandwidth of an instance with the given unit
     /// counts: unit bandwidth capped by the enclosure ceiling.
     #[must_use]
-    pub fn effective_bandwidth(&self, capacity_units: u32, bandwidth_units: u32) -> MegabytesPerSec {
+    pub fn effective_bandwidth(
+        &self,
+        capacity_units: u32,
+        bandwidth_units: u32,
+    ) -> MegabytesPerSec {
         let units = if self.max_bandwidth_units == 0 { capacity_units } else { bandwidth_units };
         (self.bandwidth_per_unit * f64::from(units)).min(self.enclosure_bandwidth)
     }
@@ -311,8 +302,7 @@ impl NetworkSpec {
     /// Links needed to carry `bandwidth`, or `None` if beyond `max_links`.
     #[must_use]
     pub fn links_for(&self, bandwidth: MegabytesPerSec) -> Option<u32> {
-        let links =
-            if bandwidth.is_zero() { 0 } else { bandwidth.units_of(self.link_bandwidth) };
+        let links = if bandwidth.is_zero() { 0 } else { bandwidth.units_of(self.link_bandwidth) };
         (links <= self.max_links).then_some(links)
     }
 
@@ -360,14 +350,12 @@ mod tests {
     fn array_units_cover_both_dimensions() {
         let xp = DeviceSpec::xp1200();
         // 1300 GB needs 10 disks; 50 MB/s needs 2 disks -> 10 disks.
-        let (cap, bw) = xp
-            .units_for(Gigabytes::new(1300.0), MegabytesPerSec::new(50.0))
-            .expect("fits");
+        let (cap, bw) =
+            xp.units_for(Gigabytes::new(1300.0), MegabytesPerSec::new(50.0)).expect("fits");
         assert_eq!((cap, bw), (10, 0));
         // Bandwidth-bound: 1 GB but 500 MB/s -> 20 disks.
-        let (cap, _) = xp
-            .units_for(Gigabytes::new(1.0), MegabytesPerSec::new(500.0))
-            .expect("fits");
+        let (cap, _) =
+            xp.units_for(Gigabytes::new(1.0), MegabytesPerSec::new(500.0)).expect("fits");
         assert_eq!(cap, 20);
     }
 
@@ -387,9 +375,8 @@ mod tests {
     #[test]
     fn tape_units_are_cartridges_and_drives() {
         let tape = DeviceSpec::tape_library_high();
-        let (carts, drives) = tape
-            .units_for(Gigabytes::new(2600.0), MegabytesPerSec::new(200.0))
-            .expect("fits");
+        let (carts, drives) =
+            tape.units_for(Gigabytes::new(2600.0), MegabytesPerSec::new(200.0)).expect("fits");
         assert_eq!(carts, 44, "ceil(2600/60)");
         assert_eq!(drives, 2, "ceil(200/120)");
     }

@@ -9,9 +9,7 @@ use dsd_units::Dollars;
 use crate::spec::{ComputeSpec, DeviceSpec, NetworkSpec};
 
 /// Identifier of a site within a [`Topology`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SiteId(pub usize);
 
 impl fmt::Display for SiteId {
@@ -21,9 +19,7 @@ impl fmt::Display for SiteId {
 }
 
 /// Identifier of an inter-site route within a [`Topology`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RouteId(pub usize);
 
 impl fmt::Display for RouteId {
@@ -165,12 +161,7 @@ impl Topology {
         }
         for (i, r) in routes.iter().enumerate() {
             for other in &routes[i + 1..] {
-                assert!(
-                    !other.connects(r.a, r.b),
-                    "duplicate route between {} and {}",
-                    r.a,
-                    r.b
-                );
+                assert!(!other.connects(r.a, r.b), "duplicate route between {} and {}", r.a, r.b);
             }
         }
         Topology { sites, routes }

@@ -38,8 +38,12 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             .prop_map(|(app, site, slot, cap, bw)| Op::AllocArray { app, site, slot, cap, bw }),
         (0u8..6, 0u8..3, 0.0..3000.0f64, 0.0..200.0f64)
             .prop_map(|(app, site, cap, bw)| Op::AllocTape { app, site, cap, bw }),
-        (0u8..6, 0u8..3, 0u8..3, 0.0..80.0f64)
-            .prop_map(|(app, a, b, bw)| Op::AllocNetwork { app, a, b, bw }),
+        (0u8..6, 0u8..3, 0u8..3, 0.0..80.0f64).prop_map(|(app, a, b, bw)| Op::AllocNetwork {
+            app,
+            a,
+            b,
+            bw
+        }),
         (0u8..6, 0u8..3).prop_map(|(app, site)| Op::AllocCompute { app, site }),
         (0u8..6).prop_map(|app| Op::RemoveApp { app }),
     ]
@@ -68,9 +72,7 @@ fn check_invariants(p: &Provision, topo: &Topology) {
                 let spare = p.spare_bandwidth(d).as_f64();
                 assert!(spare >= -1e-9);
                 assert!(
-                    (p.device_bandwidth(d).as_f64()
-                        - p.device_alloc_bandwidth(d).as_f64()
-                        - spare)
+                    (p.device_bandwidth(d).as_f64() - p.device_alloc_bandwidth(d).as_f64() - spare)
                         .abs()
                         < 1e-9
                 );

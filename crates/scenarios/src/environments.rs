@@ -103,8 +103,8 @@ mod tests {
 
     #[test]
     fn sensitivity_overrides_rates() {
-        let rates = FailureRates::sensitivity_baseline()
-            .with_data_object(PerYear::once_every_years(10.0));
+        let rates =
+            FailureRates::sensitivity_baseline().with_data_object(PerYear::once_every_years(10.0));
         let env = sensitivity(rates);
         assert_eq!(env.workloads.len(), 16);
         assert_eq!(env.failures.rates().data_object.mean_interval_years(), Some(10.0));

@@ -141,8 +141,7 @@ pub fn run_in(base_env: &Environment, budget: Budget, seeds: &[u64]) -> Ablation
         DesignSolver::new(e)
     }));
     rows.push(run_variant("greedy only (refit disabled)", base_env, budget, seeds, |e| {
-        DesignSolver::new(e)
-            .with_refit(RefitParams { breadth: 3, depth: 5, max_rounds: 0 })
+        DesignSolver::new(e).with_refit(RefitParams { breadth: 3, depth: 5, max_rounds: 0 })
     }));
     rows.push(run_variant("refit b=1, d=1", base_env, budget, seeds, |e| {
         DesignSolver::new(e).with_refit(RefitParams { breadth: 1, depth: 1, max_rounds: 25 })
@@ -195,11 +194,7 @@ pub fn run_in(base_env: &Environment, budget: Budget, seeds: &[u64]) -> Ablation
                 None => infeasible += 1,
             }
         }
-        rows.push(AblationRow {
-            variant: "tabu search (related work)".into(),
-            costs,
-            infeasible,
-        });
+        rows.push(AblationRow { variant: "tabu search (related work)".into(), costs, infeasible });
     }
 
     let mut shared_spares = base_env.clone();

@@ -66,9 +66,7 @@ pub fn figure2_csv(f: &Figure2) -> String {
 pub fn figure3_csv(f: &Figure3) -> String {
     let mut out =
         String::from("heuristic,outlay_dollars,loss_dollars,outage_dollars,total_dollars\n");
-    for (name, result) in
-        [("design_tool", &f.tool), ("human", &f.human), ("random", &f.random)]
-    {
+    for (name, result) in [("design_tool", &f.tool), ("human", &f.human), ("random", &f.random)] {
         match result {
             Some(c) => {
                 let _ = writeln!(
@@ -93,8 +91,7 @@ pub fn figure3_csv(f: &Figure3) -> String {
 pub fn figure4_csv(f: &Figure4) -> String {
     let mut out = String::from("apps,tool_dollars,human_dollars,random_dollars\n");
     for p in &f.points {
-        let _ =
-            writeln!(out, "{},{},{},{}", p.apps, opt(p.tool), opt(p.human), opt(p.random));
+        let _ = writeln!(out, "{},{},{},{}", p.apps, opt(p.tool), opt(p.human), opt(p.random));
     }
     out
 }
@@ -102,9 +99,7 @@ pub fn figure4_csv(f: &Figure4) -> String {
 /// Figures 5–7 as CSV: one row per swept likelihood.
 #[must_use]
 pub fn sensitivity_csv(f: &SensitivityFigure) -> String {
-    let mut out = String::from(
-        "events_per_year,outlay_dollars,penalties_dollars,total_dollars\n",
-    );
+    let mut out = String::from("events_per_year,outlay_dollars,penalties_dollars,total_dollars\n");
     for p in &f.points {
         let _ = writeln!(
             out,

@@ -101,29 +101,15 @@ pub fn run(budget: Budget, percentile_samples: usize, seed: u64) -> Figure3 {
 
 /// Same, against a caller-provided environment.
 #[must_use]
-pub fn run_in(
-    env: &Environment,
-    budget: Budget,
-    percentile_samples: usize,
-    seed: u64,
-) -> Figure3 {
+pub fn run_in(env: &Environment, budget: Budget, percentile_samples: usize, seed: u64) -> Figure3 {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let tool = DesignSolver::new(env)
-        .solve(budget, &mut rng)
-        .best
-        .map(|b| b.cost().clone());
+    let tool = DesignSolver::new(env).solve(budget, &mut rng).best.map(|b| b.cost().clone());
 
     let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(1));
-    let human = HumanHeuristic::new(env)
-        .solve(budget, &mut rng)
-        .best
-        .map(|b| b.cost().clone());
+    let human = HumanHeuristic::new(env).solve(budget, &mut rng).best.map(|b| b.cost().clone());
 
     let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(2));
-    let random = RandomHeuristic::new(env)
-        .solve(budget, &mut rng)
-        .best
-        .map(|b| b.cost().clone());
+    let random = RandomHeuristic::new(env).solve(budget, &mut rng).best.map(|b| b.cost().clone());
 
     let tool_percentile = if percentile_samples > 0 {
         let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(3));

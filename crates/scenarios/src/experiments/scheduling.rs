@@ -124,11 +124,8 @@ pub fn run(budget: Budget, seed: u64) -> Option<SchedulingStudy> {
 
         let n = outcome.outcomes.len() as f64;
         let total: TimeSpan = outcome.outcomes.iter().map(|o| o.recovery_time).sum();
-        let max = outcome
-            .outcomes
-            .iter()
-            .map(|o| o.recovery_time)
-            .fold(TimeSpan::ZERO, TimeSpan::max);
+        let max =
+            outcome.outcomes.iter().map(|o| o.recovery_time).fold(TimeSpan::ZERO, TimeSpan::max);
         let gold: Vec<TimeSpan> = outcome
             .outcomes
             .iter()
@@ -193,8 +190,7 @@ mod tests {
         // earlier than it does with strict priority (it shares instead of
         // owning the devices).
         assert!(
-            priority.gold_mean_recovery
-                <= fair.gold_mean_recovery + TimeSpan::from_mins(1.0),
+            priority.gold_mean_recovery <= fair.gold_mean_recovery + TimeSpan::from_mins(1.0),
             "priority {} vs fair {}",
             priority.gold_mean_recovery,
             fair.gold_mean_recovery

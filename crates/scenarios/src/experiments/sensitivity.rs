@@ -124,9 +124,7 @@ pub fn run(kind: SweepKind, rates: &[PerYear], budget: Budget, seed: u64) -> Sen
                 SweepKind::DataObject => {
                     FailureRates::sensitivity_baseline().with_data_object(rate)
                 }
-                SweepKind::DiskArray => {
-                    FailureRates::sensitivity_baseline().with_disk_array(rate)
-                }
+                SweepKind::DiskArray => FailureRates::sensitivity_baseline().with_disk_array(rate),
                 SweepKind::SiteDisaster => {
                     FailureRates::sensitivity_baseline().with_site_disaster(rate)
                 }

@@ -54,38 +54,23 @@ impl Table4 {
     /// failover.
     #[must_use]
     pub fn gold_apps_use_failover(&self) -> bool {
-        self.rows
-            .iter()
-            .filter(|r| r.type_code == 'B')
-            .all(|r| r.technique.contains("(F)"))
+        self.rows.iter().filter(|r| r.type_code == 'B').all(|r| r.technique.contains("(F)"))
     }
 }
 
 impl fmt::Display for Table4 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Table 4: data protection solution chosen by design tool for peer sites"
-        )?;
+        writeln!(f, "Table 4: data protection solution chosen by design tool for peer sites")?;
         write!(f, "{:<4} {:<5} {:<30} {:<8}", "App", "Type", "Technique", "Primary")?;
         for s in &self.sites {
             write!(f, " {s}.array {s}.tape")?;
         }
         writeln!(f, " network")?;
         for r in &self.rows {
-            write!(
-                f,
-                "{:<4} {:<5} {:<30} {:<8}",
-                r.app, r.type_code, r.technique, r.primary_site
-            )?;
+            write!(f, "{:<4} {:<5} {:<30} {:<8}", r.app, r.type_code, r.technique, r.primary_site)?;
             for i in 0..self.sites.len() {
                 let mark = |b: bool| if b { "x" } else { "-" };
-                write!(
-                    f,
-                    " {:>8} {:>7}",
-                    mark(r.uses_array[i]),
-                    mark(r.uses_tape[i])
-                )?;
+                write!(f, " {:>8} {:>7}", mark(r.uses_array[i]), mark(r.uses_tape[i]))?;
             }
             writeln!(f, " {:>7}", if r.network { "x" } else { "-" })?;
         }
@@ -109,8 +94,7 @@ pub fn run_in(env: &Environment, budget: Budget, seed: u64) -> Option<Table4> {
     let outcome = DesignSolver::new(env).solve(budget, &mut rng);
     let best = outcome.best?;
 
-    let sites: Vec<String> =
-        env.topology.sites().iter().map(|s| s.name.clone()).collect();
+    let sites: Vec<String> = env.topology.sites().iter().map(|s| s.name.clone()).collect();
     let rows = env
         .workloads
         .iter()

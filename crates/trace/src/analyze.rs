@@ -64,8 +64,7 @@ impl TraceStats {
         let avg_update = MegabytesPerSec::new(written_mb / secs);
         // The peak cannot be below the average by construction of maxima,
         // but guard against degenerate traces shorter than one window.
-        let peak_update =
-            MegabytesPerSec::new(peak_window_mb / window.min(secs)).max(avg_update);
+        let peak_update = MegabytesPerSec::new(peak_window_mb / window.min(secs)).max(avg_update);
 
         TraceStats {
             capacity: trace.volume,
@@ -160,7 +159,16 @@ mod tests {
     #[test]
     fn stats_recover_generator_parameters() {
         let stats = TraceStats::analyze(&trace());
-        assert!((stats.avg_update.as_f64() - 2.0).abs() < 0.5, "{stats}");
+        // The 2 h window covers only the rising edge of the 24 h diurnal
+        // sinusoid (phase 0..pi/6), so the expected measured mean is the
+        // configured 2.0 MB/s scaled by the window-average intensity
+        // 1 + (peak_to_mean - 1)(1 - cos(pi/6))/(pi/6) ~= 1.256, i.e.
+        // ~2.51 MB/s — not the configured long-run mean itself.
+        let phase_end = config().duration.as_secs() / 86_400.0 * std::f64::consts::TAU;
+        let amplitude = config().peak_to_mean - 1.0;
+        let window_intensity = 1.0 + amplitude * (1.0 - phase_end.cos()) / phase_end;
+        let expected = config().mean_update.as_f64() * window_intensity;
+        assert!((stats.avg_update.as_f64() - expected).abs() < 0.5, "{stats} vs {expected}");
         // Access = (1 + read_ratio) x update.
         let access_ratio = stats.avg_access / stats.avg_update;
         assert!((access_ratio - 4.0).abs() < 0.8, "access ratio {access_ratio}");
@@ -176,8 +184,7 @@ mod tests {
     fn working_set_bounds_unique_volume() {
         let stats = TraceStats::analyze(&trace());
         // Unique bytes cannot exceed the working set (20% of 200 GB).
-        let unique_gb =
-            stats.unique_update.as_f64() * 7200.0 / 1024.0;
+        let unique_gb = stats.unique_update.as_f64() * 7200.0 / 1024.0;
         assert!(unique_gb <= 0.2 * 200.0 + 1.0, "unique {unique_gb} GB");
     }
 

@@ -181,8 +181,7 @@ impl TraceGenerator {
             let intensity = self.intensity(TimeSpan::from_secs(t0));
             let write_mb_this_slot = c.mean_update.as_f64() * slot * intensity;
             let write_events = sample_count(rng, write_mb_this_slot / mean_event_mb);
-            let read_events =
-                sample_count(rng, write_mb_this_slot * c.read_ratio / mean_event_mb);
+            let read_events = sample_count(rng, write_mb_this_slot * c.read_ratio / mean_event_mb);
 
             for _ in 0..write_events {
                 let at = TimeSpan::from_secs(t0 + rng.gen_range(0.0..slot));
@@ -284,12 +283,8 @@ mod tests {
     fn flat_trace_hits_target_write_rate() {
         let g = TraceGenerator::new(short_config());
         let trace = g.generate(&mut ChaCha8Rng::seed_from_u64(2));
-        let written_mb: f64 = trace
-            .events
-            .iter()
-            .filter(|e| e.kind == IoKind::Write)
-            .map(IoEvent::megabytes)
-            .sum();
+        let written_mb: f64 =
+            trace.events.iter().filter(|e| e.kind == IoKind::Write).map(IoEvent::megabytes).sum();
         let rate = written_mb / trace.duration.as_secs();
         assert!((rate - 1.0).abs() < 0.2, "measured {rate} MB/s vs target 1.0");
     }

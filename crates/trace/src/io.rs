@@ -94,22 +94,20 @@ pub fn from_csv(text: &str) -> Result<Trace, ParseTraceError> {
         }
         let mut fields = line.split(',');
         let mut next = |what: &str| {
-            fields.next().map(str::trim).filter(|f| !f.is_empty()).ok_or_else(|| {
-                ParseTraceError { line: line_no, message: format!("missing field `{what}`") }
+            fields.next().map(str::trim).filter(|f| !f.is_empty()).ok_or_else(|| ParseTraceError {
+                line: line_no,
+                message: format!("missing field `{what}`"),
             })
         };
-        let secs: f64 = next("secs")?.parse().map_err(|_| ParseTraceError {
-            line: line_no,
-            message: "bad seconds".into(),
-        })?;
-        let block: u64 = next("block")?.parse().map_err(|_| ParseTraceError {
-            line: line_no,
-            message: "bad block".into(),
-        })?;
-        let blocks: u32 = next("blocks")?.parse().map_err(|_| ParseTraceError {
-            line: line_no,
-            message: "bad block count".into(),
-        })?;
+        let secs: f64 = next("secs")?
+            .parse()
+            .map_err(|_| ParseTraceError { line: line_no, message: "bad seconds".into() })?;
+        let block: u64 = next("block")?
+            .parse()
+            .map_err(|_| ParseTraceError { line: line_no, message: "bad block".into() })?;
+        let blocks: u32 = next("blocks")?
+            .parse()
+            .map_err(|_| ParseTraceError { line: line_no, message: "bad block count".into() })?;
         let kind = match next("kind")? {
             "R" | "r" => IoKind::Read,
             "W" | "w" => IoKind::Write,
@@ -136,22 +134,15 @@ pub fn from_csv(text: &str) -> Result<Trace, ParseTraceError> {
     }
 
     events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
-    let duration = duration
-        .or_else(|| events.last().map(|e| e.at.as_secs()))
-        .unwrap_or(0.0)
-        .max(f64::EPSILON);
+    let duration =
+        duration.or_else(|| events.last().map(|e| e.at.as_secs())).unwrap_or(0.0).max(f64::EPSILON);
     let volume = volume.unwrap_or_else(|| {
         events
             .iter()
-            .map(|e| (e.block + u64::from(e.blocks)) as f64 * crate::generate::BLOCK_MB
-                / 1024.0)
+            .map(|e| (e.block + u64::from(e.blocks)) as f64 * crate::generate::BLOCK_MB / 1024.0)
             .fold(1.0, f64::max)
     });
-    Ok(Trace {
-        duration: TimeSpan::from_secs(duration),
-        volume: Gigabytes::new(volume),
-        events,
-    })
+    Ok(Trace { duration: TimeSpan::from_secs(duration), volume: Gigabytes::new(volume), events })
 }
 
 #[cfg(test)]

@@ -391,9 +391,10 @@ mod tests {
         // 79.70248808848375 - 46.00103323524029 - 33.70145485324346 is a
         // ~1e-14 float residue; it must come out exactly zero or a whole
         // phantom allocation unit survives release.
-        let total = MegabytesPerSec::new(46.00103323524029)
-            + MegabytesPerSec::new(33.70145485324346);
-        let rest = total - MegabytesPerSec::new(46.00103323524029)
+        let total =
+            MegabytesPerSec::new(46.00103323524029) + MegabytesPerSec::new(33.70145485324346);
+        let rest = total
+            - MegabytesPerSec::new(46.00103323524029)
             - MegabytesPerSec::new(33.70145485324346);
         assert!(rest.is_zero(), "residue {rest} must snap to zero");
         let cap = (Gigabytes::new(0.1) + Gigabytes::new(0.2)) - Gigabytes::new(0.3);

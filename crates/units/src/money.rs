@@ -300,8 +300,7 @@ mod tests {
 
     #[test]
     fn rate_sums() {
-        let total: DollarsPerHour =
-            [5e6, 5e3].iter().map(|&r| DollarsPerHour::new(r)).sum();
+        let total: DollarsPerHour = [5e6, 5e3].iter().map(|&r| DollarsPerHour::new(r)).sum();
         assert_eq!(total.as_f64(), 5_005_000.0);
     }
 

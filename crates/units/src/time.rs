@@ -27,6 +27,14 @@ use serde::{Deserialize, Serialize};
 #[serde(transparent)]
 pub struct TimeSpan(f64);
 
+impl std::hash::Hash for TimeSpan {
+    /// Hashes the span's bit pattern. Spans come from policy grids and
+    /// deterministic arithmetic, never NaN, so equal spans hash equally.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
 impl TimeSpan {
     /// The zero span.
     pub const ZERO: TimeSpan = TimeSpan(0.0);
@@ -229,14 +237,8 @@ mod tests {
     fn ordering_is_sensible() {
         assert!(TimeSpan::from_mins(30.0) < TimeSpan::from_hours(1.0));
         assert!(TimeSpan::INFINITE > TimeSpan::from_days(10_000.0));
-        assert_eq!(
-            TimeSpan::from_mins(5.0).min(TimeSpan::from_mins(3.0)).as_mins(),
-            3.0
-        );
-        assert_eq!(
-            TimeSpan::from_mins(5.0).max(TimeSpan::from_mins(3.0)).as_mins(),
-            5.0
-        );
+        assert_eq!(TimeSpan::from_mins(5.0).min(TimeSpan::from_mins(3.0)).as_mins(), 3.0);
+        assert_eq!(TimeSpan::from_mins(5.0).max(TimeSpan::from_mins(3.0)).as_mins(), 5.0);
     }
 
     #[test]

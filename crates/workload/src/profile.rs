@@ -59,9 +59,7 @@ impl fmt::Display for PenaltyRates {
 /// The ordering is significant: `Gold > Silver > Bronze`. An application of
 /// a given class may be protected by a technique of the *same or better*
 /// class.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum AppClass {
     /// Least stringent requirements.
     Bronze,

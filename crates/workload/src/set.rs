@@ -13,9 +13,7 @@ use crate::profile::{AppClass, ClassThresholds, PenaltyRates, WorkloadProfile};
 ///
 /// Ids are dense indices assigned in insertion order, so they can be used
 /// to index per-application side tables.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AppId(pub usize);
 
 impl fmt::Display for AppId {
@@ -131,8 +129,7 @@ impl WorkloadSet {
     /// Adds an application stamped from `profile`, returning its id.
     /// Instance names are suffixed with a per-profile ordinal.
     pub fn push(&mut self, profile: WorkloadProfile) -> AppId {
-        let ordinal =
-            self.apps.iter().filter(|a| a.profile.code == profile.code).count() + 1;
+        let ordinal = self.apps.iter().filter(|a| a.profile.code == profile.code).count() + 1;
         let id = AppId(self.apps.len());
         let name = format!("{} #{}", profile.name, ordinal);
         self.apps.push(ApplicationWorkload { id, name, profile });

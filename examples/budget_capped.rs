@@ -19,10 +19,8 @@ fn main() {
     // Learn the unconstrained design first.
     let env = peer_sites();
     let mut rng = ChaCha8Rng::seed_from_u64(2006);
-    let unconstrained = DesignSolver::new(&env)
-        .solve(Budget::iterations(150), &mut rng)
-        .best
-        .expect("feasible");
+    let unconstrained =
+        DesignSolver::new(&env).solve(Budget::iterations(150), &mut rng).best.expect("feasible");
     let natural = unconstrained.cost().outlay;
     println!(
         "unconstrained optimum: outlay {}, penalties {}",
@@ -30,7 +28,10 @@ fn main() {
         unconstrained.cost().penalties.total()
     );
 
-    println!("\n{:>12} {:>14} {:>16} {:>10}", "cap $M/yr", "outlay $M/yr", "penalties $M/yr", "feasible");
+    println!(
+        "\n{:>12} {:>14} {:>16} {:>10}",
+        "cap $M/yr", "outlay $M/yr", "penalties $M/yr", "feasible"
+    );
     for fraction in [1.2, 1.0, 0.8, 0.6, 0.4] {
         let cap = Dollars::new(natural.as_f64() * fraction);
         let mut capped_env = peer_sites();

@@ -49,12 +49,8 @@ fn main() {
 
     // A riskier failure model than the paper's: object errors monthly.
     let rates = FailureRates::sensitivity_baseline().with_data_object(PerYear::new(12.0));
-    let env = Environment::new(
-        workloads,
-        topology,
-        TechniqueCatalog::table2(),
-        FailureModel::new(rates),
-    );
+    let env =
+        Environment::new(workloads, topology, TechniqueCatalog::table2(), FailureModel::new(rates));
 
     let outcome = DesignSolver::new(&env).solve(Budget::iterations(200), &mut rng);
     let Some(best) = outcome.best else {

@@ -22,11 +22,8 @@ fn main() {
         "central banking uses failover:    {}",
         if table.gold_apps_use_failover() { "yes (matches the paper)" } else { "NO" }
     );
-    let async_count = table
-        .rows
-        .iter()
-        .filter(|r| r.type_code == 'B' && r.technique.contains("async"))
-        .count();
+    let async_count =
+        table.rows.iter().filter(|r| r.type_code == 'B' && r.technique.contains("async")).count();
     println!(
         "central banking on async mirrors: {async_count}/2 \
          (the paper found async chosen over sync — counter to intuition)"

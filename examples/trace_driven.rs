@@ -107,9 +107,7 @@ fn main() {
     for (app, a) in best.assignments() {
         println!(
             "  {:<22} {:<40} {}",
-            env.workloads[*app].name,
-            env.catalog[a.technique].name,
-            a.config
+            env.workloads[*app].name, env.catalog[a.technique].name, a.config
         );
     }
     println!("  annual cost: {}", best.cost());

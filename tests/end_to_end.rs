@@ -88,10 +88,7 @@ fn heuristics_all_respect_class_eligibility_end_to_end() {
     for best in [&tool, &human] {
         for (app, a) in best.assignments() {
             let class = env.workloads[*app].class_with(&env.thresholds);
-            assert!(
-                env.catalog[a.technique].category.satisfies(class),
-                "{app} under-protected"
-            );
+            assert!(env.catalog[a.technique].category.satisfies(class), "{app} under-protected");
         }
     }
     // The random heuristic deliberately ignores classes; it must still

@@ -12,10 +12,7 @@ use rand_chacha::ChaCha8Rng;
 
 fn solved(env: &Environment) -> Candidate {
     let mut rng = ChaCha8Rng::seed_from_u64(55);
-    DesignSolver::new(env)
-        .solve(Budget::iterations(30), &mut rng)
-        .best
-        .expect("feasible")
+    DesignSolver::new(env).solve(Budget::iterations(30), &mut rng).best.expect("feasible")
 }
 
 #[test]
@@ -27,12 +24,7 @@ fn every_scenario_recovers_every_affected_app() {
     for scenario in env.failures.enumerate(best.primaries()) {
         let outcome = evaluator.evaluate_scenario(&protections, &scenario.scope);
         for o in &outcome.outcomes {
-            assert!(
-                o.recovery_time.is_finite(),
-                "{}: {} never recovers",
-                scenario.scope,
-                o.app
-            );
+            assert!(o.recovery_time.is_finite(), "{}: {} never recovers", scenario.scope, o.app);
             assert!(o.loss_time.is_finite());
             assert_ne!(
                 o.path,
@@ -48,15 +40,13 @@ fn every_scenario_recovers_every_affected_app() {
             }
             FailureScope::DiskArray { array } => {
                 for p in &protections {
-                    let affected =
-                        outcome.outcomes.iter().any(|o| o.app == p.app);
+                    let affected = outcome.outcomes.iter().any(|o| o.app == p.app);
                     assert_eq!(affected, p.placement.primary == array);
                 }
             }
             FailureScope::SiteDisaster { site } => {
                 for p in &protections {
-                    let affected =
-                        outcome.outcomes.iter().any(|o| o.app == p.app);
+                    let affected = outcome.outcomes.iter().any(|o| o.app == p.app);
                     assert_eq!(affected, p.placement.primary.site == site);
                 }
             }
@@ -124,21 +114,14 @@ fn site_disaster_is_the_most_expensive_scope_per_event() {
 
     // For one app with a mirror, compare its outage across scopes.
     let mirrored = protections.iter().find(|p| p.placement.mirror.is_some()).unwrap();
-    let object = evaluator.evaluate_scenario(
-        &protections,
-        &FailureScope::DataObject { app: mirrored.app },
-    );
+    let object =
+        evaluator.evaluate_scenario(&protections, &FailureScope::DataObject { app: mirrored.app });
     let disaster = evaluator.evaluate_scenario(
         &protections,
         &FailureScope::SiteDisaster { site: mirrored.placement.primary.site },
     );
     let outage_of = |outcome: &dsd::recovery::ScenarioOutcome| {
-        outcome
-            .outcomes
-            .iter()
-            .find(|o| o.app == mirrored.app)
-            .map(|o| o.loss_time)
-            .unwrap()
+        outcome.outcomes.iter().find(|o| o.app == mirrored.app).map(|o| o.loss_time).unwrap()
     };
     // Data-object failure forces point-in-time recovery, losing more
     // recent updates than failing over to the mirror after a disaster.

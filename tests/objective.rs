@@ -48,8 +48,7 @@ fn unattainable_cap_still_pushes_outlay_down() {
         DesignSolver::new(&env).solve(Budget::iterations(30), &mut rng).best.unwrap();
 
     let mut capped_env = peer_sites();
-    capped_env.objective =
-        Objective::PenaltiesWithOutlayCap { cap: Dollars::new(1.0) };
+    capped_env.objective = Objective::PenaltiesWithOutlayCap { cap: Dollars::new(1.0) };
     let mut rng = ChaCha8Rng::seed_from_u64(74);
     let squeezed =
         DesignSolver::new(&capped_env).solve(Budget::iterations(30), &mut rng).best.unwrap();
@@ -65,11 +64,9 @@ fn unattainable_cap_still_pushes_outlay_down() {
 #[test]
 fn generous_cap_changes_nothing() {
     let mut env = peer_sites();
-    env.objective =
-        Objective::PenaltiesWithOutlayCap { cap: Dollars::new(1e12) };
+    env.objective = Objective::PenaltiesWithOutlayCap { cap: Dollars::new(1e12) };
     let mut rng = ChaCha8Rng::seed_from_u64(72);
-    let capped =
-        DesignSolver::new(&env).solve(Budget::iterations(25), &mut rng).best.unwrap();
+    let capped = DesignSolver::new(&env).solve(Budget::iterations(25), &mut rng).best.unwrap();
     assert!(env.objective.is_compliant(capped.cost()));
     assert!(capped.is_complete(&env));
 }

@@ -37,8 +37,7 @@ fn generous_objectives_remove_most_penalties() {
     // Lax objectives absorb the 12h snapshot staleness and the short
     // recoveries entirely: expected penalties collapse.
     assert!(
-        lax.cost().penalties.total().as_f64()
-            < linear.cost().penalties.total().as_f64() * 0.2,
+        lax.cost().penalties.total().as_f64() < linear.cost().penalties.total().as_f64() * 0.2,
         "lax {} vs linear {}",
         lax.cost().penalties.total(),
         linear.cost().penalties.total()

@@ -1,0 +1,186 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the macro and builder surface the workspace benches use
+//! (`criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `sample_size`, `warm_up_time`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`) but measures with a plain wall-clock loop and prints
+//! mean per-iteration time. No statistics, plots, or baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Builder hook kept for API compatibility.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size,
+            warm_up: Duration::from_millis(100),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        run_bench(name, self.default_sample_size, Duration::from_millis(100), f);
+    }
+}
+
+/// Named benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets iterations per measurement.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), self.sample_size, self.warm_up, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, self.warm_up, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, warm_up: Duration, mut f: F) {
+    // Warm-up: run single iterations until the warm-up budget elapses.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warm_up {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+    }
+    let mut b = Bencher { iters: samples as u64, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter =
+        if b.iters > 0 { b.elapsed / u32::try_from(b.iters).unwrap_or(1) } else { Duration::ZERO };
+    println!("bench {label:<48} {per_iter:>12.3?}/iter ({} iters)", b.iters);
+}
+
+/// Re-export kept because some benches import `black_box` from criterion.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_chains() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        let mut count = 0u64;
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .bench_function("count", |b| b.iter(|| count += 1));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert!(count >= 3, "bench body should run at least sample_size times");
+    }
+}

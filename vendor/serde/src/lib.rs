@@ -1,0 +1,510 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real `serde` could not be vendored into this repository (the build
+//! environment has no network and no registry cache), so this crate
+//! provides the subset the workspace actually uses: `Serialize` /
+//! `Deserialize` traits driven by a small self-describing [`Value`] tree,
+//! plus derive macros re-exported from the companion `serde_derive`
+//! proc-macro crate.
+//!
+//! The data model is deliberately simple — `Null`, `Bool`, `Int`,
+//! `Float`, `Str`, `Seq`, `Map` — and both `serde_json` and `toml`
+//! stand-ins in `vendor/` speak it, so derived types roundtrip through
+//! JSON and TOML exactly as the workspace expects.
+//!
+//! Supported derive attributes: `#[serde(transparent)]`,
+//! `#[serde(deny_unknown_fields)]`, `#[serde(default)]` (field level),
+//! and `#[serde(skip, default = "path")]`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// The self-describing value tree every serializer/deserializer speaks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (covers every integer type in the workspace).
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered key/value map (order preserved for pretty output).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a `Map` value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message with a breadcrumb path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Prefixes the error with a field/element breadcrumb.
+    #[must_use]
+    pub fn context(self, at: &str) -> Self {
+        DeError { msg: format!("{at}: {}", self.msg) }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialize into the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Deserialize from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] when the value's shape does not match.
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Helper used by derived code: interprets a value as the map of a named
+/// struct, enforcing `deny_unknown_fields` when requested.
+///
+/// # Errors
+///
+/// [`DeError`] when the value is not a map or contains unknown keys.
+pub fn expect_struct_map<'v>(
+    value: &'v Value,
+    type_name: &str,
+    known: &[&str],
+    deny_unknown: bool,
+) -> Result<&'v Vec<(String, Value)>, DeError> {
+    match value {
+        Value::Map(entries) => {
+            if deny_unknown {
+                for (k, _) in entries {
+                    if !known.contains(&k.as_str()) {
+                        return Err(DeError::new(format!(
+                            "unknown field `{k}` in {type_name} (expected one of {known:?})"
+                        )));
+                    }
+                }
+            }
+            Ok(entries)
+        }
+        other => {
+            Err(DeError::new(format!("expected a map for {type_name}, found {}", other.kind())))
+        }
+    }
+}
+
+/// Helper used by derived enum code: splits an externally-tagged enum
+/// value into `(variant_name, payload)`. Unit variants may be plain
+/// strings.
+///
+/// # Errors
+///
+/// [`DeError`] when the value is neither a string nor a one-entry map.
+pub fn expect_enum<'v>(value: &'v Value, type_name: &str) -> Result<(&'v str, &'v Value), DeError> {
+    match value {
+        Value::Str(s) => Ok((s.as_str(), &Value::Null)),
+        Value::Map(entries) if entries.len() == 1 => Ok((entries[0].0.as_str(), &entries[0].1)),
+        other => Err(DeError::new(format!(
+            "expected a variant string or single-entry map for {type_name}, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(i64::try_from(*self).expect("integer fits i64"))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| {
+                        DeError::new(format!("integer {i} out of range for {}", stringify!($t)))
+                    }),
+                    // TOML/JSON parsers may produce floats for whole numbers.
+                    Value::Float(f) if f.fract() == 0.0 && f.is_finite() => {
+                        <$t>::try_from(*f as i64).map_err(|_| {
+                            DeError::new(format!("number {f} out of range for {}", stringify!($t)))
+                        })
+                    }
+                    other => Err(DeError::new(format!(
+                        "expected integer, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, i8, i16, i32, i64, usize, isize);
+
+impl Serialize for u64 {
+    fn serialize(&self) -> Value {
+        Value::Int(i64::try_from(*self).expect("u64 fits i64"))
+    }
+}
+impl Deserialize for u64 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Int(i) => u64::try_from(*i)
+                .map_err(|_| DeError::new(format!("integer {i} out of range for u64"))),
+            other => Err(DeError::new(format!("expected integer, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(DeError::new(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        f64::deserialize(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(DeError::new(format!(
+                "expected single-character string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| T::deserialize(v).map_err(|e| e.context(&format!("[{i}]"))))
+                .collect(),
+            other => Err(DeError::new(format!("expected sequence, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        T::deserialize(value).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Seq(items) => {
+                        let expected = [$($n),+].len();
+                        if items.len() != expected {
+                            return Err(DeError::new(format!(
+                                "expected a {expected}-tuple, found {} elements", items.len()
+                            )));
+                        }
+                        Ok(($($t::deserialize(&items[$n])
+                            .map_err(|e| e.context(&format!(".{}", $n)))?,)+))
+                    }
+                    other => Err(DeError::new(format!(
+                        "expected sequence for tuple, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )+};
+}
+
+tuple_impls!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D)
+);
+
+/// Map keys are rendered as strings (JSON-style). Any key type whose
+/// serialized form is a string or integer works — integer-like keys
+/// (including newtype wrappers such as `AppId`) stringify on serialize
+/// and parse back on deserialize.
+fn key_to_string(value: &Value) -> Result<String, DeError> {
+    match value {
+        Value::Str(s) => Ok(s.clone()),
+        Value::Int(i) => Ok(i.to_string()),
+        other => Err(DeError::new(format!("unsupported map key kind: {}", other.kind()))),
+    }
+}
+
+fn key_from_str<K: Deserialize>(key: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::deserialize(&Value::Str(key.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(i) = key.parse::<i64>() {
+        return K::deserialize(&Value::Int(i));
+    }
+    Err(DeError::new(format!("unparseable map key: {key}")))
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.serialize()).expect("map key"), v.serialize()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    Ok((key_from_str::<K>(k)?, V::deserialize(v).map_err(|e| e.context(k))?))
+                })
+                .collect(),
+            other => Err(DeError::new(format!("expected map, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<K: Serialize + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(&k.serialize()).expect("map key"), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    Ok((key_from_str::<K>(k)?, V::deserialize(v).map_err(|e| e.context(k))?))
+                })
+                .collect(),
+            other => Err(DeError::new(format!("expected map, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::deserialize(&42u32.serialize()), Ok(42));
+        assert_eq!(f64::deserialize(&1.5f64.serialize()), Ok(1.5));
+        assert_eq!(String::deserialize(&"hi".to_owned().serialize()), Ok("hi".into()));
+        assert_eq!(char::deserialize(&'X'.serialize()), Ok('X'));
+        assert_eq!(Option::<u32>::deserialize(&Value::Null), Ok(None));
+        assert_eq!(Vec::<u8>::deserialize(&vec![1u8, 2].serialize()), Ok(vec![1, 2]));
+    }
+
+    #[test]
+    fn maps_keyed_by_integers_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "x".to_owned());
+        let v = m.serialize();
+        assert_eq!(v.get("3"), Some(&Value::Str("x".into())));
+        assert_eq!(BTreeMap::<u32, String>::deserialize(&v), Ok(m));
+    }
+
+    #[test]
+    fn wrong_shapes_error() {
+        assert!(u32::deserialize(&Value::Str("no".into())).is_err());
+        assert!(bool::deserialize(&Value::Int(1)).is_err());
+        assert!(<(u8, u8)>::deserialize(&Value::Seq(vec![Value::Int(1)])).is_err());
+    }
+}

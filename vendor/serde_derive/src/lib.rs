@@ -1,0 +1,547 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Parses struct/enum definitions directly from the token stream (the
+//! build environment has no `syn`/`quote`) and emits `Serialize` /
+//! `Deserialize` impls over the stand-in's `Value` tree.
+//!
+//! Supported shapes: non-generic structs (named, tuple, unit) and enums
+//! (unit, tuple, struct variants). Supported attributes:
+//! `#[serde(transparent)]`, `#[serde(deny_unknown_fields)]`,
+//! `#[serde(default)]`, `#[serde(skip, default = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct SerdeAttrs {
+    transparent: bool,
+    deny_unknown_fields: bool,
+    default: bool,
+    default_path: Option<String>,
+    skip: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: Option<String>, // None for tuple fields
+    attrs: SerdeAttrs,
+}
+
+#[derive(Debug)]
+enum Body {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, attrs: SerdeAttrs, body: Body },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = SerdeAttrs::default();
+
+    // Outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    merge_serde_attr(&mut attrs, &g.stream());
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(&g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let fields = parse_tuple_fields(&g.stream());
+                    Body::Tuple(fields.len())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                None => Body::Unit,
+                other => panic!("unexpected struct body for {name}: {other:?}"),
+            };
+            Item::Struct { name, attrs, body }
+        }
+        "enum" => {
+            let group = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("expected enum body for {name}, found {other:?}"),
+            };
+            Item::Enum { name, variants: parse_variants(&group.stream()) }
+        }
+        other => panic!("cannot derive serde traits for `{other}`"),
+    }
+}
+
+fn merge_serde_attr(attrs: &mut SerdeAttrs, attr_body: &TokenStream) {
+    let tokens: Vec<TokenTree> = attr_body.clone().into_iter().collect();
+    let is_serde =
+        matches!(tokens.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else { return };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        match &args[j] {
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                let has_eq =
+                    matches!(args.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+                match (word.as_str(), has_eq) {
+                    ("transparent", _) => attrs.transparent = true,
+                    ("deny_unknown_fields", _) => attrs.deny_unknown_fields = true,
+                    ("skip", _) => attrs.skip = true,
+                    ("default", false) => attrs.default = true,
+                    ("default", true) => {
+                        if let Some(TokenTree::Literal(lit)) = args.get(j + 2) {
+                            let raw = lit.to_string();
+                            attrs.default_path = Some(raw.trim_matches('"').to_owned());
+                        }
+                        j += 2;
+                    }
+                    (other, _) => {
+                        panic!("unsupported serde attribute `{other}` in stand-in derive")
+                    }
+                }
+            }
+            TokenTree::Punct(_) => {}
+            other => panic!("unexpected token in serde attribute: {other:?}"),
+        }
+        j += 1;
+    }
+}
+
+/// Collects field-level serde attributes and skips the rest of each field
+/// up to the next depth-0 comma.
+fn parse_named_fields(body: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        // Attributes + visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        merge_serde_attr(&mut attrs, &g.stream());
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field_name)) = tokens.get(i) else {
+            break; // trailing comma
+        };
+        let name = field_name.to_string();
+        i += 1;
+        // Skip `: Type` to the next depth-0 comma. Generic angle brackets
+        // appear as plain '<'/'>' puncts; group tokens keep their nesting.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name: Some(name), attrs });
+    }
+    fields
+}
+
+fn parse_tuple_fields(body: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    let mut pending = false;
+    let mut angle_depth = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if pending {
+                    fields.push(Field { name: None, attrs: SerdeAttrs::default() });
+                    pending = false;
+                }
+                i += 1;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // field attribute + its bracket group
+                continue;
+            }
+            _ => pending = true,
+        }
+        i += 1;
+    }
+    if pending {
+        fields.push(Field { name: None, attrs: SerdeAttrs::default() });
+    }
+    fields
+}
+
+fn parse_variants(body: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes (doc comments etc.).
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(v)) = tokens.get(i) else { break };
+        let name = v.to_string();
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Body::Named(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let fields = parse_tuple_fields(&g.stream());
+                Body::Tuple(fields.len())
+            }
+            _ => Body::Unit,
+        };
+        // Skip to next depth-0 comma (handles discriminants).
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, attrs, body } => {
+            let body_code = match body {
+                Body::Named(fields) if attrs.transparent => {
+                    let f = fields.first().expect("transparent struct has a field");
+                    format!(
+                        "::serde::Serialize::serialize(&self.{})",
+                        f.name.as_ref().expect("named")
+                    )
+                }
+                Body::Named(fields) => {
+                    let mut pushes = String::new();
+                    for f in fields {
+                        if f.attrs.skip {
+                            continue;
+                        }
+                        let fname = f.name.as_ref().expect("named");
+                        pushes.push_str(&format!(
+                            "entries.push((\"{fname}\".to_string(), \
+                             ::serde::Serialize::serialize(&self.{fname})));\n"
+                        ));
+                    }
+                    format!(
+                        "{{ let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes} ::serde::Value::Map(entries) }}"
+                    )
+                }
+                Body::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+                Body::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Body::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ {body_code} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.body {
+                    Body::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Body::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::Value::Map(vec![(\
+                         \"{vname}\".to_string(), ::serde::Serialize::serialize(f0))]),\n"
+                    )),
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![(\
+                             \"{vname}\".to_string(), ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let names: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_deref().expect("named")).collect();
+                        let items: Vec<String> = names
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::serialize({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(vec![(\
+                             \"{vname}\".to_string(), ::serde::Value::Map(vec![{}]))]),\n",
+                            names.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n}}"
+            )
+        }
+    }
+}
+
+fn field_decode(owner: &str, f: &Field) -> String {
+    let fname = f.name.as_ref().expect("named field");
+    if f.attrs.skip {
+        let default = f.attrs.default_path.as_ref().map_or_else(
+            || "::core::default::Default::default()".to_string(),
+            |p| format!("{p}()"),
+        );
+        return format!("{fname}: {default},\n");
+    }
+    let missing = if f.attrs.default || f.attrs.default_path.is_some() {
+        f.attrs
+            .default_path
+            .as_ref()
+            .map_or_else(|| "::core::default::Default::default()".to_string(), |p| format!("{p}()"))
+    } else {
+        // Option fields resolve Null to None; anything else reports the
+        // shape mismatch with a breadcrumb.
+        format!(
+            "::serde::Deserialize::deserialize(&::serde::Value::Null)\
+             .map_err(|e| e.context(\"{owner}.{fname}\"))?"
+        )
+    };
+    format!(
+        "{fname}: match value.get(\"{fname}\") {{\n\
+         Some(v) if !v.is_null() => ::serde::Deserialize::deserialize(v)\
+         .map_err(|e| e.context(\"{owner}.{fname}\"))?,\n\
+         _ => {missing},\n}},\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, attrs, body } => {
+            let body_code = match body {
+                Body::Named(fields) if attrs.transparent => {
+                    let f = fields.first().expect("transparent struct has a field");
+                    let fname = f.name.as_ref().expect("named");
+                    format!("Ok({name} {{ {fname}: ::serde::Deserialize::deserialize(value)? }})")
+                }
+                Body::Named(fields) => {
+                    let known: Vec<String> = fields
+                        .iter()
+                        .filter(|f| !f.attrs.skip)
+                        .map(|f| format!("\"{}\"", f.name.as_ref().expect("named")))
+                        .collect();
+                    let deny = attrs.deny_unknown_fields;
+                    let decodes: String = fields.iter().map(|f| field_decode(name, f)).collect();
+                    format!(
+                        "let _ = ::serde::expect_struct_map(value, \"{name}\", &[{}], {deny})?;\n\
+                         Ok({name} {{\n{decodes}}})",
+                        known.join(", ")
+                    )
+                }
+                Body::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::deserialize(value)?))")
+                }
+                Body::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| {
+                            format!(
+                                "::serde::Deserialize::deserialize(&items[{k}])\
+                                 .map_err(|e| e.context(\"{name}.{k}\"))?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "match value {{\n\
+                         ::serde::Value::Seq(items) if items.len() == {n} => \
+                         Ok({name}({})),\n\
+                         _ => Err(::serde::DeError::new(\
+                         \"expected a {n}-element sequence for {name}\")),\n}}",
+                        items.join(", ")
+                    )
+                }
+                Body::Unit => format!("Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(value: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::DeError> {{ {body_code} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.body {
+                    Body::Unit => {
+                        arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                    Body::Tuple(1) => arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         ::serde::Deserialize::deserialize(payload)\
+                         .map_err(|e| e.context(\"{name}::{vname}\"))?)),\n"
+                    )),
+                    Body::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!(
+                                    "::serde::Deserialize::deserialize(&items[{k}])\
+                                     .map_err(|e| e.context(\"{name}::{vname}.{k}\"))?"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "\"{vname}\" => match payload {{\n\
+                             ::serde::Value::Seq(items) if items.len() == {n} => \
+                             Ok({name}::{vname}({})),\n\
+                             _ => Err(::serde::DeError::new(\
+                             \"expected a {n}-element sequence for {name}::{vname}\")),\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let known: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("\"{}\"", f.name.as_ref().expect("named")))
+                            .collect();
+                        let decodes: String = fields
+                            .iter()
+                            .map(|f| {
+                                let fname = f.name.as_ref().expect("named");
+                                format!(
+                                    "{fname}: match payload.get(\"{fname}\") {{\n\
+                                     Some(v) if !v.is_null() => \
+                                     ::serde::Deserialize::deserialize(v)\
+                                     .map_err(|e| e.context(\"{name}::{vname}.{fname}\"))?,\n\
+                                     _ => ::serde::Deserialize::deserialize(&::serde::Value::Null)\
+                                     .map_err(|e| e.context(\"{name}::{vname}.{fname}\"))?,\n}},\n"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let _ = ::serde::expect_struct_map(\
+                             payload, \"{name}::{vname}\", &[{}], false)?;\n\
+                             Ok({name}::{vname} {{\n{decodes}}})\n}},\n",
+                            known.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(value: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 let (tag, payload) = ::serde::expect_enum(value, \"{name}\")?;\n\
+                 let _ = payload;\n\
+                 match tag {{\n{arms}\
+                 other => Err(::serde::DeError::new(format!(\
+                 \"unknown {name} variant: {{other}}\"))),\n}}\n}}\n}}"
+            )
+        }
+    }
+}

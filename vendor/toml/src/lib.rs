@@ -1,0 +1,503 @@
+//! Offline stand-in for `toml`: parses and renders the TOML subset the
+//! workspace's specs use (tables, arrays of tables, inline arrays,
+//! strings, numbers, booleans, comments) over the vendored serde value
+//! tree.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Deserialization side.
+pub mod de {
+    use std::fmt;
+
+    /// TOML parse / shape error.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        pub(crate) msg: String,
+    }
+
+    impl Error {
+        pub(crate) fn new(msg: impl Into<String>) -> Self {
+            Error { msg: msg.into() }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "TOML parse error: {}", self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+/// Serialization side.
+pub mod ser {
+    use std::fmt;
+
+    /// TOML render error (unrepresentable value).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        pub(crate) msg: String,
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "TOML serialize error: {}", self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+/// Parses TOML text into any deserializable type.
+///
+/// # Errors
+///
+/// [`de::Error`] on malformed TOML or a shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, de::Error> {
+    let value = parse_document(text)?;
+    T::deserialize(&value).map_err(|e| de::Error::new(e.to_string()))
+}
+
+/// Renders a serializable value as pretty TOML.
+///
+/// # Errors
+///
+/// [`ser::Error`] when the value is not a map at the top level.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, ser::Error> {
+    let v = value.serialize();
+    let Value::Map(entries) = &v else {
+        return Err(ser::Error { msg: "top-level TOML value must be a table".into() });
+    };
+    let mut out = String::new();
+    write_table(entries, &[], &mut out);
+    Ok(out)
+}
+
+/// Renders a serializable value as TOML (same as pretty).
+///
+/// # Errors
+///
+/// [`ser::Error`] when the value is not a map at the top level.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, ser::Error> {
+    to_string_pretty(value)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn is_inline(value: &Value) -> bool {
+    match value {
+        Value::Map(_) => false,
+        Value::Seq(items) => items.iter().all(is_inline),
+        _ => true,
+    }
+}
+
+fn write_table(entries: &[(String, Value)], path: &[&str], out: &mut String) {
+    // Scalars and inline arrays first, then sub-tables, then table arrays.
+    for (k, v) in entries {
+        if v.is_null() {
+            continue;
+        }
+        if is_inline(v) {
+            out.push_str(k);
+            out.push_str(" = ");
+            write_inline(v, out);
+            out.push('\n');
+        }
+    }
+    for (k, v) in entries {
+        match v {
+            Value::Map(inner) => {
+                let mut sub: Vec<&str> = path.to_vec();
+                sub.push(k);
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                out.push('[');
+                out.push_str(&sub.join("."));
+                out.push_str("]\n");
+                write_table(inner, &sub, out);
+            }
+            Value::Seq(items) if !is_inline(v) => {
+                let mut sub: Vec<&str> = path.to_vec();
+                sub.push(k);
+                for item in items {
+                    let Value::Map(inner) = item else { continue };
+                    if !out.is_empty() {
+                        out.push('\n');
+                    }
+                    out.push_str("[[");
+                    out.push_str(&sub.join("."));
+                    out.push_str("]]\n");
+                    write_table(inner, &sub, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn write_inline(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("\"\""), // unreachable: nulls are skipped
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&f.to_string());
+            }
+        }
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_inline(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(k);
+                out.push_str(" = ");
+                write_inline(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parses a TOML document into a [`Value::Map`].
+///
+/// # Errors
+///
+/// [`de::Error`] on malformed input.
+pub fn parse_document(text: &str) -> Result<Value, de::Error> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Path of the table currently being filled.
+    let mut current: Vec<String> = Vec::new();
+
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((lineno, raw)) = lines.next() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[") {
+            let name = header
+                .strip_suffix("]]")
+                .ok_or_else(|| {
+                    de::Error::new(format!("line {}: bad table array header", lineno + 1))
+                })?
+                .trim();
+            current = name.split('.').map(|s| s.trim().to_owned()).collect();
+            let seq = resolve_seq(&mut root, &current, lineno)?;
+            seq.push(Value::Map(Vec::new()));
+        } else if let Some(header) = line.strip_prefix('[') {
+            let name = header
+                .strip_suffix(']')
+                .ok_or_else(|| de::Error::new(format!("line {}: bad table header", lineno + 1)))?
+                .trim();
+            current = name.split('.').map(|s| s.trim().to_owned()).collect();
+            let _ = resolve_map(&mut root, &current, lineno)?;
+        } else {
+            // key = value (value may span lines for arrays).
+            let eq = line.find('=').ok_or_else(|| {
+                de::Error::new(format!("line {}: expected `key = value`", lineno + 1))
+            })?;
+            let key = line[..eq].trim().trim_matches('"').to_owned();
+            let mut value_text = line[eq + 1..].trim().to_owned();
+            // Continue multiline arrays until brackets balance.
+            while bracket_balance(&value_text) > 0 {
+                let Some((_, next)) = lines.next() else {
+                    return Err(de::Error::new(format!("line {}: unterminated array", lineno + 1)));
+                };
+                value_text.push(' ');
+                value_text.push_str(strip_comment(next).trim());
+            }
+            let value = parse_value(&value_text, lineno)?;
+            let table = resolve_map(&mut root, &current, lineno)?;
+            table.push((key, value));
+        }
+    }
+    Ok(Value::Map(root))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn bracket_balance(text: &str) -> i32 {
+    let mut balance = 0;
+    let mut in_string = false;
+    for c in text.chars() {
+        match c {
+            '"' => in_string = !in_string,
+            '[' if !in_string => balance += 1,
+            ']' if !in_string => balance -= 1,
+            _ => {}
+        }
+    }
+    balance
+}
+
+/// Walks/creates the map at `path`, descending into the most recent
+/// element of any table array along the way.
+fn resolve_map<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+    lineno: usize,
+) -> Result<&'a mut Vec<(String, Value)>, de::Error> {
+    let mut table = root;
+    for part in path {
+        if !table.iter().any(|(k, _)| k == part) {
+            table.push((part.clone(), Value::Map(Vec::new())));
+        }
+        let idx = table.iter().position(|(k, _)| k == part).expect("just ensured");
+        let next = &mut table[idx].1;
+        table = match next {
+            Value::Map(m) => m,
+            Value::Seq(items) => match items.last_mut() {
+                Some(Value::Map(m)) => m,
+                _ => {
+                    return Err(de::Error::new(format!(
+                        "line {}: `{part}` is not a table",
+                        lineno + 1
+                    )))
+                }
+            },
+            _ => {
+                return Err(de::Error::new(format!("line {}: `{part}` is not a table", lineno + 1)))
+            }
+        };
+    }
+    Ok(table)
+}
+
+/// Walks/creates the table-array at `path` and returns its element list.
+fn resolve_seq<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+    lineno: usize,
+) -> Result<&'a mut Vec<Value>, de::Error> {
+    let (last, prefix) = path.split_last().expect("non-empty header");
+    let parent = resolve_map(root, prefix, lineno)?;
+    if !parent.iter().any(|(k, _)| k == last) {
+        parent.push((last.clone(), Value::Seq(Vec::new())));
+    }
+    let idx = parent.iter().position(|(k, _)| k == last).expect("just ensured");
+    match &mut parent[idx].1 {
+        Value::Seq(items) => Ok(items),
+        _ => {
+            Err(de::Error::new(format!("line {}: `{last}` is not an array of tables", lineno + 1)))
+        }
+    }
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, de::Error> {
+    let text = text.trim();
+    let err = |msg: &str| de::Error::new(format!("line {}: {msg}: `{text}`", lineno + 1));
+    if text.is_empty() {
+        return Err(err("empty value"));
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        let inner = rest.strip_suffix('"').ok_or_else(|| err("unterminated string"))?;
+        return Ok(Value::Str(unescape(inner)));
+    }
+    if let Some(rest) = text.strip_prefix('\'') {
+        let inner = rest.strip_suffix('\'').ok_or_else(|| err("unterminated string"))?;
+        return Ok(Value::Str(inner.to_owned()));
+    }
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if text.starts_with('[') {
+        let inner = text
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .ok_or_else(|| err("unterminated array"))?;
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_value(part, lineno)?);
+        }
+        return Ok(Value::Seq(items));
+    }
+    if text.starts_with('{') {
+        let inner = text
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .ok_or_else(|| err("unterminated inline table"))?;
+        let mut entries = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let eq = part.find('=').ok_or_else(|| err("bad inline table entry"))?;
+            entries
+                .push((part[..eq].trim().to_owned(), parse_value(part[eq + 1..].trim(), lineno)?));
+        }
+        return Ok(Value::Map(entries));
+    }
+    let cleaned = text.replace('_', "");
+    if cleaned.contains('.') || cleaned.contains('e') || cleaned.contains('E') {
+        if let Ok(f) = cleaned.parse::<f64>() {
+            return Ok(Value::Float(f));
+        }
+    }
+    if let Ok(i) = cleaned.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = cleaned.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(err("unrecognized value"))
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Splits on top-level commas (outside strings, brackets, braces).
+fn split_top_level(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0;
+    let mut in_string = false;
+    let mut start = 0;
+    for (i, c) in text.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '[' | '{' if !in_string => depth += 1,
+            ']' | '}' if !in_string => depth -= 1,
+            ',' if !in_string && depth == 0 => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_and_table_arrays() {
+        let text = r#"
+            # top comment
+            title = "demo"
+            count = 3
+            ratio = 0.5
+            flag = true
+
+            [network]
+            class = "high"
+
+            [[apps]]
+            name = "a"
+            tags = ["x", "y"]
+
+            [[apps]]
+            name = "b"
+        "#;
+        let v = parse_document(text).unwrap();
+        assert_eq!(v.get("title"), Some(&Value::Str("demo".into())));
+        assert_eq!(v.get("count"), Some(&Value::Int(3)));
+        assert_eq!(v.get("ratio"), Some(&Value::Float(0.5)));
+        assert_eq!(v.get("network").unwrap().get("class"), Some(&Value::Str("high".into())));
+        let Value::Seq(apps) = v.get("apps").unwrap() else { panic!("seq") };
+        assert_eq!(apps.len(), 2);
+        assert_eq!(apps[1].get("name"), Some(&Value::Str("b".into())));
+    }
+
+    #[test]
+    fn roundtrips_through_writer() {
+        let v = Value::Map(vec![
+            ("x".into(), Value::Int(1)),
+            (
+                "apps".into(),
+                Value::Seq(vec![Value::Map(vec![
+                    ("name".into(), Value::Str("a".into())),
+                    ("caps".into(), Value::Seq(vec![Value::Float(1.5)])),
+                ])]),
+            ),
+            ("net".into(), Value::Map(vec![("class".into(), Value::Str("med".into()))])),
+        ]);
+        let text = to_string_pretty(&v).unwrap();
+        let parsed = parse_document(&text).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn bad_input_errors() {
+        assert!(parse_document("key").is_err());
+        assert!(parse_document("[unclosed").is_err());
+        assert!(parse_document("x = ").is_err());
+    }
+}
