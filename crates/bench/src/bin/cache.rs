@@ -8,7 +8,7 @@ use dsd_bench::{budget_from_env, env_u64, outcome_value, seed_from_env, write_be
 use dsd_core::{parallel_solve, DesignSolver, EvalCache, DEFAULT_CACHE_CAPACITY};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::Value;
+use serde::{Serialize, Value};
 
 fn main() {
     let env = dsd_scenarios::environments::peer_sites_with(4);
@@ -18,9 +18,16 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let uncached = DesignSolver::new(&env).solve(budget, &mut rng);
 
+    // The cached run records into a metrics registry, so the report can
+    // embed the hit ratio and eval-latency percentiles the registry saw
+    // (recording never perturbs the search — asserted below).
+    let recorder = dsd_obs::Recorder::new();
     let cache = EvalCache::new(DEFAULT_CACHE_CAPACITY);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let cached = DesignSolver::new(&env).with_cache(&cache).solve(budget, &mut rng);
+    let cached = {
+        let _guard = recorder.install();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        DesignSolver::new(&env).with_cache(&cache).solve(budget, &mut rng)
+    };
 
     let (a, b) = (uncached.best.as_ref(), cached.best.as_ref());
     assert_eq!(
@@ -62,12 +69,43 @@ fn main() {
         shared.hits
     );
 
+    let snapshot = recorder.metrics_snapshot();
+    let latency = snapshot.histogram("solver.eval_latency");
+    let metrics = Value::Map(vec![
+        (
+            "cache_hit_ratio".to_string(),
+            Value::Float(snapshot.gauges.get("cache.hit_ratio").copied().unwrap_or(0.0)),
+        ),
+        (
+            "eval_latency_secs".to_string(),
+            match latency {
+                Some(h) => Value::Map(vec![
+                    ("count".to_string(), Value::Int(i64::try_from(h.count).unwrap_or(i64::MAX))),
+                    ("mean".to_string(), Value::Float(h.mean)),
+                    ("p50".to_string(), Value::Float(h.p50)),
+                    ("p90".to_string(), Value::Float(h.p90)),
+                    ("p99".to_string(), Value::Float(h.p99)),
+                    ("max".to_string(), Value::Float(h.max)),
+                ]),
+                None => Value::Null,
+            },
+        ),
+        ("snapshot".to_string(), snapshot.serialize()),
+    ]);
+    if let Some(h) = latency {
+        println!(
+            "  eval latency: n={} p50={:.6}s p90={:.6}s p99={:.6}s max={:.6}s",
+            h.count, h.p50, h.p90, h.p99, h.max
+        );
+    }
+
     let report = Value::Map(vec![
         ("environment".to_string(), Value::Str("peer_sites_with(4)".to_string())),
         ("seed".to_string(), Value::Int(i64::try_from(seed).unwrap_or(i64::MAX))),
         ("uncached".to_string(), outcome_value(&uncached)),
         ("cached".to_string(), outcome_value(&cached)),
         ("parallel_shared_cache".to_string(), outcome_value(&parallel)),
+        ("metrics".to_string(), metrics),
         (
             "identical_results".to_string(),
             Value::Bool(true), // asserted above; reaching here means it held

@@ -1,0 +1,105 @@
+//! Measures the observability overhead: solves the peer-sites
+//! environment three ways — no recorder installed (the production
+//! default), a disabled no-op recorder (every instrumentation site runs
+//! its thread-local check and bails), and a fully active recorder — and
+//! reports the wall-time deltas. The first two must be within noise of
+//! each other (the ISSUE budget is <2%); all three must find the
+//! bit-identical design, since recording never consumes randomness.
+//!
+//! Writes `BENCH_obs.json` (`DSD_BENCH_DIR` overrides the directory;
+//! `DSD_BUDGET` / `DSD_SEED` / `DSD_REPS` as usual).
+
+use std::time::Instant;
+
+use dsd_bench::{budget_from_env, env_u64, seed_from_env, write_bench_json};
+use dsd_core::{Budget, DesignSolver, Environment};
+use dsd_obs::Recorder;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Value;
+
+fn solve_cost(env: &Environment, budget: Budget, seed: u64) -> Option<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    DesignSolver::new(env).solve(budget, &mut rng).best.map(|b| b.cost().total().as_f64())
+}
+
+fn time_once(env: &Environment, budget: Budget, seed: u64, recorder: Option<&Recorder>) -> f64 {
+    let started = Instant::now();
+    let _guard = recorder.map(Recorder::install);
+    let _ = solve_cost(env, budget, seed);
+    started.elapsed().as_secs_f64()
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let env = dsd_scenarios::environments::peer_sites_with(4);
+    let budget = budget_from_env();
+    let seed = seed_from_env();
+    let reps = env_u64("DSD_REPS", 5) as usize;
+
+    // Correctness first: all three modes find the identical design.
+    let bare_cost = solve_cost(&env, budget, seed);
+    let disabled = Recorder::disabled();
+    let noop_cost = {
+        let _g = disabled.install();
+        solve_cost(&env, budget, seed)
+    };
+    let active = Recorder::new();
+    let active_cost = {
+        let _g = active.install();
+        solve_cost(&env, budget, seed)
+    };
+    assert_eq!(bare_cost, noop_cost, "no-op recorder must not perturb the search");
+    assert_eq!(bare_cost, active_cost, "active recorder must not perturb the search");
+    let events = active.drain_events().len();
+    let series = active.metrics_snapshot().series_count();
+
+    // Warm up, then interleave timed repetitions of the three modes so
+    // clock drift and cache warmth hit every mode equally instead of
+    // biasing whichever block ran last.
+    let _ = solve_cost(&env, budget, seed);
+    let disabled_timed = Recorder::disabled();
+    let recording = Recorder::new();
+    let (mut bare_t, mut noop_t, mut active_t) =
+        (Vec::with_capacity(reps), Vec::with_capacity(reps), Vec::with_capacity(reps));
+    for _ in 0..reps {
+        bare_t.push(time_once(&env, budget, seed, None));
+        noop_t.push(time_once(&env, budget, seed, Some(&disabled_timed)));
+        active_t.push(time_once(&env, budget, seed, Some(&recording)));
+    }
+    let (bare_s, noop_s, active_s) = (median(bare_t), median(noop_t), median(active_t));
+
+    let noop_overhead = (noop_s - bare_s) / bare_s;
+    let active_overhead = (active_s - bare_s) / bare_s;
+    println!("seed {seed}, {reps} reps (median wall times):");
+    println!("  uninstrumented:    {bare_s:.4}s");
+    println!("  no-op recorder:    {noop_s:.4}s  ({:+.2}% vs bare)", noop_overhead * 100.0);
+    println!("  active recorder:   {active_s:.4}s  ({:+.2}% vs bare)", active_overhead * 100.0);
+    println!("  active run recorded {events} events, {series} metric series");
+    let budget_ok = noop_overhead < 0.02;
+    println!(
+        "  no-op overhead budget (<2%): {}",
+        if budget_ok { "within budget" } else { "EXCEEDED (noisy machine?)" }
+    );
+
+    let report = Value::Map(vec![
+        ("environment".to_string(), Value::Str("peer_sites_with(4)".to_string())),
+        ("seed".to_string(), Value::Int(i64::try_from(seed).unwrap_or(i64::MAX))),
+        ("reps".to_string(), Value::Int(i64::try_from(reps).unwrap_or(i64::MAX))),
+        ("bare_median_secs".to_string(), Value::Float(bare_s)),
+        ("noop_recorder_median_secs".to_string(), Value::Float(noop_s)),
+        ("active_recorder_median_secs".to_string(), Value::Float(active_s)),
+        ("noop_overhead_fraction".to_string(), Value::Float(noop_overhead)),
+        ("active_overhead_fraction".to_string(), Value::Float(active_overhead)),
+        ("noop_within_2pct".to_string(), Value::Bool(budget_ok)),
+        ("active_events".to_string(), Value::Int(i64::try_from(events).unwrap_or(i64::MAX))),
+        ("metric_series".to_string(), Value::Int(i64::try_from(series).unwrap_or(i64::MAX))),
+        ("identical_results".to_string(), Value::Bool(true)),
+    ]);
+    let path = write_bench_json("obs", &report).expect("write BENCH_obs.json");
+    println!("json written to {}", path.display());
+}

@@ -252,6 +252,69 @@ pub fn cmd_analyze_trace(trace_text: &str) -> Result<String, Box<dyn Error>> {
     Ok(out)
 }
 
+/// `dsd obs summary <trace.jsonl> [<metrics.json>]` — digest a recorded
+/// solver trace: top events by cumulative time, the objective-vs-
+/// evaluations curve from `solver.improved` points, and (when a metrics
+/// snapshot is given) the headline counters, gauges, and latency
+/// percentiles.
+///
+/// # Errors
+///
+/// Trace or metrics parse errors.
+pub fn cmd_obs_summary(
+    trace_text: &str,
+    metrics_text: Option<&str>,
+) -> Result<String, Box<dyn Error>> {
+    let records = dsd_obs::export::parse_jsonl(trace_text)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "trace: {} events", records.len());
+
+    let _ = writeln!(out, "top events by cumulative time:");
+    for t in dsd_obs::export::totals_by_name(&records).into_iter().take(10) {
+        let _ = writeln!(
+            out,
+            "  {:<28} {:<10} x{:<7} {:>12.3} ms",
+            t.name,
+            t.cat,
+            t.count,
+            t.total_us / 1000.0
+        );
+    }
+
+    let curve: Vec<(f64, f64)> = records
+        .iter()
+        .filter(|r| r.name == "solver.improved")
+        .filter_map(|r| Some((r.num_arg("evals")?, r.num_arg("cost")?)))
+        .collect();
+    if curve.is_empty() {
+        let _ = writeln!(out, "objective curve: no solver.improved events in trace");
+    } else {
+        let _ = writeln!(out, "objective vs evaluations ({} improvements):", curve.len());
+        for (evals, cost) in &curve {
+            let _ = writeln!(out, "  {evals:>8.0} evals  ->  ${cost:.0}");
+        }
+    }
+
+    if let Some(metrics_text) = metrics_text {
+        let snapshot: dsd_obs::MetricsSnapshot = serde_json::from_str(metrics_text)?;
+        let _ = writeln!(out, "metrics: {} series", snapshot.series_count());
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(out, "  counter {name:<28} {value}");
+        }
+        for (name, value) in &snapshot.gauges {
+            let _ = writeln!(out, "  gauge   {name:<28} {value:.4}");
+        }
+        for (name, h) in &snapshot.histograms {
+            let _ = writeln!(
+                out,
+                "  hist    {name:<28} n={} p50={:.6} p90={:.6} p99={:.6} max={:.6}",
+                h.count, h.p50, h.p90, h.p99, h.max
+            );
+        }
+    }
+    Ok(out)
+}
+
 /// Builds an environment directly from spec text (helper for tests and
 /// the binary's validation path).
 ///
@@ -303,6 +366,37 @@ mod tests {
         assert!(out.contains("avg update"));
         assert!(out.contains("capacity_gb"));
         assert!(cmd_analyze_trace("garbage").is_err());
+    }
+
+    #[test]
+    fn obs_summary_digests_trace_and_metrics() {
+        let recorder = dsd_obs::Recorder::new();
+        {
+            let _g = recorder.install();
+            let mut span = dsd_obs::span("solver.solve", "solver");
+            span.arg("budget", 10u64);
+            dsd_obs::instant_with(
+                "solver.improved",
+                "solver",
+                vec![("evals", 5u64.into()), ("cost", 1234.5f64.into())],
+            );
+            dsd_obs::add("solver.nodes_evaluated", 5);
+            dsd_obs::observe("solver.eval_latency", 0.002);
+            drop(span);
+        }
+        let trace = dsd_obs::export::trace_jsonl(&recorder.drain_events());
+        let metrics = serde_json::to_string(&recorder.metrics_snapshot()).unwrap();
+
+        let out = cmd_obs_summary(&trace, Some(&metrics)).expect("summarizes");
+        assert!(out.contains("top events by cumulative time"));
+        assert!(out.contains("solver.solve"));
+        assert!(out.contains("objective vs evaluations"));
+        assert!(out.contains("$1234") || out.contains("$1235"));
+        assert!(out.contains("counter solver.nodes_evaluated"));
+        assert!(out.contains("hist    solver.eval_latency"));
+
+        assert!(cmd_obs_summary("not json", None).is_err());
+        assert!(cmd_obs_summary(&trace, Some("not json")).is_err());
     }
 
     #[test]

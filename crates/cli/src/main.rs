@@ -4,8 +4,10 @@
 //! dsd init                               # print an example spec (redirect to env.toml)
 //! dsd tables                             # print the paper's input catalogs
 //! dsd design env.toml [--budget N] [--seed N] [--save design.json]
+//!     [--trace trace.jsonl] [--metrics metrics.json] [--chrome-trace trace.json]
 //! dsd evaluate env.toml design.json      # re-evaluate a saved design
 //! dsd experiment table4|figure2..figure7|ablation [--budget N] [--seed N]
+//! dsd obs summary trace.jsonl [metrics.json]   # digest a recorded trace
 //! ```
 
 use std::error::Error;
@@ -13,11 +15,12 @@ use std::fs;
 use std::process::ExitCode;
 
 use dsd_cli::commands::{
-    cmd_analyze_trace, cmd_design, cmd_evaluate, cmd_experiment, cmd_init, cmd_tables, RunOptions,
+    cmd_analyze_trace, cmd_design, cmd_evaluate, cmd_experiment, cmd_init, cmd_obs_summary,
+    cmd_tables, RunOptions,
 };
 
 fn usage() -> &'static str {
-    "usage:\n  dsd init\n  dsd tables\n  dsd design <spec.toml> [--budget N] [--seed N] [--save <design.json>] [--report <report.md>]\n  dsd evaluate <spec.toml> <design.json>\n  dsd experiment <table4|figure2|figure3|figure4|figure5|figure6|figure7|ablation> [--budget N] [--seed N]\n  dsd analyze-trace <trace.csv>"
+    "usage:\n  dsd init\n  dsd tables\n  dsd design <spec.toml> [--budget N] [--seed N] [--save <design.json>] [--report <report.md>] [--trace <trace.jsonl>] [--metrics <metrics.json>] [--chrome-trace <trace.json>]\n  dsd evaluate <spec.toml> <design.json>\n  dsd experiment <table4|figure2|figure3|figure4|figure5|figure6|figure7|ablation> [--budget N] [--seed N] [--trace <trace.jsonl>] [--metrics <metrics.json>]\n  dsd analyze-trace <trace.csv>\n  dsd obs summary <trace.jsonl> [<metrics.json>]"
 }
 
 /// Output-file options pulled from the flags.
@@ -25,6 +28,17 @@ fn usage() -> &'static str {
 struct OutputPaths {
     save: Option<String>,
     report: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
+    chrome_trace: Option<String>,
+}
+
+impl OutputPaths {
+    /// Whether any flag asked for observability output (and therefore a
+    /// recorder must be installed around the solver run).
+    fn wants_recording(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some() || self.chrome_trace.is_some()
+    }
 }
 
 /// Pulls `--budget`/`--seed`/`--save`/`--report` style flags out of the
@@ -54,6 +68,18 @@ fn parse_flags(args: &[String]) -> Result<(Vec<&str>, RunOptions, OutputPaths), 
                 i += 1;
                 out.report = Some(args.get(i).ok_or("--report needs a path")?.clone());
             }
+            "--trace" => {
+                i += 1;
+                out.trace = Some(args.get(i).ok_or("--trace needs a path")?.clone());
+            }
+            "--metrics" => {
+                i += 1;
+                out.metrics = Some(args.get(i).ok_or("--metrics needs a path")?.clone());
+            }
+            "--chrome-trace" => {
+                i += 1;
+                out.chrome_trace = Some(args.get(i).ok_or("--chrome-trace needs a path")?.clone());
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag: {flag}").into());
             }
@@ -64,15 +90,49 @@ fn parse_flags(args: &[String]) -> Result<(Vec<&str>, RunOptions, OutputPaths), 
     Ok((positional, options, out))
 }
 
+/// Writes the recorder's trace/metrics to every requested path. Called
+/// after the install guard has dropped, so all buffers have flushed.
+fn export_observability(
+    recorder: &dsd_obs::Recorder,
+    outputs: &OutputPaths,
+) -> Result<(), Box<dyn Error>> {
+    let events = recorder.drain_events();
+    if let Some(path) = &outputs.trace {
+        fs::write(path, dsd_obs::export::trace_jsonl(&events))?;
+        println!("trace written to {path}");
+    }
+    if let Some(path) = &outputs.chrome_trace {
+        fs::write(path, dsd_obs::export::chrome_trace(&events))?;
+        println!("chrome trace written to {path}");
+    }
+    if let Some(path) = &outputs.metrics {
+        let snapshot = recorder.metrics_snapshot();
+        fs::write(path, serde_json::to_string(&snapshot)?)?;
+        println!("metrics written to {path}");
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (positional, options, outputs) = parse_flags(&args)?;
+    // Solver-running commands record when any observability output was
+    // requested; the guard must drop before exporting so per-thread
+    // buffers flush.
+    let recorder = outputs.wants_recording().then(dsd_obs::Recorder::new);
     match positional.as_slice() {
         ["init"] => print!("{}", cmd_init()),
         ["tables"] => print!("{}", cmd_tables()),
         ["design", spec_path] => {
             let spec = fs::read_to_string(spec_path)?;
-            let (text, json, md) = cmd_design(&spec, options)?;
+            let result = {
+                let _guard = recorder.as_ref().map(dsd_obs::Recorder::install);
+                cmd_design(&spec, options)
+            };
+            if let Some(recorder) = &recorder {
+                export_observability(recorder, &outputs)?;
+            }
+            let (text, json, md) = result?;
             print!("{text}");
             if let Some(path) = outputs.save {
                 fs::write(&path, json)?;
@@ -88,14 +148,42 @@ fn run() -> Result<(), Box<dyn Error>> {
             let design = fs::read_to_string(design_path)?;
             print!("{}", cmd_evaluate(&spec, &design)?);
         }
-        ["experiment", name] => print!("{}", cmd_experiment(name, options)?),
+        ["experiment", name] => {
+            let result = {
+                let _guard = recorder.as_ref().map(dsd_obs::Recorder::install);
+                cmd_experiment(name, options)
+            };
+            if let Some(recorder) = &recorder {
+                export_observability(recorder, &outputs)?;
+            }
+            print!("{}", result?);
+        }
         ["analyze-trace", trace_path] => {
             let trace = fs::read_to_string(trace_path)?;
             print!("{}", cmd_analyze_trace(&trace)?);
         }
+        ["obs", "summary", trace_path] => {
+            let trace = fs::read_to_string(trace_path)?;
+            print!("{}", cmd_obs_summary(&trace, None)?);
+        }
+        ["obs", "summary", trace_path, metrics_path] => {
+            let trace = fs::read_to_string(trace_path)?;
+            let metrics = fs::read_to_string(metrics_path)?;
+            print!("{}", cmd_obs_summary(&trace, Some(&metrics))?);
+        }
         _ => return Err(usage().into()),
     }
     Ok(())
+}
+
+/// Renders an error as a one-line structured JSON event (machine-
+/// readable counterpart of the human `error:` line on stderr).
+fn error_event(e: &dyn Error) -> String {
+    use serde::Value;
+    dsd_obs::export::to_compact_json(&Value::Map(vec![
+        ("event".to_string(), Value::Str("error".to_string())),
+        ("message".to_string(), Value::Str(e.to_string())),
+    ]))
 }
 
 fn main() -> ExitCode {
@@ -103,6 +191,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
+            eprintln!("{}", error_event(e.as_ref()));
             ExitCode::FAILURE
         }
     }

@@ -71,6 +71,97 @@ fn bad_usage_exits_nonzero_with_usage_text() {
     assert!(!missing.status.success());
 }
 
+/// Every failure must exit nonzero AND emit a machine-readable error
+/// event on stderr alongside the human-readable line.
+#[test]
+fn failures_emit_a_structured_error_event() {
+    let out = dsd().args(["design", "/nonexistent/spec.toml"]).output().expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "human-readable line present");
+    let event_line = stderr
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("structured event line present on stderr");
+    let value = serde_json::parse(event_line).expect("event line is valid JSON");
+    let str_field = |key: &str| match value.get(key) {
+        Some(serde::Value::Str(s)) => s.clone(),
+        other => panic!("field `{key}` missing or not a string: {other:?}"),
+    };
+    assert_eq!(str_field("event"), "error");
+    assert!(!str_field("message").is_empty());
+}
+
+/// `--trace`/`--metrics`/`--chrome-trace` write parseable observability
+/// artifacts, and `dsd obs summary` digests them.
+#[test]
+fn design_records_trace_and_metrics() {
+    let dir = std::env::temp_dir().join(format!("dsd-obs-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("env.toml");
+    let trace_path = dir.join("trace.jsonl");
+    let metrics_path = dir.join("metrics.json");
+    let chrome_path = dir.join("chrome.json");
+
+    let init = dsd().arg("init").output().expect("runs");
+    assert!(init.status.success());
+    std::fs::write(&spec_path, &init.stdout).unwrap();
+
+    let design = dsd()
+        .args([
+            "design",
+            spec_path.to_str().unwrap(),
+            "--budget",
+            "15",
+            "--seed",
+            "3",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+            "--chrome-trace",
+            chrome_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(design.status.success(), "{}", String::from_utf8_lossy(&design.stderr));
+
+    // The JSONL trace parses and contains the advertised event taxonomy.
+    let trace_text = std::fs::read_to_string(&trace_path).unwrap();
+    let records = dsd_obs::export::parse_jsonl(&trace_text).expect("trace parses");
+    let has = |name: &str| records.iter().any(|r| r.name == name);
+    assert!(has("greedy.place"), "greedy placements");
+    assert!(has("refit.move"), "refit moves");
+    assert!(has("cache.hit") || has("cache.miss"), "cache lookups");
+    assert!(has("recovery.scenario"), "scenario evaluations");
+
+    // The metrics snapshot parses and has the headline series.
+    let metrics_text = std::fs::read_to_string(&metrics_path).unwrap();
+    let snapshot: dsd_obs::MetricsSnapshot =
+        serde_json::from_str(&metrics_text).expect("metrics parse");
+    assert!(snapshot.series_count() >= 5, "got {} series", snapshot.series_count());
+    assert!(snapshot.counter("solver.nodes_evaluated").unwrap_or(0) > 0);
+    assert!(snapshot.histogram("solver.eval_latency").is_some());
+
+    // The Chrome trace is one JSON array.
+    let chrome_text = std::fs::read_to_string(&chrome_path).unwrap();
+    let chrome = serde_json::parse(&chrome_text).expect("chrome trace parses");
+    assert!(matches!(chrome, serde::Value::Seq(ref v) if !v.is_empty()));
+
+    // obs summary digests the pair.
+    let summary = dsd()
+        .args(["obs", "summary", trace_path.to_str().unwrap(), metrics_path.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(summary.status.success(), "{}", String::from_utf8_lossy(&summary.stderr));
+    let text = String::from_utf8_lossy(&summary.stdout);
+    assert!(text.contains("top events by cumulative time"));
+    assert!(text.contains("objective vs evaluations"));
+    assert!(text.contains("metrics:"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn tables_subcommand_prints_catalogs() {
     let out = dsd().arg("tables").output().expect("runs");

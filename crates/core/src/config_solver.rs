@@ -1,6 +1,7 @@
 //! The configuration solver (paper §3.2): completes a partial candidate
 //! by optimizing technique configuration parameters and resource counts.
 
+use dsd_obs as obs;
 use dsd_units::Dollars;
 use dsd_workload::AppId;
 
@@ -83,13 +84,18 @@ impl<'e> ConfigurationSolver<'e> {
     /// Optimizes `candidate` in place and returns its final cost.
     pub fn complete(&self, candidate: &mut Candidate, thoroughness: Thoroughness) -> CostBreakdown {
         if thoroughness == Thoroughness::Full {
+            // Full completions are rare (final polish, human heuristic),
+            // so they get a span; Quick completions are the hot path and
+            // are visible through `refit.move` / `solver.eval_latency`.
+            let _span = obs::span("config.optimize", "config");
             self.optimize_configs(candidate);
         }
         let max_additions = match thoroughness {
             Thoroughness::Quick => self.max_additions_quick,
             Thoroughness::Full => self.max_additions_full,
         };
-        self.add_resources(candidate, max_additions);
+        let steps = self.add_resources(candidate, max_additions);
+        obs::add("config.addition_steps", steps as u64);
         candidate.evaluate(self.env).clone()
     }
 
@@ -138,9 +144,9 @@ impl<'e> ConfigurationSolver<'e> {
     /// Greedy resource addition: at each step, evaluate adding one link /
     /// one tape drive / one disk to each provisioned device, apply the
     /// single best cost-reducing addition, and stop when nothing improves
-    /// (or after `max_additions` steps).
-    fn add_resources(&self, candidate: &mut Candidate, max_additions: usize) {
-        for _ in 0..max_additions {
+    /// (or after `max_additions` steps). Returns the steps applied.
+    fn add_resources(&self, candidate: &mut Candidate, max_additions: usize) -> usize {
+        for step in 0..max_additions {
             let base = self.env.score(candidate.evaluate(self.env));
             let mut best: Option<(Dollars, Candidate)> = None;
 
@@ -174,9 +180,10 @@ impl<'e> ConfigurationSolver<'e> {
 
             match best {
                 Some((_, improved)) => *candidate = improved,
-                None => break,
+                None => return step,
             }
         }
+        max_additions
     }
 }
 

@@ -18,6 +18,7 @@
 
 use std::time::{Duration, Instant};
 
+use dsd_obs as obs;
 use rand::Rng;
 
 use dsd_units::Dollars;
@@ -102,6 +103,47 @@ impl SolveStats {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Publishes these counters into the currently installed
+    /// [`dsd_obs`] metrics registry under the `solver.*` names (durations
+    /// as `*_time_ns` counters). A no-op when no recorder is installed,
+    /// so solvers call it unconditionally at the end of every run; the
+    /// registry accumulates across runs exactly like [`SolveStats::merge`].
+    pub fn publish(&self) {
+        obs::add("solver.greedy_builds", self.greedy_builds);
+        obs::add("solver.greedy_failures", self.greedy_failures);
+        obs::add("solver.refit_rounds", self.refit_rounds);
+        obs::add("solver.nodes_evaluated", self.nodes_evaluated);
+        obs::add("solver.cache_hits", self.cache_hits);
+        obs::add("solver.cache_misses", self.cache_misses);
+        obs::add("solver.greedy_time_ns", duration_ns(self.greedy_time));
+        obs::add("solver.refit_time_ns", duration_ns(self.refit_time));
+        obs::add("solver.completion_time_ns", duration_ns(self.completion_time));
+    }
+
+    /// Reconstructs run counters from a metrics snapshot — the registry
+    /// view of the series written by [`SolveStats::publish`]. Series that
+    /// were never published read as zero; when several runs published
+    /// into one registry the result is their [`SolveStats::merge`] sum.
+    #[must_use]
+    pub fn from_snapshot(snapshot: &obs::MetricsSnapshot) -> SolveStats {
+        let c = |name: &str| snapshot.counter(name).unwrap_or(0);
+        SolveStats {
+            greedy_builds: c("solver.greedy_builds"),
+            greedy_failures: c("solver.greedy_failures"),
+            refit_rounds: c("solver.refit_rounds"),
+            nodes_evaluated: c("solver.nodes_evaluated"),
+            cache_hits: c("solver.cache_hits"),
+            cache_misses: c("solver.cache_misses"),
+            greedy_time: Duration::from_nanos(c("solver.greedy_time_ns")),
+            refit_time: Duration::from_nanos(c("solver.refit_time_ns")),
+            completion_time: Duration::from_nanos(c("solver.completion_time_ns")),
+        }
+    }
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Result of a solve: the best (evaluated) design found, if any design
@@ -202,6 +244,7 @@ impl<'e> DesignSolver<'e> {
     /// returns the best design found, polished with a full configuration
     /// solve.
     pub fn solve<R: Rng + ?Sized>(&self, budget: Budget, rng: &mut R) -> SolveOutcome {
+        let _solve_span = obs::span("solver.solve", "solver");
         let mut tracker = budget.start();
         let mut stats = SolveStats::default();
         let config = self.config_solver();
@@ -209,9 +252,11 @@ impl<'e> DesignSolver<'e> {
         let mut best: Option<Candidate> = None;
 
         while !tracker.expired() {
+            let greedy_span = obs::span("solver.greedy", "solver");
             let greedy_started = Instant::now();
             let built = self.greedy_stage(rng, &mut tracker, &mut stats);
             stats.greedy_time += greedy_started.elapsed();
+            drop(greedy_span);
             let Some(mut current) = built else {
                 stats.greedy_failures += 1;
                 // Nothing feasible from this restart; if even the greedy
@@ -226,14 +271,25 @@ impl<'e> DesignSolver<'e> {
             stats.greedy_builds += 1;
             self.complete_node(&config, &mut current, Thoroughness::Quick, &mut stats);
 
+            let refit_span = obs::span("solver.refit", "solver");
             let refit_started = Instant::now();
             self.refit_stage(&mut current, &mut reconf, rng, &mut tracker, &mut stats);
             stats.refit_time += refit_started.elapsed();
-            track_best(self.env, &mut best, current);
+            drop(refit_span);
+            if track_best(self.env, &mut best, current) {
+                record_improvement(self.env, best.as_ref(), &stats);
+            }
         }
 
         if let Some(b) = best.as_mut() {
             self.complete_node(&config, b, Thoroughness::Full, &mut stats);
+        }
+        stats.publish();
+        if let Some(b) = &best {
+            obs::gauge("solver.best_cost", self.env.score(b.cost()).as_f64());
+        }
+        if let Some(cache) = self.cache {
+            obs::gauge("cache.hit_ratio", cache.stats().hit_rate());
         }
         SolveOutcome {
             best,
@@ -258,8 +314,10 @@ impl<'e> DesignSolver<'e> {
                 let (_, hit) = config.complete_cached(candidate, thoroughness, cache);
                 if hit {
                     stats.cache_hits += 1;
+                    obs::instant("cache.hit", "cache");
                 } else {
                     stats.cache_misses += 1;
+                    obs::instant("cache.miss", "cache");
                 }
             }
             None => {
@@ -268,6 +326,7 @@ impl<'e> DesignSolver<'e> {
         }
         stats.completion_time += started.elapsed();
         stats.nodes_evaluated += 1;
+        obs::observe("solver.eval_latency", started.elapsed().as_secs_f64());
     }
 
     /// Stage 1: greedy best-fit (§3.1.1). Returns a complete feasible
@@ -325,7 +384,14 @@ impl<'e> DesignSolver<'e> {
             }
         }
         match best {
-            Some((_, chosen)) => {
+            Some((cost, chosen)) => {
+                if obs::enabled() {
+                    obs::instant_with(
+                        "greedy.place",
+                        "greedy",
+                        vec![("app", app.0.into()), ("cost", cost.as_f64().into())],
+                    );
+                }
                 *candidate = chosen;
                 true
             }
@@ -360,6 +426,13 @@ impl<'e> DesignSolver<'e> {
                 return None;
             }
             self.complete_node(&config, &mut next, Thoroughness::Quick, stats);
+            if obs::enabled() {
+                obs::instant_with(
+                    "refit.move",
+                    "refit",
+                    vec![("cost", self.env.score(next.cost()).as_f64().into())],
+                );
+            }
             Some(next)
         };
 
@@ -396,6 +469,7 @@ impl<'e> DesignSolver<'e> {
                 Some(rb) if self.env.score(rb.cost()) < self.env.score(best.cost()) => {
                     *current = rb.clone();
                     best = rb;
+                    record_improvement(self.env, Some(&best), stats);
                 }
                 // No improvement this round: local optimum (Algorithm 1's
                 // termination test).
@@ -407,17 +481,41 @@ impl<'e> DesignSolver<'e> {
 }
 
 /// Keeps the better-scoring candidate under the environment's objective
-/// (candidates must be evaluated).
-fn track_best(env: &Environment, slot: &mut Option<Candidate>, candidate: Candidate) {
+/// (candidates must be evaluated); returns whether `slot` was replaced.
+fn track_best(env: &Environment, slot: &mut Option<Candidate>, candidate: Candidate) -> bool {
     debug_assert!(candidate.cost_if_evaluated().is_some());
     match slot {
-        None => *slot = Some(candidate),
+        None => {
+            *slot = Some(candidate);
+            true
+        }
         Some(existing) => {
             if env.score(candidate.cost()) < env.score(existing.cost()) {
                 *slot = Some(candidate);
+                true
+            } else {
+                false
             }
         }
     }
+}
+
+/// Emits a `solver.improved` instant carrying the evaluation count and
+/// the new best objective — the raw points of the objective-vs-
+/// evaluations curve (`dsd obs summary` reassembles it from the trace).
+fn record_improvement(env: &Environment, best: Option<&Candidate>, stats: &SolveStats) {
+    if !obs::enabled() {
+        return;
+    }
+    let Some(best) = best else { return };
+    obs::instant_with(
+        "solver.improved",
+        "solver",
+        vec![
+            ("evals", stats.nodes_evaluated.into()),
+            ("cost", env.score(best.cost()).as_f64().into()),
+        ],
+    );
 }
 
 #[cfg(test)]

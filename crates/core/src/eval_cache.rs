@@ -239,10 +239,12 @@ impl EvalCache {
             Some(entry) => {
                 entry.stamp = self.tick.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                dsd_obs::add("cache.hits", 1);
                 Some((entry.candidate.clone(), entry.cost.clone()))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                dsd_obs::add("cache.misses", 1);
                 None
             }
         }
@@ -257,11 +259,13 @@ impl EvalCache {
             if let Some(oldest) = shard.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k) {
                 shard.map.remove(&oldest);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                dsd_obs::add("cache.evictions", 1);
             }
         }
         let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
         shard.map.insert(key, Entry { stamp, candidate, cost });
         self.inserts.fetch_add(1, Ordering::Relaxed);
+        dsd_obs::add("cache.inserts", 1);
     }
 
     /// Lifetime counters plus current occupancy.

@@ -9,6 +9,7 @@
 //! solver as the design solver, so the comparison isolates the search
 //! strategy itself.
 
+use dsd_obs as obs;
 use rand::Rng;
 
 use crate::budget::Budget;
@@ -72,6 +73,7 @@ impl<'e> SimulatedAnnealing<'e> {
 
     /// Anneals until the budget expires; returns the best design seen.
     pub fn solve<R: Rng + ?Sized>(&self, budget: Budget, rng: &mut R) -> SolveOutcome {
+        let _solve_span = obs::span("anneal.solve", "heuristic");
         let mut tracker = budget.start();
         let mut stats = SolveStats::default();
         let config = ConfigurationSolver::new(self.env);
@@ -111,6 +113,18 @@ impl<'e> SimulatedAnnealing<'e> {
                 self.env.score(proposal.cost()).as_f64() - self.env.score(current.cost()).as_f64();
             let accept = delta < 0.0
                 || (temperature > 0.0 && rng.gen_range(0.0..1.0f64) < (-delta / temperature).exp());
+            if obs::enabled() {
+                obs::instant_with(
+                    "anneal.move",
+                    "heuristic",
+                    vec![
+                        ("delta", delta.into()),
+                        ("temp", temperature.into()),
+                        ("accepted", accept.into()),
+                    ],
+                );
+            }
+            obs::add(if accept { "anneal.accepted" } else { "anneal.rejected" }, 1);
             if accept {
                 current = proposal;
                 if self.env.score(current.cost()) < self.env.score(best.cost()) {
@@ -126,6 +140,7 @@ impl<'e> SimulatedAnnealing<'e> {
 
         config.complete(&mut best, Thoroughness::Full);
         stats.nodes_evaluated += 1;
+        stats.publish();
         SolveOutcome { best: Some(best), stats, elapsed: tracker.elapsed(), cache: None }
     }
 }

@@ -1,5 +1,6 @@
 //! The emulated human storage architect (paper §4.1).
 
+use dsd_obs as obs;
 use rand::Rng;
 
 use dsd_protection::TechniqueId;
@@ -41,6 +42,7 @@ impl<'e> HumanHeuristic<'e> {
     /// Runs design attempts until the budget expires and returns the
     /// cheapest.
     pub fn solve<R: Rng + ?Sized>(&self, budget: Budget, rng: &mut R) -> SolveOutcome {
+        let _solve_span = obs::span("human.solve", "heuristic");
         let mut tracker = budget.start();
         let mut stats = SolveStats::default();
         let config = ConfigurationSolver::new(self.env);
@@ -63,6 +65,7 @@ impl<'e> HumanHeuristic<'e> {
                 None => stats.greedy_failures += 1,
             }
         }
+        stats.publish();
         SolveOutcome { best, stats, elapsed: tracker.elapsed(), cache: None }
     }
 

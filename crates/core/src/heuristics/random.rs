@@ -1,6 +1,7 @@
 //! Random design selection (paper §4.3): quick feasibility-checked random
 //! designs, keeping the cheapest.
 
+use dsd_obs as obs;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -67,6 +68,7 @@ impl<'e> RandomHeuristic<'e> {
 
     /// Samples designs until the budget expires; returns the cheapest.
     pub fn solve<R: Rng + ?Sized>(&self, budget: Budget, rng: &mut R) -> SolveOutcome {
+        let _solve_span = obs::span("random.solve", "heuristic");
         let mut tracker = budget.start();
         let mut stats = SolveStats::default();
         let mut best: Option<Candidate> = None;
@@ -77,6 +79,7 @@ impl<'e> RandomHeuristic<'e> {
                     candidate.evaluate(self.env);
                     stats.greedy_builds += 1;
                     stats.nodes_evaluated += 1;
+                    obs::add("random.feasible_samples", 1);
                     let better = best.as_ref().is_none_or(|b| {
                         self.env.score(candidate.cost()) < self.env.score(b.cost())
                     });
@@ -84,9 +87,13 @@ impl<'e> RandomHeuristic<'e> {
                         best = Some(candidate);
                     }
                 }
-                None => stats.greedy_failures += 1,
+                None => {
+                    stats.greedy_failures += 1;
+                    obs::add("random.infeasible_samples", 1);
+                }
             }
         }
+        stats.publish();
         SolveOutcome { best, stats, elapsed: tracker.elapsed(), cache: None }
     }
 }

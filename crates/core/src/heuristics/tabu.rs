@@ -8,6 +8,7 @@
 
 use std::collections::VecDeque;
 
+use dsd_obs as obs;
 use rand::Rng;
 
 use dsd_workload::AppId;
@@ -54,6 +55,7 @@ impl<'e> TabuSearch<'e> {
 
     /// Searches until the budget expires; returns the best design seen.
     pub fn solve<R: Rng + ?Sized>(&self, budget: Budget, rng: &mut R) -> SolveOutcome {
+        let _solve_span = obs::span("tabu.solve", "heuristic");
         let mut tracker = budget.start();
         let mut stats = SolveStats::default();
         let config = ConfigurationSolver::new(self.env);
@@ -94,6 +96,7 @@ impl<'e> TabuSearch<'e> {
                 let is_tabu = touched.is_some_and(|a| tabu.contains(&a));
                 let aspirates = self.env.score(proposal.cost()) < self.env.score(best.cost());
                 if is_tabu && !aspirates {
+                    obs::add("tabu.moves_forbidden", 1);
                     continue;
                 }
                 let better_than_chosen = chosen.as_ref().is_none_or(|(c, _)| {
@@ -106,6 +109,17 @@ impl<'e> TabuSearch<'e> {
                 }
             }
             let Some((next, touched)) = chosen else { continue };
+            obs::add("tabu.moves_taken", 1);
+            if obs::enabled() {
+                obs::instant_with(
+                    "tabu.move",
+                    "heuristic",
+                    vec![
+                        ("app", touched.0.into()),
+                        ("cost", self.env.score(next.cost()).as_f64().into()),
+                    ],
+                );
+            }
             tabu.push_back(touched);
             while tabu.len() > self.tenure {
                 tabu.pop_front();
@@ -118,6 +132,7 @@ impl<'e> TabuSearch<'e> {
 
         config.complete(&mut best, Thoroughness::Full);
         stats.nodes_evaluated += 1;
+        stats.publish();
         SolveOutcome { best: Some(best), stats, elapsed: tracker.elapsed(), cache: None }
     }
 }

@@ -1,0 +1,183 @@
+//! Integration tests for the solver's `dsd-obs` instrumentation: the
+//! trace and metrics must describe the search faithfully, and recording
+//! must never change what the search computes.
+
+use dsd_core::{parallel_solve, Budget, DesignSolver, Environment, EvalCache, SolveStats};
+use dsd_failure::{FailureModel, FailureRates};
+use dsd_obs as obs;
+use dsd_protection::TechniqueCatalog;
+use dsd_resources::{DeviceSpec, NetworkSpec, Site, Topology};
+use dsd_workload::WorkloadSet;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn env(apps: usize) -> Environment {
+    let mk = |i: usize| {
+        Site::new(i, format!("P{i}"))
+            .with_array_slot(DeviceSpec::xp1200())
+            .with_array_slot(DeviceSpec::msa1500())
+            .with_tape_library(DeviceSpec::tape_library_high())
+            .with_compute(8)
+    };
+    Environment::new(
+        WorkloadSet::scaled_paper_mix(apps),
+        Arc::new(Topology::fully_connected(vec![mk(0), mk(1)], NetworkSpec::high())),
+        TechniqueCatalog::table2(),
+        FailureModel::new(FailureRates::case_study()),
+    )
+}
+
+/// Recording must not perturb the search: same seed, same best design,
+/// with and without an installed recorder (instrumentation consumes no
+/// randomness and mutates no solver state).
+#[test]
+fn instrumented_run_is_bit_identical_to_uninstrumented() {
+    let e = env(4);
+    let bare = {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        DesignSolver::new(&e).solve(Budget::iterations(15), &mut rng)
+    };
+    let recorder = obs::Recorder::new();
+    let traced = {
+        let _g = recorder.install();
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        DesignSolver::new(&e).solve(Budget::iterations(15), &mut rng)
+    };
+    assert_eq!(
+        bare.best.as_ref().map(|b| b.cost().total().as_f64()),
+        traced.best.as_ref().map(|b| b.cost().total().as_f64()),
+    );
+    assert_eq!(bare.stats.nodes_evaluated, traced.stats.nodes_evaluated);
+    assert_eq!(bare.stats.greedy_builds, traced.stats.greedy_builds);
+    assert_eq!(bare.stats.refit_rounds, traced.stats.refit_rounds);
+}
+
+mod recording {
+    use super::*;
+
+    /// A cached solve must emit the full event taxonomy: greedy
+    /// placements, refit moves, cache hits/misses, scenario evaluations,
+    /// and improvement points.
+    #[test]
+    fn solve_emits_the_event_taxonomy() {
+        let e = env(4);
+        let cache = EvalCache::new(512);
+        let recorder = obs::Recorder::new();
+        {
+            let _g = recorder.install();
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            let out =
+                DesignSolver::new(&e).with_cache(&cache).solve(Budget::iterations(20), &mut rng);
+            assert!(out.best.is_some());
+        }
+        let events = recorder.drain_events();
+        let count = |name: &str| events.iter().filter(|ev| ev.name == name).count();
+        assert!(count("greedy.place") > 0, "greedy placements traced");
+        assert!(count("refit.move") > 0, "refit moves traced");
+        assert!(count("recovery.scenario") > 0, "scenario evaluations traced");
+        assert!(count("solver.improved") > 0, "improvement curve points traced");
+        assert!(count("solver.solve") == 1, "one top-level solve span");
+        assert!(
+            count("cache.hit") + count("cache.miss") > 0,
+            "cache lookups traced when a cache is attached"
+        );
+        // Improvement points carry the objective-vs-evaluations curve.
+        let improved = events.iter().find(|ev| ev.name == "solver.improved").unwrap();
+        assert!(improved.arg("evals").is_some());
+        assert!(improved.arg("cost").is_some());
+    }
+
+    /// The metrics registry must expose the headline series and agree
+    /// with the run's `SolveStats`.
+    #[test]
+    fn metrics_registry_agrees_with_solve_stats() {
+        let e = env(4);
+        let cache = EvalCache::new(512);
+        let recorder = obs::Recorder::new();
+        let out = {
+            let _g = recorder.install();
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            DesignSolver::new(&e).with_cache(&cache).solve(Budget::iterations(15), &mut rng)
+        };
+        let snap = recorder.metrics_snapshot();
+        assert!(snap.series_count() >= 5, "got {} series", snap.series_count());
+
+        // SolveStats is reconstructible from the registry (its counters
+        // are a view over the published series).
+        let view = SolveStats::from_snapshot(&snap);
+        assert_eq!(view.greedy_builds, out.stats.greedy_builds);
+        assert_eq!(view.greedy_failures, out.stats.greedy_failures);
+        assert_eq!(view.refit_rounds, out.stats.refit_rounds);
+        assert_eq!(view.nodes_evaluated, out.stats.nodes_evaluated);
+        assert_eq!(view.cache_hits, out.stats.cache_hits);
+        assert_eq!(view.cache_misses, out.stats.cache_misses);
+
+        // Histograms observed on the hot paths. The latency histogram
+        // covers configuration-solver completions — exactly the lookups
+        // when a cache is attached ('nodes_evaluated' additionally counts
+        // the greedy stage's trial evaluations).
+        let lat = snap.histogram("solver.eval_latency").expect("eval latency observed");
+        assert_eq!(lat.count, out.stats.cache_hits + out.stats.cache_misses);
+        assert!(lat.count <= out.stats.nodes_evaluated);
+        assert!(snap.histogram("recovery.schedule_len").is_some());
+
+        // Cache-eye counters come from the cache itself.
+        let cs = out.cache.expect("cache attached");
+        assert_eq!(snap.counter("cache.hits"), Some(cs.hits));
+        assert_eq!(snap.counter("cache.misses"), Some(cs.misses));
+        assert_eq!(snap.gauges.get("cache.hit_ratio"), Some(&cs.hit_rate()));
+    }
+
+    /// `parallel_solve` must propagate the caller's recorder into its
+    /// workers: every seed's events and metrics land in the one sink,
+    /// and per-run stats published by each worker sum losslessly.
+    #[test]
+    fn parallel_solve_propagates_recorder_to_workers() {
+        let e = env(4);
+        let recorder = obs::Recorder::new();
+        let out = {
+            let _g = recorder.install();
+            parallel_solve(&e, Budget::iterations(8), &[1, 2, 3])
+        };
+        let events = recorder.drain_events();
+        let solves = events.iter().filter(|ev| ev.name == "solver.solve").count();
+        assert_eq!(solves, 3, "one solve span per worker");
+        let threads: std::collections::BTreeSet<u64> =
+            events.iter().filter(|ev| ev.name == "solver.solve").map(|ev| ev.thread).collect();
+        assert_eq!(threads.len(), 3, "workers record under distinct thread ids");
+        let snap = recorder.metrics_snapshot();
+        // Summed stats across workers equal the registry view.
+        let view = SolveStats::from_snapshot(&snap);
+        assert_eq!(view.nodes_evaluated, out.stats.nodes_evaluated);
+        assert_eq!(view.greedy_builds, out.stats.greedy_builds);
+    }
+
+    /// The baseline heuristics publish their runs under the same series.
+    #[test]
+    fn heuristics_publish_into_the_registry() {
+        let e = env(4);
+        let recorder = obs::Recorder::new();
+        {
+            let _g = recorder.install();
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let _ = dsd_core::heuristics::RandomHeuristic::new(&e)
+                .solve(Budget::iterations(6), &mut rng);
+            let _ = dsd_core::heuristics::SimulatedAnnealing::new(&e)
+                .solve(Budget::iterations(6), &mut rng);
+            let _ =
+                dsd_core::heuristics::TabuSearch::new(&e).solve(Budget::iterations(6), &mut rng);
+        }
+        let events = recorder.drain_events();
+        for span in ["random.solve", "anneal.solve", "tabu.solve"] {
+            assert_eq!(events.iter().filter(|ev| ev.name == span).count(), 1, "{span}");
+        }
+        let snap = recorder.metrics_snapshot();
+        assert!(snap.counter("random.feasible_samples").unwrap_or(0) > 0);
+        assert!(
+            snap.counter("anneal.accepted").unwrap_or(0)
+                + snap.counter("anneal.rejected").unwrap_or(0)
+                > 0
+        );
+    }
+}

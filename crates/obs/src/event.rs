@@ -1,0 +1,117 @@
+//! Trace events: the unit of data the recorder collects.
+
+use serde::Value;
+
+/// The shape of a recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A timed region with a start and a duration (Chrome `ph: "X"`).
+    Span,
+    /// A point-in-time marker (Chrome `ph: "i"`).
+    Instant,
+}
+
+impl EventKind {
+    /// The event's name in the JSONL schema.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Instant => "instant",
+        }
+    }
+}
+
+/// A single argument value attached to an event.
+///
+/// A small closed set keeps the hot path allocation-free for numeric
+/// arguments; strings allocate only when actually attached.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Integer argument.
+    Int(i64),
+    /// Floating-point argument.
+    Float(f64),
+    /// String argument.
+    Str(String),
+    /// Boolean argument.
+    Bool(bool),
+}
+
+impl ArgValue {
+    /// Converts to the serde value tree for export.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        match self {
+            ArgValue::Int(i) => Value::Int(*i),
+            ArgValue::Float(f) => Value::Float(*f),
+            ArgValue::Str(s) => Value::Str(s.clone()),
+            ArgValue::Bool(b) => Value::Bool(*b),
+        }
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::Int(v)
+    }
+}
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Float(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_owned())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One recorded event. Timestamps are nanoseconds since the owning
+/// recorder's epoch (monotonic clock), so events from different threads
+/// order consistently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event name (static so recording never allocates for it).
+    pub name: &'static str,
+    /// Category, e.g. `"solver"`, `"cache"`, `"recovery"`.
+    pub cat: &'static str,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Start offset from the recorder epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (zero for instants).
+    pub dur_ns: u64,
+    /// Dense per-recorder thread index (assigned at install time).
+    pub thread: u64,
+    /// Attached key/value arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Event {
+    /// Looks up an argument by key.
+    #[must_use]
+    pub fn arg(&self, key: &str) -> Option<&ArgValue> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}

@@ -1,0 +1,403 @@
+//! Exporters: JSONL solver traces and Chrome `trace_event` files.
+//!
+//! The JSONL format is the tool-friendly one — one self-contained JSON
+//! object per line, streamable and greppable:
+//!
+//! ```text
+//! {"ts_us":12.5,"dur_us":0,"kind":"instant","name":"greedy.place","cat":"solver","tid":0,"args":{"app":3}}
+//! ```
+//!
+//! The Chrome format is the human-friendly one: load it in
+//! `about:tracing` or <https://ui.perfetto.dev> to see the solver's
+//! stages on a per-thread timeline.
+
+use std::fmt;
+
+use serde::Value;
+
+use crate::event::{Event, EventKind};
+
+/// Export/parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    msg: String,
+}
+
+impl TraceError {
+    fn new(msg: impl Into<String>) -> Self {
+        TraceError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Writes a [`Value`] as compact (single-line) JSON. The vendored
+/// `serde_json` stand-in only pretty-prints, which would break the
+/// one-object-per-line JSONL contract.
+pub fn write_compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    out.push_str(&f.to_string());
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_json_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(k, out);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Compact JSON for a value, as a string.
+#[must_use]
+pub fn to_compact_json(value: &Value) -> String {
+    let mut out = String::new();
+    write_compact(value, &mut out);
+    out
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn event_value(event: &Event) -> Value {
+    let mut map = vec![
+        ("ts_us".to_string(), Value::Float(event.start_ns as f64 / 1000.0)),
+        ("dur_us".to_string(), Value::Float(event.dur_ns as f64 / 1000.0)),
+        ("kind".to_string(), Value::Str(event.kind.as_str().to_string())),
+        ("name".to_string(), Value::Str(event.name.to_string())),
+        ("cat".to_string(), Value::Str(event.cat.to_string())),
+        ("tid".to_string(), Value::Int(i64::try_from(event.thread).unwrap_or(i64::MAX))),
+    ];
+    if !event.args.is_empty() {
+        map.push((
+            "args".to_string(),
+            Value::Map(event.args.iter().map(|(k, v)| ((*k).to_string(), v.to_value())).collect()),
+        ));
+    }
+    Value::Map(map)
+}
+
+/// Renders events as JSONL: one compact JSON object per line, in start
+/// order.
+#[must_use]
+pub fn trace_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for event in events {
+        write_compact(&event_value(event), &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders events as a Chrome `trace_event` file (the "JSON array
+/// format"), loadable in `about:tracing` and Perfetto.
+#[must_use]
+pub fn chrome_trace(events: &[Event]) -> String {
+    let entries: Vec<Value> = events
+        .iter()
+        .map(|e| {
+            let mut map = vec![
+                ("name".to_string(), Value::Str(e.name.to_string())),
+                ("cat".to_string(), Value::Str(e.cat.to_string())),
+                (
+                    "ph".to_string(),
+                    Value::Str(
+                        match e.kind {
+                            EventKind::Span => "X",
+                            EventKind::Instant => "i",
+                        }
+                        .to_string(),
+                    ),
+                ),
+                ("ts".to_string(), Value::Float(e.start_ns as f64 / 1000.0)),
+                ("pid".to_string(), Value::Int(1)),
+                ("tid".to_string(), Value::Int(i64::try_from(e.thread).unwrap_or(i64::MAX))),
+            ];
+            if e.kind == EventKind::Span {
+                map.insert(4, ("dur".to_string(), Value::Float(e.dur_ns as f64 / 1000.0)));
+            }
+            if !e.args.is_empty() {
+                map.push((
+                    "args".to_string(),
+                    Value::Map(
+                        e.args.iter().map(|(k, v)| ((*k).to_string(), v.to_value())).collect(),
+                    ),
+                ));
+            }
+            Value::Map(map)
+        })
+        .collect();
+    to_compact_json(&Value::Seq(entries))
+}
+
+/// A trace event parsed back from JSONL (names are owned strings, since
+/// they no longer point into the instrumented binary).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Event name.
+    pub name: String,
+    /// Category.
+    pub cat: String,
+    /// `"span"` or `"instant"`.
+    pub kind: String,
+    /// Start offset in microseconds.
+    pub ts_us: f64,
+    /// Duration in microseconds (zero for instants).
+    pub dur_us: f64,
+    /// Recording thread index.
+    pub tid: u64,
+    /// Arguments (an empty map when the event had none).
+    pub args: Value,
+}
+
+impl TraceRecord {
+    /// A numeric argument (integer or float), by key.
+    #[must_use]
+    pub fn num_arg(&self, key: &str) -> Option<f64> {
+        match self.args.get(key) {
+            Some(Value::Int(i)) => Some(*i as f64),
+            Some(Value::Float(f)) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+fn field<'v>(map: &'v Value, key: &str, line: usize) -> Result<&'v Value, TraceError> {
+    map.get(key).ok_or_else(|| TraceError::new(format!("line {line}: missing field `{key}`")))
+}
+
+fn str_field(map: &Value, key: &str, line: usize) -> Result<String, TraceError> {
+    match field(map, key, line)? {
+        Value::Str(s) => Ok(s.clone()),
+        other => Err(TraceError::new(format!("line {line}: `{key}` is not a string: {other:?}"))),
+    }
+}
+
+fn num_field(map: &Value, key: &str, line: usize) -> Result<f64, TraceError> {
+    match field(map, key, line)? {
+        Value::Float(f) => Ok(*f),
+        Value::Int(i) => Ok(*i as f64),
+        other => Err(TraceError::new(format!("line {line}: `{key}` is not a number: {other:?}"))),
+    }
+}
+
+/// Parses a JSONL trace produced by [`trace_jsonl`], validating the
+/// schema of every line.
+///
+/// # Errors
+///
+/// [`TraceError`] naming the first malformed line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, TraceError> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value =
+            serde_json::parse(line).map_err(|e| TraceError::new(format!("line {line_no}: {e}")))?;
+        let kind = str_field(&value, "kind", line_no)?;
+        if kind != "span" && kind != "instant" {
+            return Err(TraceError::new(format!("line {line_no}: unknown kind `{kind}`")));
+        }
+        records.push(TraceRecord {
+            name: str_field(&value, "name", line_no)?,
+            cat: str_field(&value, "cat", line_no)?,
+            kind,
+            ts_us: num_field(&value, "ts_us", line_no)?,
+            dur_us: num_field(&value, "dur_us", line_no)?,
+            tid: num_field(&value, "tid", line_no)? as u64,
+            args: value.get("args").cloned().unwrap_or(Value::Map(Vec::new())),
+        });
+    }
+    Ok(records)
+}
+
+/// Cumulative statistics of one event name within a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanTotal {
+    /// Event name.
+    pub name: String,
+    /// Category.
+    pub cat: String,
+    /// Occurrences.
+    pub count: u64,
+    /// Total duration across occurrences, microseconds (zero for
+    /// instants).
+    pub total_us: f64,
+}
+
+/// Aggregates a parsed trace by event name, sorted by cumulative
+/// duration descending (instants sort by count within zero duration).
+#[must_use]
+pub fn totals_by_name(records: &[TraceRecord]) -> Vec<SpanTotal> {
+    let mut by_name: std::collections::BTreeMap<(String, String), (u64, f64)> =
+        std::collections::BTreeMap::new();
+    for r in records {
+        let entry = by_name.entry((r.name.clone(), r.cat.clone())).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += r.dur_us;
+    }
+    let mut totals: Vec<SpanTotal> = by_name
+        .into_iter()
+        .map(|((name, cat), (count, total_us))| SpanTotal { name, cat, count, total_us })
+        .collect();
+    totals.sort_by(|a, b| {
+        b.total_us
+            .partial_cmp(&a.total_us)
+            .expect("durations are finite")
+            .then(b.count.cmp(&a.count))
+    });
+    totals
+}
+
+#[cfg(all(test, not(feature = "off")))]
+mod tests {
+    use super::*;
+    use crate::event::ArgValue;
+    use crate::recorder::{instant_with, span, Recorder};
+
+    fn sample_events() -> Vec<Event> {
+        let r = Recorder::new();
+        {
+            let _g = r.install();
+            instant_with(
+                "greedy.place",
+                "solver",
+                vec![("app", ArgValue::Int(3)), ("note", ArgValue::Str("a \"b\"\n".into()))],
+            );
+            {
+                let mut s = span("refit.round", "solver");
+                s.arg("round", 1u64);
+            }
+        }
+        r.drain_events()
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_the_parser() {
+        let events = sample_events();
+        let text = trace_jsonl(&events);
+        assert_eq!(text.lines().count(), 2);
+        let records = parse_jsonl(&text).expect("parses");
+        assert_eq!(records.len(), 2);
+        let place = records.iter().find(|r| r.name == "greedy.place").expect("place");
+        assert_eq!(place.kind, "instant");
+        assert_eq!(place.num_arg("app"), Some(3.0));
+        assert_eq!(place.args.get("note"), Some(&Value::Str("a \"b\"\n".into())));
+        let refit = records.iter().find(|r| r.name == "refit.round").expect("refit");
+        assert_eq!(refit.kind, "span");
+        assert!(refit.dur_us >= 0.0);
+    }
+
+    #[test]
+    fn every_jsonl_line_is_standalone_json() {
+        let text = trace_jsonl(&sample_events());
+        for line in text.lines() {
+            assert!(serde_json::parse(line).is_ok(), "unparseable line: {line}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_one_json_array_with_phases() {
+        let events = sample_events();
+        let parsed = serde_json::parse(&chrome_trace(&events)).expect("valid JSON");
+        let Value::Seq(items) = parsed else { panic!("expected array") };
+        assert_eq!(items.len(), 2);
+        let phases: Vec<_> =
+            items.iter().map(|e| e.get("ph").cloned().expect("ph present")).collect();
+        assert!(phases.contains(&Value::Str("i".into())));
+        assert!(phases.contains(&Value::Str("X".into())));
+        for item in &items {
+            assert!(item.get("ts").is_some());
+            assert!(item.get("tid").is_some());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_jsonl("not json\n").is_err());
+        assert!(parse_jsonl("{\"kind\":\"span\"}\n").is_err(), "missing fields");
+        let bad_kind = "{\"ts_us\":0.0,\"dur_us\":0.0,\"kind\":\"wat\",\"name\":\"n\",\"cat\":\"c\",\"tid\":0}";
+        assert!(parse_jsonl(bad_kind).is_err());
+        assert!(parse_jsonl("\n\n").expect("blank lines ok").is_empty());
+    }
+
+    #[test]
+    fn totals_rank_spans_by_cumulative_time() {
+        let text = "\
+{\"ts_us\":0.0,\"dur_us\":10.0,\"kind\":\"span\",\"name\":\"a\",\"cat\":\"s\",\"tid\":0}
+{\"ts_us\":1.0,\"dur_us\":50.0,\"kind\":\"span\",\"name\":\"b\",\"cat\":\"s\",\"tid\":0}
+{\"ts_us\":2.0,\"dur_us\":5.0,\"kind\":\"span\",\"name\":\"a\",\"cat\":\"s\",\"tid\":0}
+{\"ts_us\":3.0,\"dur_us\":0.0,\"kind\":\"instant\",\"name\":\"c\",\"cat\":\"s\",\"tid\":0}
+";
+        let totals = totals_by_name(&parse_jsonl(text).expect("parses"));
+        assert_eq!(totals[0].name, "b");
+        assert_eq!(totals[1].name, "a");
+        assert_eq!(totals[1].count, 2);
+        assert!((totals[1].total_us - 15.0).abs() < 1e-9);
+        assert_eq!(totals[2].name, "c");
+    }
+
+    #[test]
+    fn compact_json_escapes_and_parses() {
+        let v = Value::Map(vec![
+            ("s".into(), Value::Str("quote \" slash \\ nl \n".into())),
+            ("n".into(), Value::Float(1.5)),
+            ("i".into(), Value::Int(-3)),
+            ("b".into(), Value::Bool(true)),
+            ("z".into(), Value::Null),
+            ("seq".into(), Value::Seq(vec![Value::Int(1), Value::Int(2)])),
+        ]);
+        let text = to_compact_json(&v);
+        assert!(!text.contains('\n'));
+        assert_eq!(serde_json::parse(&text).expect("parses"), v);
+    }
+}

@@ -1,0 +1,466 @@
+//! Metrics registry: named counters, gauges, and log-linear histograms.
+//!
+//! The registry is the durable side of the observability layer: where the
+//! trace answers "what happened, in order", the registry answers "how
+//! much, how often, how slow" in constant space. Counters and gauges are
+//! single atomics shared by reference, so the hot path never takes the
+//! registry lock after the first touch of a series; histograms are
+//! accumulated in per-thread buffers (see [`crate::recorder`]) and merged
+//! in, so concurrent observations are lossless.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-buckets per power of two. Eight gives ~9% relative bucket width,
+/// plenty for latency percentiles.
+const SUB_BUCKETS: i32 = 8;
+
+/// A shared monotonically-increasing counter cell.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared last-write-wins gauge cell (stores f64 bits atomically).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0.0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A log-linear histogram over positive `f64` values.
+///
+/// Each power of two is split into [`SUB_BUCKETS`] linear sub-buckets, so
+/// relative error is bounded (~9%) across the full dynamic range without
+/// preconfigured bounds. Non-positive and non-finite values land in a
+/// dedicated underflow count so they are visible rather than silently
+/// dropped.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Histogram {
+    buckets: BTreeMap<i32, u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    underflow: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    fn bucket_index(value: f64) -> i32 {
+        // value in [2^e, 2^(e+1)) maps to octave e, linear sub-bucket.
+        let octave = value.log2().floor();
+        let sub = ((value / octave.exp2() - 1.0) * f64::from(SUB_BUCKETS)).floor();
+        let sub = (sub as i32).clamp(0, SUB_BUCKETS - 1);
+        (octave as i32) * SUB_BUCKETS + sub
+    }
+
+    /// Lower bound of the bucket with the given index.
+    #[must_use]
+    fn bucket_lower(index: i32) -> f64 {
+        let octave = index.div_euclid(SUB_BUCKETS);
+        let sub = index.rem_euclid(SUB_BUCKETS);
+        f64::from(octave).exp2() * (1.0 + f64::from(sub) / f64::from(SUB_BUCKETS))
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        if !(value.is_finite() && value > 0.0) {
+            self.underflow += 1;
+            return;
+        }
+        *self.buckets.entry(Self::bucket_index(value)).or_insert(0) += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Merges another histogram into this one. Merging is exact: bucket
+    /// counts add, so the merged histogram equals one built from the
+    /// concatenated observation streams.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+        if other.count > 0 {
+            if self.count == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.underflow += other.underflow;
+    }
+
+    /// Number of positive observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all positive observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of positive observations (zero when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the lower bound of the
+    /// bucket containing the q-th observation, clamped to the observed
+    /// min/max so the extremes are exact.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (&idx, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_lower(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Snapshot for export.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            underflow: self.underflow,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|(&idx, &n)| BucketSnapshot { lower: Self::bucket_lower(idx), count: n })
+                .collect(),
+        }
+    }
+}
+
+/// One exported histogram bucket: `[lower, next.lower)` holds `count`
+/// observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketSnapshot {
+    /// Inclusive lower bound of the bucket.
+    pub lower: f64,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// Exported summary of a histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Positive observations recorded.
+    pub count: u64,
+    /// Non-positive / non-finite observations (recorded but unbucketed).
+    pub underflow: u64,
+    /// Sum of positive observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 90th percentile estimate.
+    pub p90: f64,
+    /// 99th percentile estimate.
+    pub p99: f64,
+    /// Non-empty buckets in ascending order.
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+/// A named-series registry. Cheap to share: lookups hand out `Arc` cells
+/// so repeat increments bypass the registry lock entirely.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Mutex<Histogram>>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter cell named `name`, created on first use.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter map poisoned");
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::default());
+                map.insert(name.to_owned(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// The gauge cell named `name`, created on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("gauge map poisoned");
+        match map.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(Gauge::default());
+                map.insert(name.to_owned(), Arc::clone(&g));
+                g
+            }
+        }
+    }
+
+    /// Records one observation into the histogram named `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut h = Histogram::new();
+        h.observe(value);
+        self.merge_histogram(name, &h);
+    }
+
+    /// Merges a locally-accumulated histogram into the named series.
+    pub fn merge_histogram(&self, name: &str, local: &Histogram) {
+        let cell = {
+            let mut map = self.histograms.lock().expect("histogram map poisoned");
+            match map.get(name) {
+                Some(h) => Arc::clone(h),
+                None => {
+                    let h = Arc::new(Mutex::new(Histogram::new()));
+                    map.insert(name.to_owned(), Arc::clone(&h));
+                    h
+                }
+            }
+        };
+        cell.lock().expect("histogram cell poisoned").merge(local);
+    }
+
+    /// A point-in-time snapshot of every series.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.lock().expect("histogram cell poisoned").snapshot()))
+            .collect();
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// Serializable snapshot of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Total number of named series across all kinds.
+    #[must_use]
+    pub fn series_count(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// A counter's value, when present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// A histogram's snapshot, when present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(3);
+        reg.counter("a").add(4);
+        reg.gauge("g").set(2.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a"), Some(7));
+        assert_eq!(snap.gauges.get("g"), Some(&2.5));
+        assert_eq!(snap.series_count(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_bound_relative_error() {
+        let mut h = Histogram::new();
+        for &v in &[0.001, 0.5, 1.0, 1.5, 2.0, 100.0, 1e6] {
+            h.observe(v);
+            let idx = Histogram::bucket_index(v);
+            let lower = Histogram::bucket_lower(idx);
+            let upper = Histogram::bucket_lower(idx + 1);
+            assert!(
+                lower <= v * 1.0000001 && v < upper * 1.0000001,
+                "{v} not in [{lower},{upper})"
+            );
+        }
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_order_accurate() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.observe(f64::from(i));
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.15, "p50 {p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.15, "p99 {p99}");
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenation() {
+        let mut all = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        // Quarter-integer values sum exactly in f64, so the merged sum
+        // matches the interleaved sum bit-for-bit.
+        for i in 0..500 {
+            let v = 0.25 * f64::from(i + 1);
+            all.observe(v);
+            if i % 2 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+        }
+        let mut merged = Histogram::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn non_positive_observations_counted_as_underflow() {
+        let mut h = Histogram::new();
+        h.observe(0.0);
+        h.observe(-1.0);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(1.0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.underflow, 4);
+    }
+
+    #[test]
+    fn snapshot_serializes_and_parses() {
+        let reg = MetricsRegistry::new();
+        reg.counter("solver.nodes").add(10);
+        reg.observe("lat", 0.25);
+        reg.observe("lat", 0.5);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string_pretty(&snap).expect("serializes");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, snap);
+        assert_eq!(back.histogram("lat").expect("lat").count, 2);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_all_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!((snap.count, snap.min, snap.max, snap.p50), (0, 0.0, 0.0, 0.0));
+    }
+}

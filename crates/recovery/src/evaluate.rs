@@ -377,6 +377,25 @@ impl<'a> Evaluator<'a> {
             outcomes.push(AppOutcome { app, path, recovery_time, loss_time, failback_time });
         }
         outcomes.sort_by_key(|o| o.app);
+        dsd_obs::add("recovery.scenarios_evaluated", 1);
+        if dsd_obs::enabled() {
+            let scope_kind = match scope {
+                FailureScope::DataObject { .. } => "data-object",
+                FailureScope::DiskArray { .. } => "disk-array",
+                FailureScope::SiteDisaster { .. } => "site-disaster",
+            };
+            let worst_hours =
+                outcomes.iter().map(|o| o.recovery_time.as_hours()).fold(0.0f64, f64::max);
+            dsd_obs::instant_with(
+                "recovery.scenario",
+                "recovery",
+                vec![
+                    ("scope", scope_kind.into()),
+                    ("affected", outcomes.len().into()),
+                    ("worst_recovery_hours", worst_hours.into()),
+                ],
+            );
+        }
         ScenarioOutcome { scope: *scope, outcomes }
     }
 
@@ -419,6 +438,8 @@ impl<'a> Evaluator<'a> {
         protections: &[AppProtection],
         scenarios: &[FailureScenario],
     ) -> (PenaltySummary, Vec<ScenarioOutcome>) {
+        let mut penalties_span = dsd_obs::span("recovery.annual_penalties", "recovery");
+        penalties_span.arg("scenarios", scenarios.len());
         let mut summary = PenaltySummary::default();
         let mut details = Vec::with_capacity(scenarios.len());
         for scenario in scenarios {

@@ -42,6 +42,18 @@ pub enum SchedulingPolicy {
     FairShare,
 }
 
+impl SchedulingPolicy {
+    /// Stable short name, used in trace events.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulingPolicy::PriorityExclusive => "priority-exclusive",
+            SchedulingPolicy::ShortestFirst => "shortest-first",
+            SchedulingPolicy::FairShare => "fair-share",
+        }
+    }
+}
+
 /// One application's recovery work for a scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryJob {
@@ -101,6 +113,28 @@ pub fn schedule_jobs(jobs: Vec<RecoveryJob>) -> Schedule {
 /// Schedules `jobs` under the given device-sharing policy.
 #[must_use]
 pub fn schedule_jobs_with(jobs: Vec<RecoveryJob>, policy: SchedulingPolicy) -> Schedule {
+    let n_jobs = jobs.len();
+    let schedule = dispatch(jobs, policy);
+    dsd_obs::observe("recovery.schedule_len", n_jobs as f64);
+    dsd_obs::observe("recovery.makespan_hours", schedule.makespan().as_hours());
+    // Single-job schedules are trivially contention-free; only emit
+    // trace events where serialization decisions could actually occur,
+    // keeping traces of large runs manageable.
+    if n_jobs >= 2 && dsd_obs::enabled() {
+        dsd_obs::instant_with(
+            "recovery.schedule",
+            "recovery",
+            vec![
+                ("policy", policy.name().into()),
+                ("jobs", n_jobs.into()),
+                ("makespan_hours", schedule.makespan().as_hours().into()),
+            ],
+        );
+    }
+    schedule
+}
+
+fn dispatch(jobs: Vec<RecoveryJob>, policy: SchedulingPolicy) -> Schedule {
     match policy {
         SchedulingPolicy::PriorityExclusive => exclusive(jobs, |a, b| {
             b.priority

@@ -23,6 +23,9 @@
 //! * [`recovery`] — the contention-aware recovery evaluation engine;
 //! * [`core`] — the design solver (Algorithm 1), configuration solver,
 //!   and baseline heuristics;
+//! * [`obs`] — structured tracing (spans, events) and a metrics registry
+//!   instrumented throughout the search and recovery stack, with JSONL
+//!   and Chrome `trace_event` exporters;
 //! * [`scenarios`] — the paper's evaluation environments and one driver
 //!   per table/figure;
 //! * [`trace`] — synthetic block-I/O trace generation and analysis
@@ -48,6 +51,7 @@
 
 pub use dsd_core as core;
 pub use dsd_failure as failure;
+pub use dsd_obs as obs;
 pub use dsd_protection as protection;
 pub use dsd_recovery as recovery;
 pub use dsd_resources as resources;
