@@ -6,11 +6,17 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use dsd_protection::{Demands, TechniqueConfig, TechniqueId};
-use dsd_recovery::{AppProtection, Evaluator, PenaltySummary, Placement};
-use dsd_resources::{ArrayRef, Provision, ResourceError, TapeRef};
+use dsd_recovery::{AppProtection, Evaluator, PenaltySummary, Placement, ScenarioOutcomeCache};
+use dsd_resources::{ArrayRef, Provision, ProvisionCheckpoint, ResourceError, RouteId, TapeRef};
 use dsd_units::{Dollars, HOURS_PER_YEAR};
 use dsd_workload::AppId;
 
+use std::collections::BTreeSet;
+
+use dsd_failure::FailureScenario;
+use dsd_recovery::ScenarioDigest;
+
+use crate::delta::{AppSliceFingerprint, Move, MoveUndo, TouchedDevices};
 use crate::env::Environment;
 
 /// One application's protection decisions within a candidate design.
@@ -114,15 +120,72 @@ impl PlacementOptions {
     }
 }
 
+/// Incrementally maintained evaluation context. Rebuilding protections,
+/// the scenario list, and every dependency-slice fingerprint from
+/// scratch costs more than re-scheduling the few scenarios a move
+/// actually dirties, so the mutators mark precisely what they touched
+/// and [`Candidate::evaluate_with`] refreshes only that. The memo is
+/// advisory: the uncached oracle ([`Candidate::evaluate`]) never reads
+/// it, and a cleared memo (fresh or cloned candidates) just means a full
+/// rebuild on the next cached evaluation.
+#[derive(Debug, Default)]
+struct EvalMemo {
+    /// One entry per assignment, in app order. Empty until the first
+    /// cached evaluation.
+    protections: Vec<AppProtection>,
+    /// One fingerprint per assignment, parallel to `protections`.
+    fingerprints: Vec<AppSliceFingerprint>,
+    /// Failure scenarios for the current primary placements.
+    scenarios: Vec<FailureScenario>,
+    /// Reusable scratch for the per-scenario digest vector.
+    digests: Vec<ScenarioDigest>,
+    /// Apps whose assignment changed: protection AND fingerprint entries
+    /// must be recomputed.
+    stale_assignments: BTreeSet<AppId>,
+    /// Apps whose fingerprint must be recomputed because a device their
+    /// placement touches changed state (their protection entry is a
+    /// function of the assignment alone and stays valid).
+    stale_fingerprints: BTreeSet<AppId>,
+    /// A primary placement changed — re-enumerate scenarios.
+    scenarios_stale: bool,
+    /// The assignment set itself changed (or unknown mutations happened):
+    /// rebuild everything.
+    shape_stale: bool,
+}
+
+impl EvalMemo {
+    fn stale() -> Self {
+        EvalMemo { shape_stale: true, ..EvalMemo::default() }
+    }
+}
+
 /// A (possibly partial) candidate design: per-application assignments plus
 /// the provisioned infrastructure backing them. The design and
-/// configuration solvers explore the design graph by cloning and mutating
-/// candidates (paper §3.1).
-#[derive(Debug, Clone)]
+/// configuration solvers explore the design graph by applying and undoing
+/// [`Move`]s in place (paper §3.1); cloning remains available for
+/// keeping independent copies (refit siblings, the eval cache).
+#[derive(Debug)]
 pub struct Candidate {
     provision: Provision,
     assignments: BTreeMap<AppId, AppAssignment>,
     cost: Option<CostBreakdown>,
+    memo: EvalMemo,
+}
+
+impl Clone for Candidate {
+    /// Deep copy. Counted under the `eval.candidate_clones` obs series so
+    /// tests can assert the solver's trial loops stay clone-free. The
+    /// evaluation memo is not copied — the clone rebuilds it on its
+    /// first cached evaluation.
+    fn clone(&self) -> Self {
+        dsd_obs::add("eval.candidate_clones", 1);
+        Candidate {
+            provision: self.provision.clone(),
+            assignments: self.assignments.clone(),
+            cost: self.cost.clone(),
+            memo: EvalMemo::stale(),
+        }
+    }
 }
 
 impl Candidate {
@@ -133,6 +196,7 @@ impl Candidate {
             provision: Provision::new(env.topology.clone()),
             assignments: BTreeMap::new(),
             cost: None,
+            memo: EvalMemo::stale(),
         }
     }
 
@@ -147,6 +211,7 @@ impl Candidate {
     /// the cached cost.
     pub fn provision_mut(&mut self) -> &mut Provision {
         self.cost = None;
+        self.memo.shape_stale = true;
         &mut self.provision
     }
 
@@ -210,22 +275,85 @@ impl Candidate {
             "placement shape does not match technique {}",
             t.name
         );
+        // Snapshot everything the allocation may touch; a failed step
+        // restores those bits exactly instead of cloning the provision.
+        let checkpoint = self.placement_checkpoint(env, app, &placement);
+        match self.alloc_assignment(env, app, technique, config, placement) {
+            Ok(placement) => {
+                self.assignments.insert(app, AppAssignment { technique, config, placement });
+                self.cost = None;
+                self.memo.shape_stale = true;
+                Ok(())
+            }
+            Err(e) => {
+                self.provision.restore(checkpoint);
+                Err(e)
+            }
+        }
+    }
+
+    /// Snapshot of every provision state a prospective assignment of
+    /// `app` at `placement` could mutate: the placement's devices (route
+    /// resolved from the topology when not yet known), the primary and
+    /// failover compute, and `app`'s ledger entry.
+    fn placement_checkpoint(
+        &self,
+        env: &Environment,
+        app: AppId,
+        placement: &Placement,
+    ) -> ProvisionCheckpoint {
+        let mut arrays = vec![placement.primary];
+        if let Some(m) = placement.mirror {
+            arrays.push(m);
+        }
+        let tapes: Vec<TapeRef> = placement.tape.into_iter().collect();
+        let mut routes: Vec<RouteId> = placement.route.into_iter().collect();
+        if routes.is_empty() {
+            if let Some(m) = placement.mirror {
+                if let Some(r) = env.topology.route_between(placement.primary.site, m.site) {
+                    routes.push(r);
+                }
+            }
+        }
+        let mut sites = vec![placement.primary.site];
+        if let Some(s) = placement.failover_site {
+            sites.push(s);
+        }
+        self.provision.checkpoint(Some(app), &arrays, &tapes, &routes, &sites)
+    }
+
+    /// Performs the allocation sequence of one assignment directly on the
+    /// provision, in the fixed order primary array → primary compute →
+    /// mirror array → network → tape → failover spares. On error the
+    /// provision is left partially mutated — the caller restores its
+    /// checkpoint. Returns the placement with its route resolved.
+    fn alloc_assignment(
+        &mut self,
+        env: &Environment,
+        app: AppId,
+        technique: TechniqueId,
+        config: TechniqueConfig,
+        mut placement: Placement,
+    ) -> Result<Placement, ResourceError> {
+        let t = &env.catalog[technique];
         let workload = &env.workloads[app];
         let demands = Demands::compute(workload, t, &config, &env.sizing);
 
-        // Allocate on a scratch copy so failures leave us untouched.
-        let mut scratch = self.provision.clone();
-        let mut placement = placement;
-        scratch.alloc_array(
+        self.provision.alloc_array(
             app,
             placement.primary,
             demands.primary_capacity,
             demands.primary_bandwidth,
         )?;
-        scratch.alloc_compute(app, placement.primary.site, 1)?;
+        self.provision.alloc_compute(app, placement.primary.site, 1)?;
         if let Some(mirror) = placement.mirror {
-            scratch.alloc_array(app, mirror, demands.mirror_capacity, demands.mirror_bandwidth)?;
-            let route = scratch.alloc_network(
+            self.provision.alloc_array(
+                app,
+                mirror,
+                demands.mirror_capacity,
+                demands.mirror_bandwidth,
+            )?;
+            let route = self.provision.alloc_network(
                 app,
                 placement.primary.site,
                 mirror.site,
@@ -234,16 +362,157 @@ impl Candidate {
             placement.route = Some(route);
         }
         if let Some(tape) = placement.tape {
-            scratch.alloc_tape(app, tape, demands.tape_capacity, demands.tape_bandwidth)?;
+            self.provision.alloc_tape(app, tape, demands.tape_capacity, demands.tape_bandwidth)?;
         }
         if let Some(failover_site) = placement.failover_site {
-            scratch.alloc_failover_spare(app, failover_site, env.sizing.failover_spare_ratio)?;
+            self.provision.alloc_failover_spare(
+                app,
+                failover_site,
+                env.sizing.failover_spare_ratio,
+            )?;
         }
+        Ok(placement)
+    }
 
-        self.provision = scratch;
-        self.assignments.insert(app, AppAssignment { technique, config, placement });
-        self.cost = None;
-        Ok(())
+    /// Applies one solver [`Move`] in place, returning an undo token
+    /// snapshotting the exact prior state of everything the move
+    /// touched. [`Candidate::undo_move`] restores those bits verbatim,
+    /// so a trial/undo pair leaves the candidate bit-identical to before
+    /// (no floating-point drift from reversing arithmetic).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ResourceError`] when an allocation does not fit; the
+    /// candidate is unchanged on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Move::Reassign`] placement shape doesn't match its
+    /// technique.
+    pub fn apply_move(&mut self, env: &Environment, mv: &Move) -> Result<MoveUndo, ResourceError> {
+        match *mv {
+            Move::Reassign { app, technique, config, placement } => {
+                let t = &env.catalog[technique];
+                assert!(
+                    placement.consistent_with(t),
+                    "placement shape does not match technique {}",
+                    t.name
+                );
+                let prev = self.assignments.get(&app).copied();
+                // Checkpoint the union of the current footprint (from the
+                // ledger — robust to any allocation history) and the new
+                // placement's devices.
+                let fp = self.provision.app_footprint(app);
+                let mut arrays = fp.arrays;
+                arrays.push(placement.primary);
+                if let Some(m) = placement.mirror {
+                    arrays.push(m);
+                }
+                let mut tapes = fp.tapes;
+                if let Some(tp) = placement.tape {
+                    tapes.push(tp);
+                }
+                let mut routes = fp.routes;
+                if let Some(r) = placement.route {
+                    routes.push(r);
+                } else if let Some(m) = placement.mirror {
+                    if let Some(r) = env.topology.route_between(placement.primary.site, m.site) {
+                        routes.push(r);
+                    }
+                }
+                let mut sites = fp.sites;
+                sites.push(placement.primary.site);
+                if let Some(s) = placement.failover_site {
+                    sites.push(s);
+                }
+                let checkpoint =
+                    self.provision.checkpoint(Some(app), &arrays, &tapes, &routes, &sites);
+                if prev.is_some() {
+                    self.assignments.remove(&app);
+                    self.provision.remove_app(app);
+                }
+                match self.alloc_assignment(env, app, technique, config, placement) {
+                    Ok(placement) => {
+                        let touched = TouchedDevices { arrays, tapes, routes };
+                        mark_apps_touching(&self.assignments, &mut self.memo, &touched);
+                        self.memo.stale_assignments.insert(app);
+                        match prev {
+                            None => self.memo.shape_stale = true,
+                            Some(p) if p.placement.primary != placement.primary => {
+                                self.memo.scenarios_stale = true;
+                            }
+                            Some(_) => {}
+                        }
+                        self.assignments
+                            .insert(app, AppAssignment { technique, config, placement });
+                        Ok(MoveUndo {
+                            checkpoint,
+                            assignment: Some((app, prev)),
+                            cost: self.cost.take(),
+                            touched,
+                        })
+                    }
+                    Err(e) => {
+                        self.provision.restore(checkpoint);
+                        if let Some(prev) = prev {
+                            self.assignments.insert(app, prev);
+                        }
+                        Err(e)
+                    }
+                }
+            }
+            Move::AddLinks { route, extra } => {
+                let checkpoint = self.provision.checkpoint(None, &[], &[], &[route], &[]);
+                self.provision.add_extra_links(route, extra)?;
+                let touched = TouchedDevices { routes: vec![route], ..TouchedDevices::default() };
+                mark_apps_touching(&self.assignments, &mut self.memo, &touched);
+                Ok(MoveUndo { checkpoint, assignment: None, cost: self.cost.take(), touched })
+            }
+            Move::AddTapeDrives { tape, extra } => {
+                let checkpoint = self.provision.checkpoint(None, &[], &[tape], &[], &[]);
+                self.provision.add_extra_tape_drives(tape, extra)?;
+                let touched = TouchedDevices { tapes: vec![tape], ..TouchedDevices::default() };
+                mark_apps_touching(&self.assignments, &mut self.memo, &touched);
+                Ok(MoveUndo { checkpoint, assignment: None, cost: self.cost.take(), touched })
+            }
+            Move::AddArrayUnits { array, extra } => {
+                let checkpoint = self.provision.checkpoint(None, &[array], &[], &[], &[]);
+                self.provision.add_extra_array_units(array, extra)?;
+                let touched = TouchedDevices { arrays: vec![array], ..TouchedDevices::default() };
+                mark_apps_touching(&self.assignments, &mut self.memo, &touched);
+                Ok(MoveUndo { checkpoint, assignment: None, cost: self.cost.take(), touched })
+            }
+        }
+    }
+
+    /// Reverts a move applied by [`Candidate::apply_move`], restoring
+    /// the snapshotted provision state, assignment, and cached cost
+    /// bit-for-bit.
+    pub fn undo_move(&mut self, undo: MoveUndo) {
+        // The restore flips the touched devices' state right back, so the
+        // same apps that went stale on apply go stale again on undo
+        // (only the moved app's own assignment differs between the two
+        // states, and it is marked explicitly).
+        mark_apps_touching(&self.assignments, &mut self.memo, &undo.touched);
+        self.provision.restore(undo.checkpoint);
+        if let Some((app, prev)) = undo.assignment {
+            self.memo.stale_assignments.insert(app);
+            let current = match prev {
+                Some(a) => self.assignments.insert(app, a),
+                None => {
+                    self.memo.shape_stale = true;
+                    self.assignments.remove(&app)
+                }
+            };
+            match (current, prev) {
+                (Some(c), Some(p)) if c.placement.primary != p.placement.primary => {
+                    self.memo.scenarios_stale = true;
+                }
+                (None, Some(_)) => self.memo.shape_stale = true,
+                _ => {}
+            }
+        }
+        self.cost = undo.cost;
     }
 
     /// Removes `app`'s assignment and releases its resources
@@ -252,6 +521,7 @@ impl Candidate {
         if self.assignments.remove(&app).is_some() {
             self.provision.remove_app(app);
             self.cost = None;
+            self.memo.shape_stale = true;
         }
     }
 
@@ -353,6 +623,106 @@ impl Candidate {
         self.cost.as_ref().expect("just computed")
     }
 
+    /// [`Candidate::evaluate`] with scope-keyed scenario memoization:
+    /// scenarios whose dependency-slice digest is unchanged since a
+    /// previous evaluation replay their cached outcome instead of being
+    /// re-scheduled. Bit-identical to the uncached oracle (the cached
+    /// path accumulates penalties through the same code), provided
+    /// `cache` has only ever been used with this environment.
+    pub fn evaluate_with(
+        &mut self,
+        env: &Environment,
+        cache: &mut ScenarioOutcomeCache,
+    ) -> &CostBreakdown {
+        if self.cost.is_none() {
+            self.refresh_memo(env);
+            let EvalMemo { protections, fingerprints, scenarios, digests, .. } = &mut self.memo;
+            digests.clear();
+            digests.extend(scenarios.iter().map(|s| crate::delta::combine(&s.scope, fingerprints)));
+            let evaluator = Evaluator::new(&env.workloads, &self.provision, env.recovery);
+            let penalties =
+                evaluator.annual_penalties_cached_totals(protections, scenarios, digests, cache);
+            let outlay = self.provision.annual_outlay() + self.vault_media_annual(env);
+            self.cost = Some(CostBreakdown { outlay, penalties });
+        }
+        self.cost.as_ref().expect("just computed")
+    }
+
+    /// Brings the evaluation memo up to date with the candidate's state,
+    /// rebuilding only the entries the mutators marked stale. The
+    /// refreshed memo is bit-equivalent to a from-scratch build: each
+    /// entry is a pure function of the current assignment and provision
+    /// state, recomputed by the same code either way.
+    fn refresh_memo(&mut self, env: &Environment) {
+        let memo = &mut self.memo;
+        if memo.shape_stale || memo.protections.len() != self.assignments.len() {
+            memo.protections.clear();
+            memo.fingerprints.clear();
+            for (&app, a) in &self.assignments {
+                memo.protections.push(AppProtection {
+                    app,
+                    technique: env.catalog[a.technique].clone(),
+                    config: a.config,
+                    placement: a.placement,
+                });
+                memo.fingerprints.push(crate::delta::fingerprint_app(&self.provision, app, a));
+            }
+            memo.scenarios = env
+                .failures
+                .enumerate(self.assignments.iter().map(|(&app, a)| (app, a.placement.primary)));
+            memo.stale_assignments.clear();
+            memo.stale_fingerprints.clear();
+            memo.scenarios_stale = false;
+            memo.shape_stale = false;
+            return;
+        }
+        if !(memo.stale_assignments.is_empty() && memo.stale_fingerprints.is_empty()) {
+            for (i, (&app, a)) in self.assignments.iter().enumerate() {
+                let assignment_stale = memo.stale_assignments.contains(&app);
+                if assignment_stale {
+                    memo.protections[i] = AppProtection {
+                        app,
+                        technique: env.catalog[a.technique].clone(),
+                        config: a.config,
+                        placement: a.placement,
+                    };
+                }
+                if assignment_stale || memo.stale_fingerprints.contains(&app) {
+                    memo.fingerprints[i] = crate::delta::fingerprint_app(&self.provision, app, a);
+                }
+            }
+            memo.stale_assignments.clear();
+            memo.stale_fingerprints.clear();
+        }
+        if memo.scenarios_stale {
+            memo.scenarios = env
+                .failures
+                .enumerate(self.assignments.iter().map(|(&app, a)| (app, a.placement.primary)));
+            memo.scenarios_stale = false;
+        }
+    }
+
+    /// Applies `mv` and evaluates the result incrementally: only
+    /// scenarios whose dependency slice the move changed are recomputed;
+    /// the rest replay from `cache`. Returns the post-move cost and the
+    /// undo token. The candidate is left with the move applied — call
+    /// [`Candidate::undo_move`] to reject the trial.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ResourceError`] when the move does not fit; the candidate
+    /// is unchanged on error.
+    pub fn evaluate_delta(
+        &mut self,
+        env: &Environment,
+        mv: &Move,
+        cache: &mut ScenarioOutcomeCache,
+    ) -> Result<(CostBreakdown, MoveUndo), ResourceError> {
+        let undo = self.apply_move(env, mv)?;
+        let cost = self.evaluate_with(env, cache).clone();
+        Ok((cost, undo))
+    }
+
     /// The cached cost breakdown.
     ///
     /// # Panics
@@ -368,6 +738,25 @@ impl Candidate {
     #[must_use]
     pub fn cost_if_evaluated(&self) -> Option<&CostBreakdown> {
         self.cost.as_ref()
+    }
+}
+
+/// Marks every application whose placement touches one of `touched`'s
+/// devices as stale in the memo: a state change on a shared device
+/// changes those applications' dependency-slice fingerprints.
+fn mark_apps_touching(
+    assignments: &BTreeMap<AppId, AppAssignment>,
+    memo: &mut EvalMemo,
+    touched: &TouchedDevices,
+) {
+    for (&app, a) in assignments {
+        let p = &a.placement;
+        let hit = touched.arrays.iter().any(|&r| r == p.primary || Some(r) == p.mirror)
+            || touched.tapes.iter().any(|&t| Some(t) == p.tape)
+            || touched.routes.iter().any(|&r| Some(r) == p.route);
+        if hit {
+            memo.stale_fingerprints.insert(app);
+        }
     }
 }
 

@@ -2,10 +2,12 @@
 //! by optimizing technique configuration parameters and resource counts.
 
 use dsd_obs as obs;
+use dsd_recovery::ScenarioOutcomeCache;
 use dsd_units::Dollars;
 use dsd_workload::AppId;
 
 use crate::candidate::{Candidate, CostBreakdown};
+use crate::delta::Move;
 use crate::env::Environment;
 use crate::eval_cache::{CandidateKey, EvalCache};
 
@@ -71,37 +73,70 @@ impl<'e> ConfigurationSolver<'e> {
         thoroughness: Thoroughness,
         cache: &EvalCache,
     ) -> (CostBreakdown, bool) {
+        let mut scache = ScenarioOutcomeCache::new();
+        self.complete_cached_with(candidate, thoroughness, cache, &mut scache)
+    }
+
+    /// [`ConfigurationSolver::complete_cached`] reusing a caller-held
+    /// scenario-outcome cache, so scenario-level reuse composes with the
+    /// completion-level [`EvalCache`] across nodes of one search.
+    pub fn complete_cached_with(
+        &self,
+        candidate: &mut Candidate,
+        thoroughness: Thoroughness,
+        cache: &EvalCache,
+        scache: &mut ScenarioOutcomeCache,
+    ) -> (CostBreakdown, bool) {
         let key = CandidateKey::of(candidate, thoroughness, self.addition_limits());
         if let Some((cached, cost)) = cache.lookup(&key) {
             *candidate = cached;
             return (cost, true);
         }
-        let cost = self.complete(candidate, thoroughness);
+        let cost = self.complete_with(candidate, thoroughness, scache);
         cache.insert(key, candidate.clone(), cost.clone());
         (cost, false)
     }
 
     /// Optimizes `candidate` in place and returns its final cost.
     pub fn complete(&self, candidate: &mut Candidate, thoroughness: Thoroughness) -> CostBreakdown {
+        let mut scache = ScenarioOutcomeCache::new();
+        self.complete_with(candidate, thoroughness, &mut scache)
+    }
+
+    /// [`ConfigurationSolver::complete`] reusing a caller-held
+    /// scenario-outcome cache across completions. Results are
+    /// bit-identical to [`ConfigurationSolver::complete`]: every inner
+    /// trial is a [`Move`] applied and undone in place, evaluated through
+    /// the memoized scenario path whose totals match the full oracle.
+    pub fn complete_with(
+        &self,
+        candidate: &mut Candidate,
+        thoroughness: Thoroughness,
+        scache: &mut ScenarioOutcomeCache,
+    ) -> CostBreakdown {
         if thoroughness == Thoroughness::Full {
             // Full completions are rare (final polish, human heuristic),
             // so they get a span; Quick completions are the hot path and
             // are visible through `refit.move` / `solver.eval_latency`.
             let _span = obs::span("config.optimize", "config");
-            self.optimize_configs(candidate);
+            self.optimize_configs(candidate, scache);
         }
         let max_additions = match thoroughness {
             Thoroughness::Quick => self.max_additions_quick,
             Thoroughness::Full => self.max_additions_full,
         };
-        let steps = self.add_resources(candidate, max_additions);
+        let steps = self.add_resources(candidate, max_additions, scache);
         obs::add("config.addition_steps", steps as u64);
-        candidate.evaluate(self.env).clone()
+        candidate.evaluate_with(self.env, scache).clone()
     }
 
     /// Coordinate-descent exhaustive search over each application's
     /// discretized configuration space, in descending priority order.
-    fn optimize_configs(&self, candidate: &mut Candidate) {
+    /// Trials are config-only [`Move::Reassign`]s applied and undone in
+    /// place; the incumbent cost is evaluated lazily once and carried
+    /// across applications (an accepted trial's cost becomes the next
+    /// incumbent) instead of being re-evaluated per app.
+    fn optimize_configs(&self, candidate: &mut Candidate, scache: &mut ScenarioOutcomeCache) {
         let mut apps: Vec<AppId> = candidate.assignments().keys().copied().collect();
         apps.sort_by(|&a, &b| {
             self.env.workloads[b]
@@ -110,76 +145,87 @@ impl<'e> ConfigurationSolver<'e> {
                 .partial_cmp(&self.env.workloads[a].priority().as_f64())
                 .expect("penalty rates are finite")
         });
+        let mut incumbent: Option<Dollars> = None;
         for app in apps {
             let assignment = *candidate.assignment(app).expect("assigned app");
             let space = self.env.catalog[assignment.technique].config_space();
             if space.len() <= 1 {
                 continue;
             }
-            let mut best_cost = self.env.score(candidate.evaluate(self.env));
+            let mut best_cost = match incumbent {
+                Some(cost) => cost,
+                None => self.env.score(candidate.evaluate_with(self.env, scache)),
+            };
             let mut best_config = assignment.config;
             for config in space {
                 if config == assignment.config {
                     continue;
                 }
-                let mut trial = candidate.clone();
-                trial.remove_app(app);
-                if trial
-                    .try_assign(self.env, app, assignment.technique, config, assignment.placement)
-                    .is_err()
-                {
+                let mv = Move::Reassign {
+                    app,
+                    technique: assignment.technique,
+                    config,
+                    placement: assignment.placement,
+                };
+                let Ok(undo) = candidate.apply_move(self.env, &mv) else {
                     continue;
-                }
-                let cost = self.env.score(trial.evaluate(self.env));
+                };
+                let cost = self.env.score(candidate.evaluate_with(self.env, scache));
                 if cost < best_cost {
                     best_cost = cost;
                     best_config = config;
-                    *candidate = trial;
+                } else {
+                    candidate.undo_move(undo);
                 }
             }
+            incumbent = Some(best_cost);
             debug_assert!(candidate.assignment(app).map(|a| a.config) == Some(best_config));
         }
     }
 
     /// Greedy resource addition: at each step, evaluate adding one link /
-    /// one tape drive / one disk to each provisioned device, apply the
+    /// one tape drive / one disk to each provisioned device — as in-place
+    /// applied-and-undone [`Move`]s, not candidate clones — apply the
     /// single best cost-reducing addition, and stop when nothing improves
     /// (or after `max_additions` steps). Returns the steps applied.
-    fn add_resources(&self, candidate: &mut Candidate, max_additions: usize) -> usize {
+    fn add_resources(
+        &self,
+        candidate: &mut Candidate,
+        max_additions: usize,
+        scache: &mut ScenarioOutcomeCache,
+    ) -> usize {
         for step in 0..max_additions {
-            let base = self.env.score(candidate.evaluate(self.env));
-            let mut best: Option<(Dollars, Candidate)> = None;
+            let base = self.env.score(candidate.evaluate_with(self.env, scache));
+            let mut best: Option<(Dollars, Move)> = None;
 
-            let mut consider = |trial: Candidate, cost: Dollars| {
-                if cost < base && best.as_ref().is_none_or(|(c, _)| cost < *c) {
-                    best = Some((cost, trial));
-                }
-            };
-
+            let mut moves: Vec<Move> = Vec::new();
             for route in candidate.provision().active_routes() {
-                let mut trial = candidate.clone();
-                if trial.provision_mut().add_extra_links(route, 1).is_ok() {
-                    let cost = self.env.score(trial.evaluate(self.env));
-                    consider(trial, cost);
-                }
+                moves.push(Move::AddLinks { route, extra: 1 });
             }
             for tape in candidate.provision().provisioned_tapes() {
-                let mut trial = candidate.clone();
-                if trial.provision_mut().add_extra_tape_drives(tape, 1).is_ok() {
-                    let cost = self.env.score(trial.evaluate(self.env));
-                    consider(trial, cost);
-                }
+                moves.push(Move::AddTapeDrives { tape, extra: 1 });
             }
             for array in candidate.provision().provisioned_arrays() {
-                let mut trial = candidate.clone();
-                if trial.provision_mut().add_extra_array_units(array, 1).is_ok() {
-                    let cost = self.env.score(trial.evaluate(self.env));
-                    consider(trial, cost);
+                moves.push(Move::AddArrayUnits { array, extra: 1 });
+            }
+
+            for mv in moves {
+                let Ok(undo) = candidate.apply_move(self.env, &mv) else {
+                    continue;
+                };
+                let cost = self.env.score(candidate.evaluate_with(self.env, scache));
+                candidate.undo_move(undo);
+                if cost < base && best.as_ref().is_none_or(|&(c, _)| cost < c) {
+                    best = Some((cost, mv));
                 }
             }
 
             match best {
-                Some((_, improved)) => *candidate = improved,
+                Some((_, mv)) => {
+                    candidate
+                        .apply_move(self.env, &mv)
+                        .expect("re-applying an accepted addition from the same state");
+                }
                 None => return step,
             }
         }

@@ -21,12 +21,14 @@ use std::time::{Duration, Instant};
 use dsd_obs as obs;
 use rand::Rng;
 
+use dsd_recovery::ScenarioOutcomeCache;
 use dsd_units::Dollars;
 use dsd_workload::AppId;
 
 use crate::budget::{Budget, BudgetTracker};
 use crate::candidate::{Candidate, PlacementOptions};
 use crate::config_solver::{ConfigurationSolver, Thoroughness};
+use crate::delta::Move;
 use crate::env::Environment;
 use crate::eval_cache::{CacheStats, EvalCache};
 use crate::reconfigure::{weighted_index, Reconfigurator};
@@ -249,12 +251,15 @@ impl<'e> DesignSolver<'e> {
         let mut stats = SolveStats::default();
         let config = self.config_solver();
         let mut reconf = Reconfigurator::new(self.alpha_util);
+        // One scenario-outcome cache for the whole run: scenario-level
+        // reuse composes with the completion-level eval cache.
+        let mut scache = ScenarioOutcomeCache::new();
         let mut best: Option<Candidate> = None;
 
         while !tracker.expired() {
             let greedy_span = obs::span("solver.greedy", "solver");
             let greedy_started = Instant::now();
-            let built = self.greedy_stage(rng, &mut tracker, &mut stats);
+            let built = self.greedy_stage(rng, &mut tracker, &mut stats, &mut scache);
             stats.greedy_time += greedy_started.elapsed();
             drop(greedy_span);
             let Some(mut current) = built else {
@@ -269,11 +274,11 @@ impl<'e> DesignSolver<'e> {
                 continue;
             };
             stats.greedy_builds += 1;
-            self.complete_node(&config, &mut current, Thoroughness::Quick, &mut stats);
+            self.complete_node(&config, &mut current, Thoroughness::Quick, &mut stats, &mut scache);
 
             let refit_span = obs::span("solver.refit", "solver");
             let refit_started = Instant::now();
-            self.refit_stage(&mut current, &mut reconf, rng, &mut tracker, &mut stats);
+            self.refit_stage(&mut current, &mut reconf, rng, &mut tracker, &mut stats, &mut scache);
             stats.refit_time += refit_started.elapsed();
             drop(refit_span);
             if track_best(self.env, &mut best, current) {
@@ -282,7 +287,7 @@ impl<'e> DesignSolver<'e> {
         }
 
         if let Some(b) = best.as_mut() {
-            self.complete_node(&config, b, Thoroughness::Full, &mut stats);
+            self.complete_node(&config, b, Thoroughness::Full, &mut stats, &mut scache);
         }
         stats.publish();
         if let Some(b) = &best {
@@ -307,11 +312,12 @@ impl<'e> DesignSolver<'e> {
         candidate: &mut Candidate,
         thoroughness: Thoroughness,
         stats: &mut SolveStats,
+        scache: &mut ScenarioOutcomeCache,
     ) {
         let started = Instant::now();
         match self.cache {
             Some(cache) => {
-                let (_, hit) = config.complete_cached(candidate, thoroughness, cache);
+                let (_, hit) = config.complete_cached_with(candidate, thoroughness, cache, scache);
                 if hit {
                     stats.cache_hits += 1;
                     obs::instant("cache.hit", "cache");
@@ -321,7 +327,7 @@ impl<'e> DesignSolver<'e> {
                 }
             }
             None => {
-                config.complete(candidate, thoroughness);
+                config.complete_with(candidate, thoroughness, scache);
             }
         }
         stats.completion_time += started.elapsed();
@@ -336,6 +342,7 @@ impl<'e> DesignSolver<'e> {
         rng: &mut R,
         tracker: &mut BudgetTracker,
         stats: &mut SolveStats,
+        scache: &mut ScenarioOutcomeCache,
     ) -> Option<Candidate> {
         'restart: for _ in 0..self.max_greedy_restarts {
             if tracker.expired() {
@@ -348,7 +355,7 @@ impl<'e> DesignSolver<'e> {
                     unassigned.iter().map(|&a| self.env.workloads[a].priority().as_f64()).collect();
                 let pick = weighted_index(&weights, rng).expect("non-empty");
                 let app = unassigned.swap_remove(pick);
-                if !self.best_fit_assign(&mut candidate, app, stats) {
+                if !self.best_fit_assign(&mut candidate, app, stats, scache) {
                     tracker.tick();
                     continue 'restart; // infeasible: restart greedy
                 }
@@ -360,31 +367,34 @@ impl<'e> DesignSolver<'e> {
     }
 
     /// Exhaustively tries every eligible technique × placement for `app`
-    /// (default configuration) and commits the cheapest feasible one.
+    /// (default configuration) as in-place applied-and-undone moves, and
+    /// commits the cheapest feasible one.
     fn best_fit_assign(
         &self,
         candidate: &mut Candidate,
         app: AppId,
         stats: &mut SolveStats,
+        scache: &mut ScenarioOutcomeCache,
     ) -> bool {
         let class = self.env.workloads[app].class_with(&self.env.thresholds);
-        let mut best: Option<(Dollars, Candidate)> = None;
+        let mut best: Option<(Dollars, Move)> = None;
         for (tid, technique) in self.env.catalog.eligible_for(class) {
             let config = technique.default_config();
             for placement in PlacementOptions::enumerate(self.env, tid) {
-                let mut trial = candidate.clone();
-                if trial.try_assign(self.env, app, tid, config, placement).is_err() {
+                let mv = Move::Reassign { app, technique: tid, config, placement };
+                let Ok(undo) = candidate.apply_move(self.env, &mv) else {
                     continue;
-                }
-                let cost = self.env.score(trial.evaluate(self.env));
+                };
+                let cost = self.env.score(candidate.evaluate_with(self.env, scache));
                 stats.nodes_evaluated += 1;
-                if best.as_ref().is_none_or(|(c, _)| cost < *c) {
-                    best = Some((cost, trial));
+                candidate.undo_move(undo);
+                if best.as_ref().is_none_or(|&(c, _)| cost < c) {
+                    best = Some((cost, mv));
                 }
             }
         }
         match best {
-            Some((cost, chosen)) => {
+            Some((cost, mv)) => {
                 if obs::enabled() {
                     obs::instant_with(
                         "greedy.place",
@@ -392,7 +402,9 @@ impl<'e> DesignSolver<'e> {
                         vec![("app", app.0.into()), ("cost", cost.as_f64().into())],
                     );
                 }
-                *candidate = chosen;
+                candidate
+                    .apply_move(self.env, &mv)
+                    .expect("re-applying the chosen placement from the same state");
                 true
             }
             None => false,
@@ -407,6 +419,7 @@ impl<'e> DesignSolver<'e> {
         rng: &mut R,
         tracker: &mut BudgetTracker,
         stats: &mut SolveStats,
+        scache: &mut ScenarioOutcomeCache,
     ) {
         // Refit nodes complete with the same addition limits as the rest
         // of the search, so one cache namespace covers both stages.
@@ -415,17 +428,21 @@ impl<'e> DesignSolver<'e> {
                        reconf: &mut Reconfigurator,
                        rng: &mut R,
                        tracker: &mut BudgetTracker,
-                       stats: &mut SolveStats|
+                       stats: &mut SolveStats,
+                       scache: &mut ScenarioOutcomeCache|
          -> Option<Candidate> {
             if tracker.expired() {
                 return None;
             }
             tracker.tick();
+            // A sibling needs an independent candidate object; the
+            // trials *inside* the reconfiguration and completion are
+            // clone-free moves.
             let mut next = node.clone();
-            if !reconf.reconfigure(self.env, &mut next, rng) {
+            if !reconf.reconfigure_with(self.env, &mut next, scache, rng) {
                 return None;
             }
-            self.complete_node(&config, &mut next, Thoroughness::Quick, stats);
+            self.complete_node(&config, &mut next, Thoroughness::Quick, stats, scache);
             if obs::enabled() {
                 obs::instant_with(
                     "refit.move",
@@ -437,7 +454,7 @@ impl<'e> DesignSolver<'e> {
         };
 
         let mut best = current.clone();
-        best.evaluate(self.env);
+        best.evaluate_with(self.env, scache);
         for _ in 0..self.refit.max_rounds {
             if tracker.expired() {
                 break;
@@ -448,14 +465,14 @@ impl<'e> DesignSolver<'e> {
             for _ in 0..self.refit.breadth {
                 // One sibling subtree rooted at a reconfiguration of the
                 // round's starting node.
-                let Some(mut node) = explore(current, reconf, rng, tracker, stats) else {
+                let Some(mut node) = explore(current, reconf, rng, tracker, stats, scache) else {
                     continue;
                 };
                 track_best(self.env, &mut round_best, node.clone());
                 for _ in 0..self.refit.depth {
                     let mut level_best: Option<Candidate> = None;
                     for _ in 0..self.refit.breadth {
-                        if let Some(n) = explore(&node, reconf, rng, tracker, stats) {
+                        if let Some(n) = explore(&node, reconf, rng, tracker, stats, scache) {
                             track_best(self.env, &mut level_best, n);
                         }
                     }

@@ -44,6 +44,7 @@
 mod budget;
 mod candidate;
 mod config_solver;
+mod delta;
 mod design_solver;
 mod env;
 pub mod eval_cache;
@@ -56,7 +57,9 @@ mod reconfigure;
 pub use budget::Budget;
 pub use candidate::{AppAssignment, Candidate, CostBreakdown, PlacementOptions};
 pub use config_solver::{ConfigurationSolver, Thoroughness};
+pub use delta::{scenario_digest, scenario_digests, Move, MoveUndo};
 pub use design_solver::{DesignSolver, RefitParams, SolveOutcome, SolveStats};
+pub use dsd_recovery::{ScenarioDigest, ScenarioOutcomeCache};
 pub use env::Environment;
 pub use eval_cache::{CacheStats, CandidateKey, EvalCache, DEFAULT_CACHE_CAPACITY};
 pub use exhaustive::{exhaustive_optimal, ExhaustiveResult, MAX_COMBINATIONS};

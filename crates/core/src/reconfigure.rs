@@ -6,12 +6,13 @@ use std::collections::HashMap;
 use rand::Rng;
 
 use dsd_protection::TechniqueId;
-use dsd_recovery::Placement;
+use dsd_recovery::{Placement, ScenarioOutcomeCache};
 use dsd_resources::{ArrayRef, DeviceRef};
 use dsd_units::Dollars;
 use dsd_workload::AppId;
 
 use crate::candidate::{Candidate, PlacementOptions};
+use crate::delta::Move;
 use crate::env::Environment;
 
 /// Samples an index from non-negative weights; uniform when all weights
@@ -85,7 +86,22 @@ impl Reconfigurator {
         candidate: &mut Candidate,
         rng: &mut R,
     ) -> bool {
-        let Some(app) = self.choose_app(env, candidate, rng) else {
+        let mut scache = ScenarioOutcomeCache::new();
+        self.reconfigure_with(env, candidate, &mut scache, rng)
+    }
+
+    /// [`Reconfigurator::reconfigure`] reusing a caller-held scenario
+    /// cache: technique-evaluation trials are applied and undone in
+    /// place, and unchanged scenarios replay across trials. Consumes the
+    /// same RNG stream as the uncached entry point.
+    pub fn reconfigure_with<R: Rng + ?Sized>(
+        &mut self,
+        env: &Environment,
+        candidate: &mut Candidate,
+        scache: &mut ScenarioOutcomeCache,
+        rng: &mut R,
+    ) -> bool {
+        let Some(app) = self.choose_app(env, candidate, scache, rng) else {
             return false;
         };
         let original = *candidate.assignment(app).expect("chosen app is assigned");
@@ -100,11 +116,17 @@ impl Reconfigurator {
             let Some(placement) = self.choose_placement(env, candidate, app, tid, rng) else {
                 continue;
             };
-            let mut trial = candidate.clone();
-            if trial.try_assign(env, app, tid, technique.default_config(), placement).is_err() {
+            let mv = Move::Reassign {
+                app,
+                technique: tid,
+                config: technique.default_config(),
+                placement,
+            };
+            let Ok(undo) = candidate.apply_move(env, &mv) else {
                 continue;
-            }
-            let cost = env.score(trial.evaluate(env));
+            };
+            let cost = env.score(candidate.evaluate_with(env, scache));
+            candidate.undo_move(undo);
             options.push((tid, placement, cost));
         }
 
@@ -157,13 +179,14 @@ impl Reconfigurator {
         &self,
         env: &Environment,
         candidate: &mut Candidate,
+        scache: &mut ScenarioOutcomeCache,
         rng: &mut R,
     ) -> Option<AppId> {
         let apps: Vec<AppId> = candidate.assignments().keys().copied().collect();
         if apps.is_empty() {
             return None;
         }
-        let cost = candidate.evaluate(env);
+        let cost = candidate.evaluate_with(env, scache);
         let weights: Vec<f64> = apps
             .iter()
             .map(|app| {

@@ -13,6 +13,7 @@ use dsd_workload::{AppId, WorkloadSet};
 
 use crate::policy::RecoveryPolicy;
 use crate::protection::AppProtection;
+use crate::scenario_cache::{ScenarioDigest, ScenarioOutcomeCache};
 use crate::scheduler::{schedule_jobs_with, RecoveryJob};
 use crate::survival::surviving_copies;
 
@@ -444,20 +445,101 @@ impl<'a> Evaluator<'a> {
         let mut details = Vec::with_capacity(scenarios.len());
         for scenario in scenarios {
             let outcome = self.evaluate_scenario(protections, &scenario.scope);
-            for o in &outcome.outcomes {
-                let app = &self.workloads[o.app];
-                let model = app.penalty_model();
-                let outage = scenario.likelihood * model.outage_penalty(o.recovery_time);
-                let loss = scenario.likelihood * model.loss_penalty(o.loss_time);
-                summary.outage += outage;
-                summary.loss += loss;
-                let entry = summary.per_app.entry(o.app).or_insert((Dollars::ZERO, Dollars::ZERO));
-                entry.0 += outage;
-                entry.1 += loss;
-            }
+            accumulate(self.workloads, &mut summary, scenario, &outcome);
             details.push(outcome);
         }
         (summary, details)
+    }
+
+    /// [`Self::annual_penalties`] with scope-keyed scenario memoization:
+    /// a scenario whose dependency-slice digest matches a cached entry
+    /// replays the stored outcome instead of re-scheduling it. The
+    /// likelihood-weighted accumulation runs through the same code as
+    /// the uncached path, so the totals are bit-identical whenever every
+    /// replayed outcome is (the digest's contract).
+    ///
+    /// `digests[i]` must be the dependency-slice digest of
+    /// `scenarios[i]` for the provision this evaluator was built over —
+    /// the caller computes them (it knows the candidate's assignment
+    /// shape; see `dsd-core`'s `scenario_digests`). The cache must only
+    /// ever be used with one environment (workloads, failure model,
+    /// recovery policy): digests do not cover those inputs.
+    ///
+    /// # Panics
+    ///
+    /// If `digests.len() != scenarios.len()`.
+    #[must_use]
+    pub fn annual_penalties_cached(
+        &self,
+        protections: &[AppProtection],
+        scenarios: &[FailureScenario],
+        digests: &[ScenarioDigest],
+        cache: &mut ScenarioOutcomeCache,
+    ) -> (PenaltySummary, Vec<ScenarioOutcome>) {
+        assert_eq!(scenarios.len(), digests.len(), "one dependency-slice digest per scenario");
+        let mut penalties_span = dsd_obs::span("recovery.annual_penalties", "recovery");
+        penalties_span.arg("scenarios", scenarios.len());
+        let mut summary = PenaltySummary::default();
+        let mut details = Vec::with_capacity(scenarios.len());
+        for (scenario, &digest) in scenarios.iter().zip(digests) {
+            let outcome = cache.get_or_insert_with(&scenario.scope, digest, || {
+                self.evaluate_scenario(protections, &scenario.scope)
+            });
+            accumulate(self.workloads, &mut summary, scenario, outcome);
+            details.push(outcome.clone());
+        }
+        (summary, details)
+    }
+
+    /// [`Self::annual_penalties_cached`] without materializing the
+    /// per-scenario details: the solver's trial loop only needs the
+    /// totals, and skipping the details vector means a cache hit replays
+    /// an outcome without a single clone.
+    ///
+    /// # Panics
+    ///
+    /// If `digests.len() != scenarios.len()`.
+    #[must_use]
+    pub fn annual_penalties_cached_totals(
+        &self,
+        protections: &[AppProtection],
+        scenarios: &[FailureScenario],
+        digests: &[ScenarioDigest],
+        cache: &mut ScenarioOutcomeCache,
+    ) -> PenaltySummary {
+        assert_eq!(scenarios.len(), digests.len(), "one dependency-slice digest per scenario");
+        let mut penalties_span = dsd_obs::span("recovery.annual_penalties", "recovery");
+        penalties_span.arg("scenarios", scenarios.len());
+        let mut summary = PenaltySummary::default();
+        for (scenario, &digest) in scenarios.iter().zip(digests) {
+            let outcome = cache.get_or_insert_with(&scenario.scope, digest, || {
+                self.evaluate_scenario(protections, &scenario.scope)
+            });
+            accumulate(self.workloads, &mut summary, scenario, outcome);
+        }
+        summary
+    }
+}
+
+/// Folds one scenario's outcome into the running penalty summary. Shared
+/// by the cached and uncached paths so both perform literally the same
+/// floating-point operations in the same order (bit-identity).
+fn accumulate(
+    workloads: &WorkloadSet,
+    summary: &mut PenaltySummary,
+    scenario: &FailureScenario,
+    outcome: &ScenarioOutcome,
+) {
+    for o in &outcome.outcomes {
+        let app = &workloads[o.app];
+        let model = app.penalty_model();
+        let outage = scenario.likelihood * model.outage_penalty(o.recovery_time);
+        let loss = scenario.likelihood * model.loss_penalty(o.loss_time);
+        summary.outage += outage;
+        summary.loss += loss;
+        let entry = summary.per_app.entry(o.app).or_insert((Dollars::ZERO, Dollars::ZERO));
+        entry.0 += outage;
+        entry.1 += loss;
     }
 }
 
@@ -682,6 +764,47 @@ mod tests {
             .collect();
         let (summary2, _) = ev.annual_penalties(std::slice::from_ref(&prot), &doubled);
         assert!((summary2.total().as_f64() - 2.0 * summary.total().as_f64()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cached_annual_penalties_replay_bit_identically() {
+        let (w, p, prot) = setup("sync mirror (F) with backup");
+        let ev = Evaluator::new(&w, &p, RecoveryPolicy::default());
+        let model = FailureModel::new(FailureRates::case_study());
+        let scenarios = model.enumerate([(AppId(0), prot.placement.primary)]);
+        let digests: Vec<ScenarioDigest> =
+            (0..scenarios.len()).map(|i| ScenarioDigest(i as u64, !(i as u64))).collect();
+
+        let (full, full_details) = ev.annual_penalties(std::slice::from_ref(&prot), &scenarios);
+        let mut cache = ScenarioOutcomeCache::new();
+        let (cold, cold_details) = ev.annual_penalties_cached(
+            std::slice::from_ref(&prot),
+            &scenarios,
+            &digests,
+            &mut cache,
+        );
+        assert_eq!(cache.recomputed(), scenarios.len() as u64);
+        assert_eq!(cache.hits(), 0);
+        let (warm, warm_details) = ev.annual_penalties_cached(
+            std::slice::from_ref(&prot),
+            &scenarios,
+            &digests,
+            &mut cache,
+        );
+        assert_eq!(cache.hits(), scenarios.len() as u64, "second pass is all hits");
+
+        for (a, b) in [(&full, &cold), (&full, &warm)] {
+            assert_eq!(a.outage.as_f64().to_bits(), b.outage.as_f64().to_bits());
+            assert_eq!(a.loss.as_f64().to_bits(), b.loss.as_f64().to_bits());
+            assert_eq!(a.per_app.len(), b.per_app.len());
+            for ((ka, va), (kb, vb)) in a.per_app.iter().zip(b.per_app.iter()) {
+                assert_eq!(ka, kb);
+                assert_eq!(va.0.as_f64().to_bits(), vb.0.as_f64().to_bits());
+                assert_eq!(va.1.as_f64().to_bits(), vb.1.as_f64().to_bits());
+            }
+        }
+        assert_eq!(full_details, cold_details, "details order and content match");
+        assert_eq!(full_details, warm_details);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 mod evaluate;
 mod policy;
 mod protection;
+mod scenario_cache;
 mod scheduler;
 mod survival;
 mod vulnerability;
@@ -38,6 +39,7 @@ pub use evaluate::{
 };
 pub use policy::RecoveryPolicy;
 pub use protection::{AppProtection, Placement};
+pub use scenario_cache::{ScenarioDigest, ScenarioOutcomeCache, SCENARIO_CACHE_WAYS};
 pub use scheduler::{schedule_jobs, schedule_jobs_with, RecoveryJob, Schedule, SchedulingPolicy};
 pub use survival::surviving_copies;
 pub use vulnerability::VulnerabilityWindow;

@@ -149,6 +149,41 @@ struct AppLedger {
     spares: Vec<(SiteId, f64)>,
 }
 
+/// An exact-state snapshot of the provision slice one trial move may
+/// touch, taken by [`Provision::checkpoint`] and written back verbatim by
+/// [`Provision::restore`].
+///
+/// Floating-point allocation arithmetic is not reversible (`(a + b) - b`
+/// need not equal `a`), so undoing a trial move by subtracting what it
+/// added would drift the provision away from the state a fresh
+/// construction produces. Snapshotting the touched device states and the
+/// application's ledger instead makes apply → undo restore the prior
+/// state *bit for bit* — the foundation of the incremental solver loop's
+/// oracle-equivalence guarantee.
+#[derive(Debug, Clone)]
+pub struct ProvisionCheckpoint {
+    arrays: Vec<(usize, Option<ArrayState>)>,
+    tapes: Vec<(usize, Option<TapeState>)>,
+    links: Vec<(usize, LinkState)>,
+    compute: Vec<(usize, ComputeState)>,
+    ledger: Option<(AppId, Option<AppLedger>)>,
+}
+
+/// The devices and sites an application's allocations currently touch,
+/// derived from its ledger — the exact set a removal will mutate.
+#[derive(Debug, Clone, Default)]
+pub struct AppFootprint {
+    /// Arrays carrying allocations of the application.
+    pub arrays: Vec<ArrayRef>,
+    /// Tape libraries carrying allocations of the application.
+    pub tapes: Vec<TapeRef>,
+    /// Routes carrying allocations of the application.
+    pub routes: Vec<RouteId>,
+    /// Sites where the application holds compute servers or
+    /// failover-spare memberships.
+    pub sites: Vec<SiteId>,
+}
+
 /// The provisioned infrastructure of one candidate design: device
 /// instances, link bundles, compute servers, and per-application
 /// allocations, with validate-then-commit mutation and amortized annual
@@ -720,6 +755,108 @@ impl Provision {
     pub fn annual_outlay(&self) -> Dollars {
         self.purchase_outlay().amortized_annual()
     }
+
+    fn site_exists(&self, s: SiteId) -> bool {
+        s.0 < self.compute.len()
+    }
+
+    fn valid_array(&self, r: ArrayRef) -> bool {
+        self.site_exists(r.site) && r.slot < self.topology.site(r.site).array_slots.len()
+    }
+
+    fn valid_tape(&self, r: TapeRef) -> bool {
+        self.site_exists(r.site) && r.slot < self.topology.site(r.site).tape_slots.len()
+    }
+
+    /// The ledger-derived footprint of `app`: every device and site its
+    /// allocations touch. Empty when the application holds nothing.
+    #[must_use]
+    pub fn app_footprint(&self, app: AppId) -> AppFootprint {
+        let mut fp = AppFootprint::default();
+        if let Some(l) = self.ledgers.get(&app) {
+            fp.arrays.extend(l.arrays.iter().map(|&(r, _, _)| r));
+            fp.tapes.extend(l.tapes.iter().map(|&(r, _, _)| r));
+            fp.routes.extend(l.routes.iter().map(|&(r, _)| r));
+            fp.sites.extend(l.compute.iter().map(|&(s, _)| s));
+            fp.sites.extend(l.spares.iter().map(|&(s, _)| s));
+        }
+        fp
+    }
+
+    /// Snapshots the exact state of the given devices and sites, plus
+    /// `app`'s allocation ledger when one is named. References that do
+    /// not exist in the topology are skipped — an allocation against
+    /// them fails before mutating anything, so there is no state to
+    /// protect. Duplicate references are harmless: every snapshot is
+    /// taken at the same instant, so re-restoring one is idempotent.
+    #[must_use]
+    pub fn checkpoint(
+        &self,
+        app: Option<AppId>,
+        arrays: &[ArrayRef],
+        tapes: &[TapeRef],
+        routes: &[RouteId],
+        sites: &[SiteId],
+    ) -> ProvisionCheckpoint {
+        ProvisionCheckpoint {
+            arrays: arrays
+                .iter()
+                .filter(|&&r| self.valid_array(r))
+                .map(|&r| {
+                    let i = self.array_index(r);
+                    (i, self.arrays[i].clone())
+                })
+                .collect(),
+            tapes: tapes
+                .iter()
+                .filter(|&&r| self.valid_tape(r))
+                .map(|&r| {
+                    let i = self.tape_index(r);
+                    (i, self.tapes[i].clone())
+                })
+                .collect(),
+            links: routes
+                .iter()
+                .filter(|r| r.0 < self.links.len())
+                .map(|&r| (r.0, self.links[r.0].clone()))
+                .collect(),
+            compute: sites
+                .iter()
+                .filter(|&&s| self.site_exists(s))
+                .map(|&s| (s.0, self.compute[s.0].clone()))
+                .collect(),
+            ledger: app.map(|a| (a, self.ledgers.get(&a).cloned())),
+        }
+    }
+
+    /// Writes a checkpoint back, restoring every covered device state,
+    /// compute state, and ledger entry to its snapshotted bits. State
+    /// outside the checkpoint is untouched — the caller must checkpoint
+    /// everything the undone mutation could have reached.
+    pub fn restore(&mut self, checkpoint: ProvisionCheckpoint) {
+        for (i, s) in checkpoint.arrays {
+            self.arrays[i] = s;
+        }
+        for (i, s) in checkpoint.tapes {
+            self.tapes[i] = s;
+        }
+        for (i, s) in checkpoint.links {
+            self.links[i] = s;
+        }
+        for (i, s) in checkpoint.compute {
+            self.compute[i] = s;
+        }
+        if let Some((app, ledger)) = checkpoint.ledger {
+            match ledger {
+                Some(l) => {
+                    self.ledgers.insert(app, l);
+                }
+                None => {
+                    self.ledgers.remove(&app);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -970,5 +1107,78 @@ mod tests {
         p.alloc_compute(AppId(1), SiteId(0), 1).unwrap();
         let apps: Vec<AppId> = p.allocated_apps().collect();
         assert_eq!(apps, vec![AppId(1), AppId(3)], "sorted by id");
+    }
+
+    fn populated() -> Provision {
+        let mut p = Provision::new(topology());
+        p.alloc_array(APP, A0, Gigabytes::new(1300.0), MegabytesPerSec::new(50.0)).unwrap();
+        p.alloc_tape(
+            APP,
+            TapeRef::first(SiteId(0)),
+            Gigabytes::new(2600.0),
+            MegabytesPerSec::new(31.0),
+        )
+        .unwrap();
+        p.alloc_network(APP, SiteId(0), SiteId(1), MegabytesPerSec::new(5.0)).unwrap();
+        p.alloc_compute(APP, SiteId(0), 1).unwrap();
+        p.alloc_failover_spare(APP, SiteId(1), 1.0).unwrap();
+        p
+    }
+
+    #[test]
+    fn app_footprint_lists_every_touched_resource() {
+        let p = populated();
+        let fp = p.app_footprint(APP);
+        assert_eq!(fp.arrays, vec![A0]);
+        assert_eq!(fp.tapes, vec![TapeRef::first(SiteId(0))]);
+        assert_eq!(fp.routes.len(), 1);
+        assert_eq!(fp.sites, vec![SiteId(0), SiteId(1)]);
+        assert!(p.app_footprint(AppId(7)).arrays.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrips_exact_state() {
+        let mut p = populated();
+        let before = p.clone();
+        let fp = p.app_footprint(APP);
+        let cp = p.checkpoint(Some(APP), &fp.arrays, &fp.tapes, &fp.routes, &fp.sites);
+        p.remove_app(APP);
+        assert_ne!(p, before);
+        p.restore(cp);
+        assert_eq!(p, before, "restore must reproduce the snapshotted bits");
+        // Ledger restored too: removing again releases everything.
+        p.remove_app(APP);
+        assert_eq!(p.purchase_outlay(), Dollars::ZERO);
+    }
+
+    #[test]
+    fn checkpoint_restores_extras_and_absent_ledger() {
+        let mut p = populated();
+        p.add_extra_array_units(A0, 2).unwrap();
+        let before = p.clone();
+        // Checkpoint under an app with no ledger: restore must remove a
+        // ledger created in between.
+        let cp = p.checkpoint(Some(AppId(5)), &[A0], &[], &[], &[SiteId(0)]);
+        p.alloc_array(AppId(5), A0, Gigabytes::new(143.0), MegabytesPerSec::new(1.0)).unwrap();
+        p.alloc_compute(AppId(5), SiteId(0), 1).unwrap();
+        p.restore(cp);
+        assert_eq!(p, before);
+        assert!(!p.ledgers.contains_key(&AppId(5)));
+        assert_eq!(p.array(A0).unwrap().extra_units, 2, "extras survive the roundtrip");
+    }
+
+    #[test]
+    fn checkpoint_skips_out_of_topology_references() {
+        let p = populated();
+        let cp = p.checkpoint(
+            None,
+            &[ArrayRef { site: SiteId(9), slot: 0 }, ArrayRef { site: SiteId(0), slot: 9 }],
+            &[TapeRef { site: SiteId(9), slot: 0 }],
+            &[RouteId(99)],
+            &[SiteId(9)],
+        );
+        let mut q = p.clone();
+        q.restore(cp); // must not panic or mutate
+        assert_eq!(q, p);
     }
 }
