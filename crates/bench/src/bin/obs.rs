@@ -5,6 +5,10 @@
 //! reports the wall-time deltas. The first two must be within noise of
 //! each other (the ISSUE budget is <2%); all three must find the
 //! bit-identical design, since recording never consumes randomness.
+//! Also measures cost-attribution overhead: itemized penalty evaluation
+//! (`annual_penalties_attributed`) vs the plain aggregate, on the
+//! solved design — the itemized path must stay within 2% and reproduce
+//! the aggregate bit-for-bit.
 //!
 //! Writes `BENCH_obs.json` (`DSD_BENCH_DIR` overrides the directory;
 //! `DSD_BUDGET` / `DSD_SEED` / `DSD_REPS` as usual).
@@ -21,6 +25,61 @@ use serde::Value;
 fn solve_cost(env: &Environment, budget: Budget, seed: u64) -> Option<f64> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     DesignSolver::new(env).solve(budget, &mut rng).best.map(|b| b.cost().total().as_f64())
+}
+
+/// Measures the itemized-attribution overhead on the solved design:
+/// interleaved reps of the aggregate penalty evaluation vs the
+/// attributed one. Returns `(aggregate_median, attributed_median,
+/// overhead_fraction)` and asserts bit-identity of the totals.
+fn attribution_overhead(
+    env: &Environment,
+    budget: Budget,
+    seed: u64,
+    reps: usize,
+) -> (f64, f64, f64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut best = DesignSolver::new(env).solve(budget, &mut rng).best.expect("feasible design");
+    best.evaluate(env);
+    let attribution = best.attribution(env);
+    attribution.verify().expect("attribution reproduces the solved cost bit-for-bit");
+
+    let protections = best.protections(env);
+    let scenarios = env.failures.enumerate(best.primaries());
+    let evaluator = dsd_recovery::Evaluator::new(&env.workloads, best.provision(), env.recovery);
+    // Single evaluations are microseconds; time batches so the clock
+    // resolution doesn't dominate.
+    const BATCH: usize = 64;
+    let (mut plain_t, mut attr_t) = (Vec::with_capacity(reps), Vec::with_capacity(reps));
+    for _ in 0..reps {
+        let started = Instant::now();
+        for _ in 0..BATCH {
+            let (plain, _) = evaluator.annual_penalties(&protections, &scenarios);
+            std::hint::black_box(plain);
+        }
+        plain_t.push(started.elapsed().as_secs_f64());
+        let started = Instant::now();
+        for _ in 0..BATCH {
+            let (attributed, items) =
+                evaluator.annual_penalties_attributed(&protections, &scenarios);
+            std::hint::black_box((attributed, items));
+        }
+        attr_t.push(started.elapsed().as_secs_f64());
+    }
+    let (plain, _) = evaluator.annual_penalties(&protections, &scenarios);
+    let (attributed, items) = evaluator.annual_penalties_attributed(&protections, &scenarios);
+    assert_eq!(
+        plain.outage.as_f64().to_bits(),
+        attributed.outage.as_f64().to_bits(),
+        "attributed outage total must be bit-identical"
+    );
+    assert_eq!(
+        plain.loss.as_f64().to_bits(),
+        attributed.loss.as_f64().to_bits(),
+        "attributed loss total must be bit-identical"
+    );
+    assert!(!items.is_empty(), "the solved design has penalty line items");
+    let (plain_s, attr_s) = (median(plain_t), median(attr_t));
+    (plain_s, attr_s, (attr_s - plain_s) / plain_s)
 }
 
 fn time_once(env: &Environment, budget: Budget, seed: u64, recorder: Option<&Recorder>) -> f64 {
@@ -86,6 +145,16 @@ fn main() {
         if budget_ok { "within budget" } else { "EXCEEDED (noisy machine?)" }
     );
 
+    let (plain_s, attr_s, attr_overhead) = attribution_overhead(&env, budget, seed, reps);
+    let attr_ok = attr_overhead < 0.02;
+    println!("attribution (itemized vs aggregate penalty evaluation, batches of 64):");
+    println!("  aggregate:         {plain_s:.6}s");
+    println!("  itemized:          {attr_s:.6}s  ({:+.2}% vs aggregate)", attr_overhead * 100.0);
+    println!(
+        "  attribution overhead budget (<2%): {}",
+        if attr_ok { "within budget" } else { "EXCEEDED (noisy machine?)" }
+    );
+
     let report = Value::Map(vec![
         ("environment".to_string(), Value::Str("peer_sites_with(4)".to_string())),
         ("seed".to_string(), Value::Int(i64::try_from(seed).unwrap_or(i64::MAX))),
@@ -96,6 +165,11 @@ fn main() {
         ("noop_overhead_fraction".to_string(), Value::Float(noop_overhead)),
         ("active_overhead_fraction".to_string(), Value::Float(active_overhead)),
         ("noop_within_2pct".to_string(), Value::Bool(budget_ok)),
+        ("aggregate_penalties_median_secs".to_string(), Value::Float(plain_s)),
+        ("attributed_penalties_median_secs".to_string(), Value::Float(attr_s)),
+        ("attribution_overhead_fraction".to_string(), Value::Float(attr_overhead)),
+        ("attribution_within_2pct".to_string(), Value::Bool(attr_ok)),
+        ("attribution_bit_identical".to_string(), Value::Bool(true)),
         ("active_events".to_string(), Value::Int(i64::try_from(events).unwrap_or(i64::MAX))),
         ("metric_series".to_string(), Value::Int(i64::try_from(series).unwrap_or(i64::MAX))),
         ("identical_results".to_string(), Value::Bool(true)),

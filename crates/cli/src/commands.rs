@@ -8,7 +8,12 @@ use std::fmt::Write as _;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use dsd_core::{Budget, DesignSolver, Environment, EvalCache, DEFAULT_CACHE_CAPACITY};
+use serde::Serialize;
+
+use dsd_core::{
+    technique_marginals, Budget, CostAttribution, DesignSolver, Environment, EvalCache,
+    ScenarioOutcomeCache, TechniqueMarginal, DEFAULT_CACHE_CAPACITY,
+};
 use dsd_recovery::Evaluator;
 use dsd_scenarios::experiments::{ablation, figure2, figure3, figure4, sensitivity, table4};
 
@@ -90,6 +95,27 @@ pub fn cmd_design(
     let Some(best) = outcome.best.clone() else {
         return Err("no feasible design found within the budget".into());
     };
+
+    // Thread the cost attribution through the observability exporters:
+    // gauges land in the metrics snapshot (diffable via `dsd obs diff`),
+    // the instant lands in the JSONL / Chrome trace streams.
+    if dsd_obs::enabled() {
+        let cost = best.cost();
+        dsd_obs::gauge("cost.outlay", cost.outlay.as_f64());
+        dsd_obs::gauge("cost.penalty.outage", cost.penalties.outage.as_f64());
+        dsd_obs::gauge("cost.penalty.loss", cost.penalties.loss.as_f64());
+        dsd_obs::gauge("cost.total", cost.total().as_f64());
+        dsd_obs::instant_with(
+            "cost.attribution",
+            "explain",
+            vec![
+                ("outlay", cost.outlay.as_f64().into()),
+                ("outage", cost.penalties.outage.as_f64().into()),
+                ("loss", cost.penalties.loss.as_f64().into()),
+                ("total", cost.total().as_f64().into()),
+            ],
+        );
+    }
 
     let mut text = String::new();
     let _ = writeln!(text, "design ({} nodes evaluated):", outcome.stats.nodes_evaluated);
@@ -252,11 +278,12 @@ pub fn cmd_analyze_trace(trace_text: &str) -> Result<String, Box<dyn Error>> {
     Ok(out)
 }
 
-/// `dsd obs summary <trace.jsonl> [<metrics.json>]` — digest a recorded
-/// solver trace: top events by cumulative time, the objective-vs-
-/// evaluations curve from `solver.improved` points, and (when a metrics
-/// snapshot is given) the headline counters, gauges, and latency
-/// percentiles.
+/// `dsd obs summary <trace.jsonl> [<metrics.json>] [--top N]` — digest a
+/// recorded solver trace: top-`top` events by cumulative time, the
+/// objective-vs-evaluations curve from `solver.improved` points, and
+/// (when a metrics snapshot is given) the headline counters, gauges,
+/// latency percentiles, per-move-type acceptance rates, and delta-cache
+/// effectiveness.
 ///
 /// # Errors
 ///
@@ -264,13 +291,14 @@ pub fn cmd_analyze_trace(trace_text: &str) -> Result<String, Box<dyn Error>> {
 pub fn cmd_obs_summary(
     trace_text: &str,
     metrics_text: Option<&str>,
+    top: usize,
 ) -> Result<String, Box<dyn Error>> {
     let records = dsd_obs::export::parse_jsonl(trace_text)?;
     let mut out = String::new();
     let _ = writeln!(out, "trace: {} events", records.len());
 
     let _ = writeln!(out, "top events by cumulative time:");
-    for t in dsd_obs::export::totals_by_name(&records).into_iter().take(10) {
+    for t in dsd_obs::export::totals_by_name(&records).into_iter().take(top) {
         let _ = writeln!(
             out,
             "  {:<28} {:<10} x{:<7} {:>12.3} ms",
@@ -281,17 +309,13 @@ pub fn cmd_obs_summary(
         );
     }
 
-    let curve: Vec<(f64, f64)> = records
-        .iter()
-        .filter(|r| r.name == "solver.improved")
-        .filter_map(|r| Some((r.num_arg("evals")?, r.num_arg("cost")?)))
-        .collect();
+    let curve = dsd_obs::export::objective_curve(&records);
     if curve.is_empty() {
         let _ = writeln!(out, "objective curve: no solver.improved events in trace");
     } else {
         let _ = writeln!(out, "objective vs evaluations ({} improvements):", curve.len());
-        for (evals, cost) in &curve {
-            let _ = writeln!(out, "  {evals:>8.0} evals  ->  ${cost:.0}");
+        for point in &curve {
+            let _ = writeln!(out, "  {:>8.0} evals  ->  ${:.0}", point.evals, point.cost);
         }
     }
 
@@ -311,8 +335,128 @@ pub fn cmd_obs_summary(
                 h.count, h.p50, h.p90, h.p99, h.max
             );
         }
+        let rates = snapshot.move_rates();
+        if !rates.is_empty() {
+            let _ = writeln!(out, "move acceptance rates:");
+            for r in &rates {
+                let _ = writeln!(
+                    out,
+                    "  {:<18} {:>7} trials  {:>7} accepted  ({:.1}%)",
+                    r.kind,
+                    r.trials,
+                    r.accepted,
+                    r.acceptance_rate().unwrap_or(0.0) * 100.0
+                );
+            }
+        }
+        if let (Some(hits), Some(recomputed)) =
+            (snapshot.counter("eval.delta_hits"), snapshot.counter("eval.scenarios_recomputed"))
+        {
+            let total = hits + recomputed;
+            if total > 0 {
+                #[allow(clippy::cast_precision_loss)]
+                let reuse = hits as f64 / total as f64 * 100.0;
+                let _ = writeln!(
+                    out,
+                    "delta cache: {hits} scenarios replayed / {recomputed} recomputed \
+                     ({reuse:.1}% reuse)"
+                );
+            }
+        }
     }
     Ok(out)
+}
+
+/// Machine-readable `dsd explain` export: the full attribution plus the
+/// marginal-technique analysis, serialized as one JSON document.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExplainReport {
+    /// Line-item cost attribution (bit-exact against the evaluation).
+    pub attribution: CostAttribution,
+    /// Per-application marginal cost of the chosen technique.
+    pub marginals: Vec<TechniqueMarginal>,
+}
+
+/// `dsd explain <spec.toml> <design.json> [--top N]` — render the
+/// paper-style cost-attribution tables for a saved design and verify
+/// that the line items reproduce the evaluated objective bit-for-bit.
+/// Returns `(text, json)`; the JSON is the [`ExplainReport`].
+///
+/// # Errors
+///
+/// Spec/design errors, or an attribution that fails bit-exact
+/// verification (which would be a solver bug, not a user error).
+pub fn cmd_explain(
+    spec_text: &str,
+    design_text: &str,
+    top: usize,
+) -> Result<(String, String), Box<dyn Error>> {
+    let spec = EnvironmentSpec::from_toml(spec_text)?;
+    let env = spec.to_environment()?;
+    let design = SavedDesign::from_json(design_text)?;
+    let mut candidate = design.to_candidate(&env)?;
+    candidate.evaluate(&env);
+    let attribution = candidate.attribution(&env);
+    attribution.verify().map_err(|e| format!("attribution failed bit-exact verification: {e}"))?;
+    let mut scache = ScenarioOutcomeCache::new();
+    let marginals = technique_marginals(&env, &mut candidate, &mut scache);
+    let text = crate::report::explain_text(&env, &attribution, &marginals, top);
+    let report = ExplainReport { attribution, marginals };
+    let json = serde_json::to_string_pretty(&report)?;
+    Ok((text, json))
+}
+
+/// `dsd obs diff <run-a> <run-b>` — compare two exported runs (metrics
+/// snapshots or explain JSON) leaf-by-leaf and flag regressions with
+/// percentage deltas. Returns the rendered diff and the regression
+/// count (zero when a run is diffed against itself).
+///
+/// # Errors
+///
+/// JSON parse errors in either input.
+pub fn cmd_obs_diff(a_text: &str, b_text: &str) -> Result<(String, usize), Box<dyn Error>> {
+    use dsd_obs::export::{diff_numeric, DiffClass};
+    let a = serde_json::parse(a_text).map_err(|e| format!("run A: {e}"))?;
+    let b = serde_json::parse(b_text).map_err(|e| format!("run B: {e}"))?;
+    let entries = diff_numeric(&a, &b);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "compared {} numeric series", entries.len());
+    let mut counts = [0usize; 5]; // regressed, improved, changed, added, removed
+    for e in &entries {
+        let class = e.classify();
+        let (label, idx) = match class {
+            DiffClass::Unchanged => continue,
+            DiffClass::Regressed => ("REGRESSED", 0),
+            DiffClass::Improved => ("improved ", 1),
+            DiffClass::Changed => ("changed  ", 2),
+            DiffClass::Added => ("added    ", 3),
+            DiffClass::Removed => ("removed  ", 4),
+        };
+        counts[idx] += 1;
+        let delta = match e.pct_delta() {
+            Some(pct) => format!("{pct:+.2}%"),
+            None => "n/a".to_string(),
+        };
+        let show = |v: Option<f64>| v.map_or("—".to_string(), |v| format!("{v}"));
+        let _ = writeln!(
+            out,
+            "  {label} {:<40} {:>16} -> {:<16} ({delta})",
+            e.name,
+            show(e.a),
+            show(e.b)
+        );
+    }
+    let changed: usize = counts.iter().sum();
+    if changed == 0 {
+        let _ = writeln!(out, "runs are numerically identical: zero deltas");
+    }
+    let _ = writeln!(
+        out,
+        "summary: {} regressions, {} improvements, {} neutral changes, {} added, {} removed",
+        counts[0], counts[1], counts[2], counts[3], counts[4]
+    );
+    Ok((out, counts[0]))
 }
 
 /// Builds an environment directly from spec text (helper for tests and
@@ -381,22 +525,83 @@ mod tests {
                 vec![("evals", 5u64.into()), ("cost", 1234.5f64.into())],
             );
             dsd_obs::add("solver.nodes_evaluated", 5);
+            dsd_obs::add("solver.trials.reassign", 8);
+            dsd_obs::add("solver.accepted.reassign", 2);
+            dsd_obs::add("eval.delta_hits", 30);
+            dsd_obs::add("eval.scenarios_recomputed", 10);
             dsd_obs::observe("solver.eval_latency", 0.002);
             drop(span);
         }
         let trace = dsd_obs::export::trace_jsonl(&recorder.drain_events());
         let metrics = serde_json::to_string(&recorder.metrics_snapshot()).unwrap();
 
-        let out = cmd_obs_summary(&trace, Some(&metrics)).expect("summarizes");
+        let out = cmd_obs_summary(&trace, Some(&metrics), 10).expect("summarizes");
         assert!(out.contains("top events by cumulative time"));
         assert!(out.contains("solver.solve"));
         assert!(out.contains("objective vs evaluations"));
         assert!(out.contains("$1234") || out.contains("$1235"));
         assert!(out.contains("counter solver.nodes_evaluated"));
         assert!(out.contains("hist    solver.eval_latency"));
+        assert!(out.contains("move acceptance rates:"));
+        assert!(out.contains("reassign"));
+        assert!(out.contains("(25.0%)"));
+        assert!(out.contains("delta cache: 30 scenarios replayed / 10 recomputed (75.0% reuse)"));
 
-        assert!(cmd_obs_summary("not json", None).is_err());
-        assert!(cmd_obs_summary(&trace, Some("not json")).is_err());
+        // `--top 0` suppresses the totals table entirely.
+        let trimmed = cmd_obs_summary(&trace, None, 0).expect("summarizes");
+        assert!(!trimmed.contains("solver.solve  "));
+
+        assert!(cmd_obs_summary("not json", None, 10).is_err());
+        assert!(cmd_obs_summary(&trace, Some("not json"), 10).is_err());
+    }
+
+    #[test]
+    fn explain_reproduces_the_design_cost_bit_for_bit() {
+        let spec = cmd_init();
+        let (_, json, _) = cmd_design(&spec, RunOptions { budget: 15, seed: 3 }).expect("solvable");
+        let (text, report_json) = cmd_explain(&spec, &json, 3).expect("explains");
+        assert!(text.contains("objective:"));
+        assert!(text.contains("line items reproduce the evaluated total bit-for-bit"));
+        assert!(text.contains("outlay by resource kind:"));
+        assert!(text.contains("disk arrays"));
+        assert!(text.contains("penalties (likelihood-weighted):"));
+        assert!(text.contains("top 3 dominant scenarios overall:"));
+        assert!(text.contains("marginal cost of chosen techniques vs runner-up:"));
+        assert!(report_json.contains("\"attribution\""));
+        assert!(report_json.contains("\"marginals\""));
+        assert!(report_json.contains("\"penalty_items\""));
+        // Round-trips as JSON our vendored parser can read.
+        let value = serde_json::parse(&report_json).expect("valid json");
+        assert!(value.get("attribution").is_some());
+
+        assert!(cmd_explain("not toml", &json, 3).is_err());
+        assert!(cmd_explain(&spec, "not json", 3).is_err());
+    }
+
+    #[test]
+    fn obs_diff_of_a_run_against_itself_reports_zero_deltas() {
+        let spec = cmd_init();
+        let (_, json, _) = cmd_design(&spec, RunOptions { budget: 15, seed: 3 }).expect("solvable");
+        let (_, report_json) = cmd_explain(&spec, &json, 3).expect("explains");
+        let (out, regressions) = cmd_obs_diff(&report_json, &report_json).expect("diffs");
+        assert_eq!(regressions, 0);
+        assert!(out.contains("runs are numerically identical: zero deltas"));
+        assert!(out.contains("summary: 0 regressions"));
+    }
+
+    #[test]
+    fn obs_diff_flags_cost_regressions_with_pct_deltas() {
+        let a = r#"{"counters": {"cache.hit": 10}, "gauges": {"cost.total": 100.0}}"#;
+        let b = r#"{"counters": {"cache.hit": 10}, "gauges": {"cost.total": 125.0}}"#;
+        let (out, regressions) = cmd_obs_diff(a, b).expect("diffs");
+        assert_eq!(regressions, 1);
+        assert!(out.contains("REGRESSED"));
+        assert!(out.contains("cost.total"));
+        assert!(out.contains("+25.00%"));
+        assert!(out.contains("summary: 1 regressions"));
+
+        assert!(cmd_obs_diff("not json", b).is_err());
+        assert!(cmd_obs_diff(a, "not json").is_err());
     }
 
     #[test]

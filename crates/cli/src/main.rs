@@ -6,8 +6,10 @@
 //! dsd design env.toml [--budget N] [--seed N] [--save design.json]
 //!     [--trace trace.jsonl] [--metrics metrics.json] [--chrome-trace trace.json]
 //! dsd evaluate env.toml design.json      # re-evaluate a saved design
+//! dsd explain env.toml design.json [--top N] [--json report.json]
 //! dsd experiment table4|figure2..figure7|ablation [--budget N] [--seed N]
-//! dsd obs summary trace.jsonl [metrics.json]   # digest a recorded trace
+//! dsd obs summary trace.jsonl [metrics.json] [--top N]
+//! dsd obs diff run-a.json run-b.json [--fail-on-regression]
 //! ```
 
 use std::error::Error;
@@ -15,12 +17,12 @@ use std::fs;
 use std::process::ExitCode;
 
 use dsd_cli::commands::{
-    cmd_analyze_trace, cmd_design, cmd_evaluate, cmd_experiment, cmd_init, cmd_obs_summary,
-    cmd_tables, RunOptions,
+    cmd_analyze_trace, cmd_design, cmd_evaluate, cmd_experiment, cmd_explain, cmd_init,
+    cmd_obs_diff, cmd_obs_summary, cmd_tables, RunOptions,
 };
 
 fn usage() -> &'static str {
-    "usage:\n  dsd init\n  dsd tables\n  dsd design <spec.toml> [--budget N] [--seed N] [--save <design.json>] [--report <report.md>] [--trace <trace.jsonl>] [--metrics <metrics.json>] [--chrome-trace <trace.json>]\n  dsd evaluate <spec.toml> <design.json>\n  dsd experiment <table4|figure2|figure3|figure4|figure5|figure6|figure7|ablation> [--budget N] [--seed N] [--trace <trace.jsonl>] [--metrics <metrics.json>]\n  dsd analyze-trace <trace.csv>\n  dsd obs summary <trace.jsonl> [<metrics.json>]"
+    "usage:\n  dsd init\n  dsd tables\n  dsd design <spec.toml> [--budget N] [--seed N] [--save <design.json>] [--report <report.md>] [--trace <trace.jsonl>] [--metrics <metrics.json>] [--chrome-trace <trace.json>]\n  dsd evaluate <spec.toml> <design.json>\n  dsd explain <spec.toml> <design.json> [--top N] [--json <report.json>]\n  dsd experiment <table4|figure2|figure3|figure4|figure5|figure6|figure7|ablation> [--budget N] [--seed N] [--trace <trace.jsonl>] [--metrics <metrics.json>]\n  dsd analyze-trace <trace.csv>\n  dsd obs summary <trace.jsonl> [<metrics.json>] [--top N]\n  dsd obs diff <run-a.json> <run-b.json> [--fail-on-regression]"
 }
 
 /// Output-file options pulled from the flags.
@@ -31,6 +33,9 @@ struct OutputPaths {
     trace: Option<String>,
     metrics: Option<String>,
     chrome_trace: Option<String>,
+    json: Option<String>,
+    top: Option<usize>,
+    fail_on_regression: bool,
 }
 
 impl OutputPaths {
@@ -80,6 +85,16 @@ fn parse_flags(args: &[String]) -> Result<(Vec<&str>, RunOptions, OutputPaths), 
                 i += 1;
                 out.chrome_trace = Some(args.get(i).ok_or("--chrome-trace needs a path")?.clone());
             }
+            "--json" => {
+                i += 1;
+                out.json = Some(args.get(i).ok_or("--json needs a path")?.clone());
+            }
+            "--top" => {
+                i += 1;
+                let v = args.get(i).ok_or("--top needs a value")?;
+                out.top = Some(v.parse().map_err(|_| format!("bad top: {v}"))?);
+            }
+            "--fail-on-regression" => out.fail_on_regression = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag: {flag}").into());
             }
@@ -162,14 +177,33 @@ fn run() -> Result<(), Box<dyn Error>> {
             let trace = fs::read_to_string(trace_path)?;
             print!("{}", cmd_analyze_trace(&trace)?);
         }
+        ["explain", spec_path, design_path] => {
+            let spec = fs::read_to_string(spec_path)?;
+            let design = fs::read_to_string(design_path)?;
+            let (text, json) = cmd_explain(&spec, &design, outputs.top.unwrap_or(5))?;
+            print!("{text}");
+            if let Some(path) = outputs.json {
+                fs::write(&path, json)?;
+                println!("explain report written to {path}");
+            }
+        }
         ["obs", "summary", trace_path] => {
             let trace = fs::read_to_string(trace_path)?;
-            print!("{}", cmd_obs_summary(&trace, None)?);
+            print!("{}", cmd_obs_summary(&trace, None, outputs.top.unwrap_or(10))?);
         }
         ["obs", "summary", trace_path, metrics_path] => {
             let trace = fs::read_to_string(trace_path)?;
             let metrics = fs::read_to_string(metrics_path)?;
-            print!("{}", cmd_obs_summary(&trace, Some(&metrics))?);
+            print!("{}", cmd_obs_summary(&trace, Some(&metrics), outputs.top.unwrap_or(10))?);
+        }
+        ["obs", "diff", a_path, b_path] => {
+            let a = fs::read_to_string(a_path)?;
+            let b = fs::read_to_string(b_path)?;
+            let (text, regressions) = cmd_obs_diff(&a, &b)?;
+            print!("{text}");
+            if outputs.fail_on_regression && regressions > 0 {
+                return Err(format!("{regressions} metric regressions detected").into());
+            }
         }
         _ => return Err(usage().into()),
     }

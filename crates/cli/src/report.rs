@@ -5,7 +5,7 @@
 
 use std::fmt::Write as _;
 
-use dsd_core::{Candidate, Environment};
+use dsd_core::{Candidate, CostAttribution, Environment, TechniqueMarginal};
 use dsd_recovery::Evaluator;
 use dsd_resources::{ArrayRef, DeviceRef, TapeRef};
 use dsd_units::Dollars;
@@ -57,6 +57,40 @@ pub fn markdown(env: &Environment, candidate: &Candidate) -> String {
     let protections = candidate.protections(env);
     let scenarios = env.failures.enumerate(candidate.primaries());
     let evaluator = Evaluator::new(&env.workloads, candidate.provision(), env.recovery);
+
+    let _ = writeln!(out, "\n## Cost attribution\n");
+    let _ = writeln!(out, "| resource kind | items | purchase | amortized $/yr |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    let attribution = CostAttribution {
+        outlay_items: candidate.provision().outlay_items(),
+        vault_media_annual: candidate.vault_media_annual(env),
+        penalty_items: evaluator.annual_penalties_attributed(&protections, &scenarios).1,
+        cost: cost.clone(),
+    };
+    for (kind, purchase, n) in attribution.outlay_by_kind() {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} |",
+            kind.label(),
+            n,
+            purchase,
+            purchase.amortized_annual()
+        );
+    }
+    let _ = writeln!(out, "| vault media | — | — | {} |", attribution.vault_media_annual);
+    let _ = writeln!(out, "\nDominant penalty scenarios (likelihood-weighted):\n");
+    let _ = writeln!(out, "| application | scenario | likelihood | weighted $/yr |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for item in attribution.top_items(5) {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} |",
+            env.workloads[item.app].name,
+            item.scope,
+            item.likelihood,
+            item.weighted_total()
+        );
+    }
 
     let _ = writeln!(out, "\n## Recovery behavior by scenario\n");
     let _ = writeln!(out, "| scenario | likelihood | application | path | outage | loss |");
@@ -164,6 +198,115 @@ pub fn markdown(env: &Environment, candidate: &Candidate) -> String {
         );
     }
 
+    out
+}
+
+/// Renders the `dsd explain` breakdown: the paper-style attribution
+/// tables (outlay by resource kind, per-application dominant scenarios
+/// with explicit likelihood weighting) plus the marginal cost of every
+/// chosen technique against its runner-up. `top` bounds the per-app and
+/// overall scenario tables.
+#[must_use]
+pub fn explain_text(
+    env: &Environment,
+    attribution: &CostAttribution,
+    marginals: &[TechniqueMarginal],
+    top: usize,
+) -> String {
+    let mut out = String::new();
+    let cost = &attribution.cost;
+
+    let _ = writeln!(out, "objective: {}", env.objective.explain(cost));
+    let _ = writeln!(
+        out,
+        "line items reproduce the evaluated total bit-for-bit: {} = {}",
+        attribution.total(),
+        cost.total()
+    );
+
+    let _ = writeln!(out, "\noutlay by resource kind:");
+    for (kind, purchase, n) in attribution.outlay_by_kind() {
+        let _ = writeln!(
+            out,
+            "  {:<14} x{:<3} purchase {:<16} amortized {}/yr",
+            kind.label(),
+            n,
+            purchase.to_string(),
+            purchase.amortized_annual()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {:<14}      annual   {}/yr",
+        "vault media", attribution.vault_media_annual
+    );
+    let _ = writeln!(out, "  annual outlay: {}", attribution.outlay_annual());
+
+    let (outage_total, loss_total) = attribution.penalty_totals();
+    let _ = writeln!(
+        out,
+        "\npenalties (likelihood-weighted): outage {} + loss {} = {}/yr",
+        outage_total,
+        loss_total,
+        outage_total + loss_total
+    );
+    for (app, (outage, loss)) in attribution.per_app_totals() {
+        let workload = &env.workloads[app];
+        let _ = writeln!(out, "  {} (outage {}, loss {}):", workload.name, outage, loss);
+        for item in attribution.top_items_for(app, top) {
+            let _ = writeln!(
+                out,
+                "    {:<34} {:<12} x {:<14} -> {}/yr via {}",
+                item.scope.to_string(),
+                item.likelihood.to_string(),
+                (item.outage_raw + item.loss_raw).to_string(),
+                item.weighted_total(),
+                item.path
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\ntop {top} dominant scenarios overall:");
+    let grand_total = cost.total().as_f64();
+    for (rank, item) in attribution.top_items(top).iter().enumerate() {
+        let share = if grand_total > 0.0 {
+            item.weighted_total().as_f64() / grand_total * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  {:>2}. {:<28} {:<34} {}/yr ({share:.1}% of total)",
+            rank + 1,
+            env.workloads[item.app].name,
+            item.scope.to_string(),
+            item.weighted_total()
+        );
+    }
+
+    let _ = writeln!(out, "\nmarginal cost of chosen techniques vs runner-up:");
+    for m in marginals {
+        match &m.runner_up {
+            Some(r) => {
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {:<34} runner-up {:<34} marginal {}{}/yr",
+                    env.workloads[m.app].name,
+                    m.chosen,
+                    r.technique,
+                    if r.marginal >= 0.0 { "+" } else { "-" },
+                    Dollars::new(r.marginal.abs())
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {:<34} no feasible alternative",
+                    env.workloads[m.app].name, m.chosen
+                );
+            }
+        }
+    }
     out
 }
 

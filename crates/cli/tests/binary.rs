@@ -148,9 +148,21 @@ fn design_records_trace_and_metrics() {
     let chrome = serde_json::parse(&chrome_text).expect("chrome trace parses");
     assert!(matches!(chrome, serde::Value::Seq(ref v) if !v.is_empty()));
 
-    // obs summary digests the pair.
+    // The solver publishes per-move-type convergence counters and the
+    // final cost gauges for downstream diffing.
+    assert!(snapshot.counter("solver.trials.reassign").unwrap_or(0) > 0);
+    assert!(snapshot.gauge("cost.total").is_some());
+
+    // obs summary digests the pair, including convergence diagnostics.
     let summary = dsd()
-        .args(["obs", "summary", trace_path.to_str().unwrap(), metrics_path.to_str().unwrap()])
+        .args([
+            "obs",
+            "summary",
+            trace_path.to_str().unwrap(),
+            metrics_path.to_str().unwrap(),
+            "--top",
+            "5",
+        ])
         .output()
         .expect("runs");
     assert!(summary.status.success(), "{}", String::from_utf8_lossy(&summary.stderr));
@@ -158,6 +170,100 @@ fn design_records_trace_and_metrics() {
     assert!(text.contains("top events by cumulative time"));
     assert!(text.contains("objective vs evaluations"));
     assert!(text.contains("metrics:"));
+    assert!(text.contains("move acceptance rates:"));
+    assert!(text.contains("delta cache:"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `dsd explain` reproduces the saved design's objective bit-for-bit
+/// (it exits nonzero otherwise), and `dsd obs diff` of a run against
+/// itself reports zero deltas while a doctored run trips
+/// `--fail-on-regression`.
+#[test]
+fn explain_and_obs_diff_through_the_binary() {
+    let dir = std::env::temp_dir().join(format!("dsd-explain-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("env.toml");
+    let design_path = dir.join("design.json");
+    let explain_path = dir.join("explain.json");
+
+    let init = dsd().arg("init").output().expect("runs");
+    assert!(init.status.success());
+    std::fs::write(&spec_path, &init.stdout).unwrap();
+
+    let design = dsd()
+        .args([
+            "design",
+            spec_path.to_str().unwrap(),
+            "--budget",
+            "15",
+            "--seed",
+            "3",
+            "--save",
+            design_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(design.status.success(), "{}", String::from_utf8_lossy(&design.stderr));
+
+    // explain: paper-style breakdown + machine-readable report.
+    let explain = dsd()
+        .args([
+            "explain",
+            spec_path.to_str().unwrap(),
+            design_path.to_str().unwrap(),
+            "--top",
+            "3",
+            "--json",
+            explain_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(explain.status.success(), "{}", String::from_utf8_lossy(&explain.stderr));
+    let text = String::from_utf8_lossy(&explain.stdout);
+    assert!(text.contains("line items reproduce the evaluated total bit-for-bit"));
+    assert!(text.contains("outlay by resource kind:"));
+    assert!(text.contains("marginal cost of chosen techniques vs runner-up:"));
+    let explain_json = std::fs::read_to_string(&explain_path).unwrap();
+    let report = serde_json::parse(&explain_json).expect("explain JSON parses");
+    assert!(report.get("attribution").is_some());
+    assert!(report.get("marginals").is_some());
+
+    // Self-diff: numerically identical, zero regressions, exit 0 even
+    // with --fail-on-regression.
+    let diff = dsd()
+        .args([
+            "obs",
+            "diff",
+            explain_path.to_str().unwrap(),
+            explain_path.to_str().unwrap(),
+            "--fail-on-regression",
+        ])
+        .output()
+        .expect("runs");
+    assert!(diff.status.success(), "{}", String::from_utf8_lossy(&diff.stderr));
+    let diff_text = String::from_utf8_lossy(&diff.stdout);
+    assert!(diff_text.contains("runs are numerically identical: zero deltas"));
+    assert!(diff_text.contains("summary: 0 regressions"));
+
+    // A doctored run with a higher cost trips --fail-on-regression.
+    let worse_path = dir.join("worse.json");
+    std::fs::write(&worse_path, r#"{"gauges": {"cost.total": 200.0}}"#).unwrap();
+    let base_path = dir.join("base.json");
+    std::fs::write(&base_path, r#"{"gauges": {"cost.total": 100.0}}"#).unwrap();
+    let regressed = dsd()
+        .args([
+            "obs",
+            "diff",
+            base_path.to_str().unwrap(),
+            worse_path.to_str().unwrap(),
+            "--fail-on-regression",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!regressed.status.success(), "a cost regression must exit nonzero");
+    assert!(String::from_utf8_lossy(&regressed.stdout).contains("REGRESSED"));
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -170,10 +170,12 @@ impl<'e> ConfigurationSolver<'e> {
                 let Ok(undo) = candidate.apply_move(self.env, &mv) else {
                     continue;
                 };
+                obs::add(mv.trial_counter(), 1);
                 let cost = self.env.score(candidate.evaluate_with(self.env, scache));
                 if cost < best_cost {
                     best_cost = cost;
                     best_config = config;
+                    obs::add(mv.accept_counter(), 1);
                 } else {
                     candidate.undo_move(undo);
                 }
@@ -213,6 +215,7 @@ impl<'e> ConfigurationSolver<'e> {
                 let Ok(undo) = candidate.apply_move(self.env, &mv) else {
                     continue;
                 };
+                obs::add(mv.trial_counter(), 1);
                 let cost = self.env.score(candidate.evaluate_with(self.env, scache));
                 candidate.undo_move(undo);
                 if cost < base && best.as_ref().is_none_or(|&(c, _)| cost < c) {
@@ -222,6 +225,7 @@ impl<'e> ConfigurationSolver<'e> {
 
             match best {
                 Some((_, mv)) => {
+                    obs::add(mv.accept_counter(), 1);
                     candidate
                         .apply_move(self.env, &mv)
                         .expect("re-applying an accepted addition from the same state");

@@ -70,6 +70,44 @@ pub enum Move {
     },
 }
 
+impl Move {
+    /// Short taxonomy label of the move's kind, used for per-move-type
+    /// convergence diagnostics.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Move::Reassign { .. } => "reassign",
+            Move::AddLinks { .. } => "add_links",
+            Move::AddTapeDrives { .. } => "add_tape_drives",
+            Move::AddArrayUnits { .. } => "add_array_units",
+        }
+    }
+
+    /// Metric counter name for trials of this move kind. The solvers bump
+    /// it once per applied-and-evaluated trial; paired with
+    /// [`Move::accept_counter`] it yields per-move-type acceptance rates.
+    #[must_use]
+    pub fn trial_counter(&self) -> &'static str {
+        match self {
+            Move::Reassign { .. } => "solver.trials.reassign",
+            Move::AddLinks { .. } => "solver.trials.add_links",
+            Move::AddTapeDrives { .. } => "solver.trials.add_tape_drives",
+            Move::AddArrayUnits { .. } => "solver.trials.add_array_units",
+        }
+    }
+
+    /// Metric counter name for accepted (committed) moves of this kind.
+    #[must_use]
+    pub fn accept_counter(&self) -> &'static str {
+        match self {
+            Move::Reassign { .. } => "solver.accepted.reassign",
+            Move::AddLinks { .. } => "solver.accepted.add_links",
+            Move::AddTapeDrives { .. } => "solver.accepted.add_tape_drives",
+            Move::AddArrayUnits { .. } => "solver.accepted.add_array_units",
+        }
+    }
+}
+
 /// The devices a move mutated — consulted by undo to re-mark the
 /// evaluation memo's stale sets (the restore changes those devices'
 /// state right back).

@@ -385,6 +385,7 @@ impl<'e> DesignSolver<'e> {
                 let Ok(undo) = candidate.apply_move(self.env, &mv) else {
                     continue;
                 };
+                obs::add(mv.trial_counter(), 1);
                 let cost = self.env.score(candidate.evaluate_with(self.env, scache));
                 stats.nodes_evaluated += 1;
                 candidate.undo_move(undo);
@@ -402,6 +403,7 @@ impl<'e> DesignSolver<'e> {
                         vec![("app", app.0.into()), ("cost", cost.as_f64().into())],
                     );
                 }
+                obs::add(mv.accept_counter(), 1);
                 candidate
                     .apply_move(self.env, &mv)
                     .expect("re-applying the chosen placement from the same state");

@@ -49,6 +49,7 @@ mod design_solver;
 mod env;
 pub mod eval_cache;
 mod exhaustive;
+mod explain;
 pub mod heuristics;
 mod objective;
 mod parallel;
@@ -63,6 +64,7 @@ pub use dsd_recovery::{ScenarioDigest, ScenarioOutcomeCache};
 pub use env::Environment;
 pub use eval_cache::{CacheStats, CandidateKey, EvalCache, DEFAULT_CACHE_CAPACITY};
 pub use exhaustive::{exhaustive_optimal, ExhaustiveResult, MAX_COMBINATIONS};
+pub use explain::{technique_marginals, CostAttribution, RunnerUp, TechniqueMarginal};
 pub use objective::Objective;
 pub use parallel::{parallel_solve, parallel_solve_with_cache};
 pub use reconfigure::Reconfigurator;

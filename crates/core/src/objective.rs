@@ -54,6 +54,33 @@ impl Objective {
             Objective::PenaltiesWithOutlayCap { cap } => cost.outlay <= *cap,
         }
     }
+
+    /// Human-readable decomposition of how this objective collapses a
+    /// breakdown into the solver's scalar, for `dsd explain`.
+    #[must_use]
+    pub fn explain(&self, cost: &CostBreakdown) -> String {
+        match self {
+            Objective::MinimizeTotal => format!(
+                "minimize total = outlay ${:.0} + penalties ${:.0} = ${:.0}/yr",
+                cost.outlay.as_f64(),
+                cost.penalties.total().as_f64(),
+                self.score(cost).as_f64()
+            ),
+            Objective::PenaltiesWithOutlayCap { cap } => {
+                let overrun = cost.outlay - *cap;
+                format!(
+                    "minimize penalties ${:.0} subject to outlay ${:.0} <= cap ${:.0} \
+                     (overrun ${:.0} charged at {:.0e}x) = ${:.0}",
+                    cost.penalties.total().as_f64(),
+                    cost.outlay.as_f64(),
+                    cap.as_f64(),
+                    overrun.as_f64(),
+                    Self::OVERRUN_WEIGHT,
+                    self.score(cost).as_f64()
+                )
+            }
+        }
+    }
 }
 
 #[cfg(test)]

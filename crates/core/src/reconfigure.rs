@@ -125,6 +125,7 @@ impl Reconfigurator {
             let Ok(undo) = candidate.apply_move(env, &mv) else {
                 continue;
             };
+            dsd_obs::add(mv.trial_counter(), 1);
             let cost = env.score(candidate.evaluate_with(env, scache));
             candidate.undo_move(undo);
             options.push((tid, placement, cost));
@@ -160,6 +161,7 @@ impl Reconfigurator {
             let (tid, placement, _) = options[idx];
             let config = env.catalog[tid].default_config();
             if candidate.try_assign(env, app, tid, config, placement).is_ok() {
+                dsd_obs::add("solver.accepted.reassign", 1);
                 self.record_usage(app, &placement);
                 return true;
             }

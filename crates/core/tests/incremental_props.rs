@@ -241,6 +241,95 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Attribution (ISSUE 5): penalty line items and outlay line items
+    /// must fold bit-identically to the evaluated totals — on the fresh
+    /// full path and after every delta-evaluated move. `verify()` checks
+    /// every component (outlay, outage, loss, per-app map, grand total)
+    /// at the bit level.
+    #[test]
+    fn attribution_is_bit_identical_on_full_and_delta_paths(
+        seed in 0u64..1000,
+        sites in 2usize..4,
+        apps in 2usize..5,
+        steps in 3usize..10,
+    ) {
+        let env = random_env(seed, sites, apps);
+        let Some(mut c) = complete_candidate(&env) else { return Ok(()); };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA77B);
+        let mut scache = ScenarioOutcomeCache::new();
+
+        // Full path: evaluate fresh, then attribute.
+        c.evaluate_with(&env, &mut scache);
+        let baseline = c.attribution(&env);
+        prop_assert!(baseline.verify().is_ok(), "{:?}", baseline.verify());
+
+        // Delta path: after each kept move the candidate's cached cost
+        // came from evaluate_delta; a freshly computed attribution must
+        // reproduce it exactly (stale line items would fail verify()).
+        for step in 0..steps {
+            let Some(mv) = random_move(&env, &c, &mut rng) else { continue; };
+            if c.evaluate_delta(&env, &mv, &mut scache).is_err() { continue; }
+            let attribution = c.attribution(&env);
+            prop_assert!(
+                attribution.verify().is_ok(),
+                "step {}: {:?}", step, attribution.verify()
+            );
+            let (outage, loss) = attribution.penalty_totals();
+            let full = oracle(&env, &c);
+            prop_assert_eq!(outage.as_f64().to_bits(), full.penalties.outage.as_f64().to_bits());
+            prop_assert_eq!(loss.as_f64().to_bits(), full.penalties.loss.as_f64().to_bits());
+        }
+    }
+}
+
+/// Regression (ISSUE 5 satellite): a move that changes only a device
+/// fingerprint — extra links or extra array units, with no assignment
+/// change — must invalidate the memoized evaluation, so an attribution
+/// built against the delta-path cached cost reflects the new outlay
+/// rather than replaying stale line items.
+#[test]
+fn fingerprint_only_moves_invalidate_the_memoized_attribution() {
+    let env = random_env(7, 2, 3);
+    let mut c = complete_candidate(&env).expect("paper-style environment is assignable");
+    let mut scache = ScenarioOutcomeCache::new();
+    let before = c.evaluate_with(&env, &mut scache).clone();
+    let before_attr = c.attribution(&env);
+    before_attr.verify().expect("baseline attribution is exact");
+
+    // Extra array units: always available (every candidate provisions a
+    // primary array), and purely a fingerprint change.
+    let array = c.provision().provisioned_arrays()[0];
+    let (after, _undo) = c
+        .evaluate_delta(&env, &Move::AddArrayUnits { array, extra: 1 }, &mut scache)
+        .expect("adding an array unit applies");
+    assert_ne!(
+        before.outlay.as_f64().to_bits(),
+        after.outlay.as_f64().to_bits(),
+        "an extra array unit must change the outlay"
+    );
+    assert_cost_bits_equal(&after, &oracle(&env, &c));
+    let attr = c.attribution(&env);
+    attr.verify().expect("post-move attribution is exact");
+    assert_ne!(
+        attr.outlay_annual().as_f64().to_bits(),
+        before_attr.outlay_annual().as_f64().to_bits(),
+        "attribution must track the fingerprint-only change, not replay the memo"
+    );
+
+    // Extra links, when the design uses any inter-site route.
+    let routes = c.provision().active_routes();
+    if let Some(&route) = routes.first() {
+        let (after2, _undo) = c
+            .evaluate_delta(&env, &Move::AddLinks { route, extra: 1 }, &mut scache)
+            .expect("adding a link applies");
+        assert_cost_bits_equal(&after2, &oracle(&env, &c));
+        c.attribution(&env).verify().expect("attribution tracks the second fingerprint move");
+    }
+}
+
 /// Regression (ISSUE 4 satellite): the configuration solver's trial
 /// loops — config coordinate descent and the resource-addition loop —
 /// must be clone-free: every trial is an apply/undo move on the one

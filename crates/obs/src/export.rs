@@ -298,6 +298,182 @@ pub fn totals_by_name(records: &[TraceRecord]) -> Vec<SpanTotal> {
     totals
 }
 
+/// One point of the objective-vs-evaluations convergence curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Evaluations performed when the improvement was found.
+    pub evals: f64,
+    /// The new best objective value.
+    pub cost: f64,
+}
+
+/// Extracts the objective-vs-evaluation convergence curve from a parsed
+/// trace: every `solver.improved` instant carrying `evals` and `cost`
+/// arguments, in emission order.
+#[must_use]
+pub fn objective_curve(records: &[TraceRecord]) -> Vec<CurvePoint> {
+    records
+        .iter()
+        .filter(|r| r.name == "solver.improved")
+        .filter_map(|r| Some(CurvePoint { evals: r.num_arg("evals")?, cost: r.num_arg("cost")? }))
+        .collect()
+}
+
+/// How one numeric series moved between two exported runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffClass {
+    /// Identical in both runs.
+    Unchanged,
+    /// Changed in the favorable direction for this series.
+    Improved,
+    /// Changed in the unfavorable direction for this series.
+    Regressed,
+    /// Changed, with no known better/worse direction.
+    Changed,
+    /// Present only in the second run.
+    Added,
+    /// Present only in the first run.
+    Removed,
+}
+
+/// One numeric leaf compared across two exported runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Dotted path of the leaf, e.g. `counters.solver.nodes_evaluated`.
+    pub name: String,
+    /// Value in the first run, when present.
+    pub a: Option<f64>,
+    /// Value in the second run, when present.
+    pub b: Option<f64>,
+}
+
+impl DiffEntry {
+    /// Signed absolute delta `b - a`; `None` unless present in both.
+    #[must_use]
+    pub fn delta(&self) -> Option<f64> {
+        Some(self.b? - self.a?)
+    }
+
+    /// Percentage delta relative to the first run; `None` unless both
+    /// present and `a != 0`.
+    #[must_use]
+    pub fn pct_delta(&self) -> Option<f64> {
+        let (a, b) = (self.a?, self.b?);
+        if a == 0.0 {
+            return None;
+        }
+        Some((b - a) / a * 100.0)
+    }
+
+    /// Classification of the change, using [`series_direction`].
+    #[must_use]
+    pub fn classify(&self) -> DiffClass {
+        match (self.a, self.b) {
+            (None, None) => DiffClass::Unchanged,
+            (None, Some(_)) => DiffClass::Added,
+            (Some(_), None) => DiffClass::Removed,
+            (Some(a), Some(b)) => {
+                if a.to_bits() == b.to_bits() {
+                    DiffClass::Unchanged
+                } else {
+                    match series_direction(&self.name) {
+                        Some(true) if b > a => DiffClass::Regressed,
+                        Some(true) => DiffClass::Improved,
+                        Some(false) if b < a => DiffClass::Regressed,
+                        Some(false) => DiffClass::Improved,
+                        None => DiffClass::Changed,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Whether lower values are better for a series, judged by its name:
+/// `Some(true)` = lower is better (costs, penalties, times, misses),
+/// `Some(false)` = higher is better (hits, rates), `None` = neutral.
+#[must_use]
+pub fn series_direction(name: &str) -> Option<bool> {
+    let lower = name.to_ascii_lowercase();
+    const LOWER_IS_BETTER: &[&str] = &[
+        "cost",
+        "penalt",
+        "outlay",
+        "objective",
+        "total",
+        "time",
+        "latency",
+        "miss",
+        "overrun",
+        "failures",
+        "recomputed",
+        "clones",
+        "makespan",
+    ];
+    const HIGHER_IS_BETTER: &[&str] = &["hit", "evals_per_sec", "availability"];
+    if LOWER_IS_BETTER.iter().any(|pat| lower.contains(pat)) {
+        return Some(true);
+    }
+    if HIGHER_IS_BETTER.iter().any(|pat| lower.contains(pat)) {
+        return Some(false);
+    }
+    None
+}
+
+fn flatten_into(value: &Value, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match value {
+        Value::Int(i) => out.push((prefix.to_string(), *i as f64)),
+        Value::Float(f) => out.push((prefix.to_string(), *f)),
+        Value::Map(entries) => {
+            for (k, v) in entries {
+                // Histogram bucket arrays are layout detail, not series.
+                if k == "buckets" {
+                    continue;
+                }
+                let path = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                flatten_into(v, &path, out);
+            }
+        }
+        Value::Seq(items) => {
+            for (i, v) in items.iter().enumerate() {
+                let path = if prefix.is_empty() { i.to_string() } else { format!("{prefix}.{i}") };
+                flatten_into(v, &path, out);
+            }
+        }
+        Value::Null | Value::Bool(_) | Value::Str(_) => {}
+    }
+}
+
+/// Flattens every numeric leaf of a JSON value into `(dotted.path, value)`
+/// pairs, in document order. Histogram `buckets` arrays are skipped.
+#[must_use]
+pub fn flatten_numeric(value: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    flatten_into(value, "", &mut out);
+    out
+}
+
+/// Compares the numeric leaves of two exported runs (metrics snapshots,
+/// explain reports — any JSON), returning one [`DiffEntry`] per path in
+/// the union, sorted by path. A run diffed against itself yields only
+/// [`DiffClass::Unchanged`] entries.
+#[must_use]
+pub fn diff_numeric(a: &Value, b: &Value) -> Vec<DiffEntry> {
+    let left: std::collections::BTreeMap<String, f64> = flatten_numeric(a).into_iter().collect();
+    let right: std::collections::BTreeMap<String, f64> = flatten_numeric(b).into_iter().collect();
+    let mut names: Vec<&String> = left.keys().chain(right.keys()).collect();
+    names.sort();
+    names.dedup();
+    names
+        .into_iter()
+        .map(|name| DiffEntry {
+            name: name.clone(),
+            a: left.get(name).copied(),
+            b: right.get(name).copied(),
+        })
+        .collect()
+}
+
 #[cfg(all(test, not(feature = "off")))]
 mod tests {
     use super::*;
@@ -335,6 +511,90 @@ mod tests {
         let refit = records.iter().find(|r| r.name == "refit.round").expect("refit");
         assert_eq!(refit.kind, "span");
         assert!(refit.dur_us >= 0.0);
+    }
+
+    #[test]
+    fn objective_curve_extracts_improvements_in_order() {
+        let r = Recorder::new();
+        {
+            let _g = r.install();
+            instant_with(
+                "solver.improved",
+                "solver",
+                vec![("evals", ArgValue::Int(5)), ("cost", ArgValue::Float(90.0))],
+            );
+            instant_with("greedy.place", "solver", vec![("app", ArgValue::Int(0))]);
+            instant_with(
+                "solver.improved",
+                "solver",
+                vec![("evals", ArgValue::Int(12)), ("cost", ArgValue::Float(70.0))],
+            );
+        }
+        let records = parse_jsonl(&trace_jsonl(&r.drain_events())).expect("parses");
+        let curve = objective_curve(&records);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0], CurvePoint { evals: 5.0, cost: 90.0 });
+        assert_eq!(curve[1], CurvePoint { evals: 12.0, cost: 70.0 });
+    }
+
+    fn map(entries: Vec<(&str, Value)>) -> Value {
+        Value::Map(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    #[test]
+    fn self_diff_is_entirely_unchanged() {
+        let run = map(vec![
+            ("counters", map(vec![("solver.nodes_evaluated", Value::Int(42))])),
+            ("gauges", map(vec![("cost.total", Value::Float(123.5))])),
+        ]);
+        let entries = diff_numeric(&run, &run);
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().all(|e| e.classify() == DiffClass::Unchanged));
+        assert!(entries.iter().all(|e| e.delta() == Some(0.0)));
+    }
+
+    #[test]
+    fn diff_classifies_regressions_by_series_direction() {
+        let a = map(vec![
+            ("cost.total", Value::Float(100.0)),
+            ("cache.hit", Value::Int(50)),
+            ("nodes", Value::Int(10)),
+            ("gone", Value::Int(1)),
+        ]);
+        let b = map(vec![
+            ("cost.total", Value::Float(110.0)),
+            ("cache.hit", Value::Int(40)),
+            ("nodes", Value::Int(11)),
+            ("new", Value::Int(1)),
+        ]);
+        let entries = diff_numeric(&a, &b);
+        let by_name = |n: &str| entries.iter().find(|e| e.name == n).expect("entry");
+        assert_eq!(by_name("cost.total").classify(), DiffClass::Regressed);
+        assert!((by_name("cost.total").pct_delta().unwrap() - 10.0).abs() < 1e-12);
+        assert_eq!(by_name("cache.hit").classify(), DiffClass::Regressed, "hits fell");
+        assert_eq!(by_name("nodes").classify(), DiffClass::Changed, "neutral series");
+        assert_eq!(by_name("gone").classify(), DiffClass::Removed);
+        assert_eq!(by_name("new").classify(), DiffClass::Added);
+    }
+
+    #[test]
+    fn flatten_skips_histogram_buckets_and_recurses_seqs() {
+        let v = map(vec![(
+            "histograms",
+            map(vec![(
+                "solver.eval_latency",
+                map(vec![
+                    ("count", Value::Int(3)),
+                    ("buckets", Value::Seq(vec![Value::Int(1), Value::Int(2)])),
+                    ("quantiles", Value::Seq(vec![Value::Float(0.5)])),
+                ]),
+            )]),
+        )]);
+        let flat = flatten_numeric(&v);
+        let names: Vec<&str> = flat.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"histograms.solver.eval_latency.count"));
+        assert!(names.contains(&"histograms.solver.eval_latency.quantiles.0"));
+        assert!(!names.iter().any(|n| n.contains("buckets")));
     }
 
     #[test]

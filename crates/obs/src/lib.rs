@@ -53,6 +53,7 @@ mod recorder;
 pub use event::{ArgValue, Event, EventKind};
 pub use metrics::{
     BucketSnapshot, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    MoveRates,
 };
 pub use recorder::{
     add, current, enabled, flush, gauge, instant, instant_with, observe, span, InstallGuard,

@@ -362,6 +362,63 @@ impl MetricsSnapshot {
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.get(name)
     }
+
+    /// A gauge's value, when present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Per-move-type trial/acceptance rates, paired from the solvers'
+    /// `solver.trials.<kind>` / `solver.accepted.<kind>` counters. One
+    /// entry per kind that recorded at least one trial or acceptance,
+    /// in name order.
+    #[must_use]
+    pub fn move_rates(&self) -> Vec<MoveRates> {
+        let mut kinds: Vec<String> = self
+            .counters
+            .keys()
+            .filter_map(|name| {
+                name.strip_prefix("solver.trials.")
+                    .or_else(|| name.strip_prefix("solver.accepted."))
+                    .map(str::to_string)
+            })
+            .collect();
+        kinds.sort();
+        kinds.dedup();
+        kinds
+            .into_iter()
+            .map(|kind| MoveRates {
+                trials: self.counter(&format!("solver.trials.{kind}")).unwrap_or(0),
+                accepted: self.counter(&format!("solver.accepted.{kind}")).unwrap_or(0),
+                kind,
+            })
+            .collect()
+    }
+}
+
+/// Trial and acceptance counts of one move kind, for convergence
+/// diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoveRates {
+    /// Move-kind label (`reassign`, `add_links`, ...).
+    pub kind: String,
+    /// Applied-and-evaluated trials.
+    pub trials: u64,
+    /// Trials committed into the design.
+    pub accepted: u64,
+}
+
+impl MoveRates {
+    /// Accepted / trials, `None` when no trials ran.
+    #[must_use]
+    pub fn acceptance_rate(&self) -> Option<f64> {
+        if self.trials == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        Some(self.accepted as f64 / self.trials as f64)
+    }
 }
 
 #[cfg(test)]
@@ -377,7 +434,26 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("a"), Some(7));
         assert_eq!(snap.gauges.get("g"), Some(&2.5));
+        assert_eq!(snap.gauge("g"), Some(2.5));
         assert_eq!(snap.series_count(), 2);
+    }
+
+    #[test]
+    fn move_rates_pair_trial_and_accept_counters() {
+        let reg = MetricsRegistry::new();
+        reg.counter("solver.trials.reassign").add(10);
+        reg.counter("solver.accepted.reassign").add(4);
+        reg.counter("solver.trials.add_links").add(3);
+        reg.counter("unrelated").add(1);
+        let rates = reg.snapshot().move_rates();
+        assert_eq!(rates.len(), 2);
+        assert_eq!(rates[0].kind, "add_links");
+        assert_eq!(rates[0].trials, 3);
+        assert_eq!(rates[0].accepted, 0);
+        assert_eq!(rates[0].acceptance_rate(), Some(0.0));
+        assert_eq!(rates[1].kind, "reassign");
+        assert_eq!(rates[1].acceptance_rate(), Some(0.4));
+        assert_eq!(MoveRates { kind: "x".into(), trials: 0, accepted: 0 }.acceptance_rate(), None);
     }
 
     #[test]

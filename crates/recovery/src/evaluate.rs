@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 use dsd_failure::{FailureScenario, FailureScope};
 use dsd_protection::{CopyKind, PropagationDelays};
 use dsd_resources::{DeviceRef, Provision};
-use dsd_units::{Dollars, MegabytesPerSec, TimeSpan};
+use dsd_units::{Dollars, MegabytesPerSec, PerYear, TimeSpan};
 use dsd_workload::{AppId, WorkloadSet};
 
 use crate::policy::RecoveryPolicy;
@@ -73,6 +73,60 @@ pub struct ScenarioOutcome {
     pub scope: FailureScope,
     /// Per-affected-application outcomes, in app order.
     pub outcomes: Vec<AppOutcome>,
+}
+
+/// One likelihood-weighted penalty line item: a single
+/// (application × failure scenario) cell of the paper's penalty tables
+/// (§3, Tables 4–6), with the weighting shown explicitly.
+///
+/// Items are recorded in the exact order the accumulation visits them
+/// (scenario order, then app order within a scenario), so folding
+/// `outage` / `loss` left-to-right reproduces the matching
+/// [`PenaltySummary`] totals bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PenaltyItem {
+    /// The failure scenario's scope.
+    pub scope: FailureScope,
+    /// Annual likelihood of the scenario.
+    pub likelihood: PerYear,
+    /// The affected application.
+    pub app: AppId,
+    /// The recovery path taken.
+    pub path: RecoveryPath,
+    /// Data outage time in this scenario.
+    pub recovery_time: TimeSpan,
+    /// Recent data loss time in this scenario.
+    pub loss_time: TimeSpan,
+    /// Unweighted outage penalty (per occurrence of the scenario).
+    pub outage_raw: Dollars,
+    /// Unweighted recent-loss penalty (per occurrence of the scenario).
+    pub loss_raw: Dollars,
+    /// Likelihood-weighted expected annual outage penalty.
+    pub outage: Dollars,
+    /// Likelihood-weighted expected annual recent-loss penalty.
+    pub loss: Dollars,
+}
+
+impl PenaltyItem {
+    /// Weighted outage + loss contribution of this item.
+    #[must_use]
+    pub fn weighted_total(&self) -> Dollars {
+        self.outage + self.loss
+    }
+
+    /// Folds a slice of items back into `(outage, loss)` totals, in item
+    /// order — bit-identical to the [`PenaltySummary`] the items were
+    /// recorded alongside.
+    #[must_use]
+    pub fn fold_totals(items: &[PenaltyItem]) -> (Dollars, Dollars) {
+        let mut outage = Dollars::ZERO;
+        let mut loss = Dollars::ZERO;
+        for item in items {
+            outage += item.outage;
+            loss += item.loss;
+        }
+        (outage, loss)
+    }
 }
 
 /// Expected annual penalties, likelihood-weighted over all scenarios
@@ -451,6 +505,31 @@ impl<'a> Evaluator<'a> {
         (summary, details)
     }
 
+    /// [`Self::annual_penalties`] with full cost attribution: alongside
+    /// the totals, records one [`PenaltyItem`] per
+    /// (scenario × affected application), in accumulation order. The
+    /// items' weighted fields are the exact values folded into the
+    /// summary, so [`PenaltyItem::fold_totals`] over the returned items
+    /// is bit-identical to the summary's `outage` / `loss` — and, by the
+    /// delta-evaluation oracle invariant, to any cached or incremental
+    /// evaluation of the same design.
+    #[must_use]
+    pub fn annual_penalties_attributed(
+        &self,
+        protections: &[AppProtection],
+        scenarios: &[FailureScenario],
+    ) -> (PenaltySummary, Vec<PenaltyItem>) {
+        let mut penalties_span = dsd_obs::span("recovery.annual_penalties", "recovery");
+        penalties_span.arg("scenarios", scenarios.len());
+        let mut summary = PenaltySummary::default();
+        let mut items = Vec::new();
+        for scenario in scenarios {
+            let outcome = self.evaluate_scenario(protections, &scenario.scope);
+            accumulate_items(self.workloads, &mut summary, scenario, &outcome, Some(&mut items));
+        }
+        (summary, items)
+    }
+
     /// [`Self::annual_penalties`] with scope-keyed scenario memoization:
     /// a scenario whose dependency-slice digest matches a cached entry
     /// replays the stored outcome instead of re-scheduling it. The
@@ -530,16 +609,46 @@ fn accumulate(
     scenario: &FailureScenario,
     outcome: &ScenarioOutcome,
 ) {
+    accumulate_items(workloads, summary, scenario, outcome, None);
+}
+
+/// [`accumulate`], optionally recording one [`PenaltyItem`] per affected
+/// application as it folds. The weighted `outage` / `loss` stored in each
+/// item are the very values added to the summary, so an in-order fold of
+/// the items reproduces the summary bit-for-bit.
+fn accumulate_items(
+    workloads: &WorkloadSet,
+    summary: &mut PenaltySummary,
+    scenario: &FailureScenario,
+    outcome: &ScenarioOutcome,
+    mut items: Option<&mut Vec<PenaltyItem>>,
+) {
     for o in &outcome.outcomes {
         let app = &workloads[o.app];
         let model = app.penalty_model();
-        let outage = scenario.likelihood * model.outage_penalty(o.recovery_time);
-        let loss = scenario.likelihood * model.loss_penalty(o.loss_time);
+        let outage_raw = model.outage_penalty(o.recovery_time);
+        let loss_raw = model.loss_penalty(o.loss_time);
+        let outage = scenario.likelihood * outage_raw;
+        let loss = scenario.likelihood * loss_raw;
         summary.outage += outage;
         summary.loss += loss;
         let entry = summary.per_app.entry(o.app).or_insert((Dollars::ZERO, Dollars::ZERO));
         entry.0 += outage;
         entry.1 += loss;
+        if let Some(list) = items.as_deref_mut() {
+            list.push(PenaltyItem {
+                scope: outcome.scope,
+                likelihood: scenario.likelihood,
+                app: o.app,
+                path: o.path,
+                recovery_time: o.recovery_time,
+                loss_time: o.loss_time,
+                outage_raw,
+                loss_raw,
+                outage,
+                loss,
+            });
+        }
     }
 }
 
@@ -764,6 +873,31 @@ mod tests {
             .collect();
         let (summary2, _) = ev.annual_penalties(std::slice::from_ref(&prot), &doubled);
         assert!((summary2.total().as_f64() - 2.0 * summary.total().as_f64()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn attributed_penalties_match_the_totals_bit_for_bit() {
+        let (w, p, prot) = setup("sync mirror (F) with backup");
+        let ev = Evaluator::new(&w, &p, RecoveryPolicy::default());
+        let model = FailureModel::new(FailureRates::case_study());
+        let scenarios = model.enumerate([(AppId(0), prot.placement.primary)]);
+
+        let (plain, details) = ev.annual_penalties(std::slice::from_ref(&prot), &scenarios);
+        let (attributed, items) =
+            ev.annual_penalties_attributed(std::slice::from_ref(&prot), &scenarios);
+        assert_eq!(plain, attributed, "attribution must not perturb the totals");
+
+        let outcomes: usize = details.iter().map(|d| d.outcomes.len()).sum();
+        assert_eq!(items.len(), outcomes, "one item per (scenario x affected app)");
+
+        let (outage, loss) = PenaltyItem::fold_totals(&items);
+        assert_eq!(outage.as_f64().to_bits(), plain.outage.as_f64().to_bits());
+        assert_eq!(loss.as_f64().to_bits(), plain.loss.as_f64().to_bits());
+        for item in &items {
+            let weighted = item.likelihood * item.outage_raw;
+            assert_eq!(weighted.as_f64().to_bits(), item.outage.as_f64().to_bits());
+            assert!(item.weighted_total().as_f64() >= 0.0);
+        }
     }
 
     #[test]

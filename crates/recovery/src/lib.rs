@@ -35,7 +35,7 @@ mod survival;
 mod vulnerability;
 
 pub use evaluate::{
-    AppOutcome, Availability, Evaluator, PenaltySummary, RecoveryPath, ScenarioOutcome,
+    AppOutcome, Availability, Evaluator, PenaltyItem, PenaltySummary, RecoveryPath, ScenarioOutcome,
 };
 pub use policy::RecoveryPolicy;
 pub use protection::{AppProtection, Placement};

@@ -44,8 +44,8 @@ mod topology;
 
 pub use error::ResourceError;
 pub use provision::{
-    AppFootprint, ArrayRef, ArrayState, ComputeState, DeviceRef, LinkState, Provision,
-    ProvisionCheckpoint, TapeRef, TapeState,
+    AppFootprint, ArrayRef, ArrayState, ComputeState, DeviceRef, LinkState, OutlayItem, OutlayKind,
+    Provision, ProvisionCheckpoint, TapeRef, TapeState,
 };
 pub use spec::{ComputeSpec, DeviceClass, DeviceKind, DeviceSpec, NetworkSpec};
 pub use topology::{Route, RouteId, Site, SiteId, Topology};

@@ -51,6 +51,54 @@ impl fmt::Display for TapeRef {
     }
 }
 
+/// Resource category of one purchase-outlay line item (paper §2.5 cost
+/// model: device outlays plus facility costs of used sites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OutlayKind {
+    /// A provisioned disk array.
+    DiskArray,
+    /// A provisioned tape library (drives + cartridges).
+    TapeLibrary,
+    /// Spare compute servers at a site.
+    SpareCompute,
+    /// Facility cost of a site that hosts at least one device.
+    Facility,
+    /// Provisioned links on an inter-site route.
+    NetworkLink,
+}
+
+impl OutlayKind {
+    /// Human-readable category name for report tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            OutlayKind::DiskArray => "disk arrays",
+            OutlayKind::TapeLibrary => "tape libraries",
+            OutlayKind::SpareCompute => "spare compute",
+            OutlayKind::Facility => "facilities",
+            OutlayKind::NetworkLink => "network links",
+        }
+    }
+}
+
+impl fmt::Display for OutlayKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One line of the itemized purchase outlay: a single device, compute
+/// pool, facility or route, with its unamortized purchase price.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutlayItem {
+    /// Resource category the item belongs to.
+    pub kind: OutlayKind,
+    /// Human-readable identity, e.g. `array@site0/0 (Midrange array)`.
+    pub label: String,
+    /// Unamortized purchase price of this item.
+    pub purchase: Dollars,
+}
+
 /// Identity of any bandwidth-bearing device, used by the recovery
 /// scheduler to detect contention.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -716,35 +764,71 @@ impl Provision {
             .collect()
     }
 
-    /// Unamortized purchase price of the whole provisioned infrastructure,
-    /// including facility costs of used sites.
+    /// Itemized purchase outlay, one line per device, compute pool,
+    /// facility and route, in the exact order [`Provision::purchase_outlay`]
+    /// visits them. Folding the items' `purchase` fields left-to-right
+    /// reproduces the aggregate outlay bit-for-bit — `purchase_outlay` is
+    /// itself implemented as that fold.
     #[must_use]
-    pub fn purchase_outlay(&self) -> Dollars {
-        let mut total = Dollars::ZERO;
+    pub fn outlay_items(&self) -> Vec<OutlayItem> {
+        let mut items = Vec::new();
         for site in self.topology.sites() {
             for slot in 0..site.array_slots.len() {
                 let r = ArrayRef { site: site.id, slot };
                 if let Some(s) = self.array(r) {
                     let spec = &site.array_slots[slot];
-                    total += spec.purchase_cost(s.capacity_units + s.extra_units, 0);
+                    items.push(OutlayItem {
+                        kind: OutlayKind::DiskArray,
+                        label: format!("{r} ({})", spec.name),
+                        purchase: spec.purchase_cost(s.capacity_units + s.extra_units, 0),
+                    });
                 }
             }
             for slot in 0..site.tape_slots.len() {
                 let r = TapeRef { site: site.id, slot };
                 if let Some(s) = self.tape(r) {
                     let spec = &site.tape_slots[slot];
-                    total += spec.purchase_cost(s.cartridges, s.drives + s.extra_drives);
+                    items.push(OutlayItem {
+                        kind: OutlayKind::TapeLibrary,
+                        label: format!("{r} ({})", spec.name),
+                        purchase: spec.purchase_cost(s.cartridges, s.drives + s.extra_drives),
+                    });
                 }
             }
-            total += site.compute.cost_per_server * f64::from(self.compute[site.id.0].total());
+            items.push(OutlayItem {
+                kind: OutlayKind::SpareCompute,
+                label: format!("compute@{} ({} servers)", site.id, self.compute[site.id.0].total()),
+                purchase: site.compute.cost_per_server * f64::from(self.compute[site.id.0].total()),
+            });
             if self.site_in_use(site.id) {
-                total += site.facility_cost;
+                items.push(OutlayItem {
+                    kind: OutlayKind::Facility,
+                    label: format!("facility@{} ({})", site.id, site.name),
+                    purchase: site.facility_cost,
+                });
             }
         }
         for rid in self.topology.route_ids() {
             let st = &self.links[rid.0];
-            total += self.topology.route(rid).network.cost_per_link
-                * f64::from(st.links + st.extra_links);
+            let route = self.topology.route(rid);
+            items.push(OutlayItem {
+                kind: OutlayKind::NetworkLink,
+                label: format!("{rid} ({} links)", st.links + st.extra_links),
+                purchase: route.network.cost_per_link * f64::from(st.links + st.extra_links),
+            });
+        }
+        items
+    }
+
+    /// Unamortized purchase price of the whole provisioned infrastructure,
+    /// including facility costs of used sites. Defined as the in-order fold
+    /// of [`Provision::outlay_items`], so the itemization is bit-identical
+    /// to the aggregate by construction.
+    #[must_use]
+    pub fn purchase_outlay(&self) -> Dollars {
+        let mut total = Dollars::ZERO;
+        for item in self.outlay_items() {
+            total += item.purchase;
         }
         total
     }
@@ -1011,6 +1095,33 @@ mod tests {
         let expected = 375_000.0 + 10.0 * 8_723.0 + 125_000.0 + 1_000_000.0;
         assert_eq!(p.purchase_outlay().as_f64(), expected);
         assert!((p.annual_outlay().as_f64() - expected / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outlay_items_fold_to_the_aggregate_bit_for_bit() {
+        let mut p = Provision::new(topology());
+        p.alloc_array(APP, A0, Gigabytes::new(1300.0), MegabytesPerSec::new(50.0)).unwrap();
+        p.alloc_tape(
+            APP,
+            TapeRef::first(SiteId(1)),
+            Gigabytes::new(500.0),
+            MegabytesPerSec::new(10.0),
+        )
+        .unwrap();
+        p.alloc_compute(APP, SiteId(0), 1).unwrap();
+        p.alloc_network(APP, SiteId(0), SiteId(1), MegabytesPerSec::new(20.0)).unwrap();
+        let items = p.outlay_items();
+        let mut folded = Dollars::ZERO;
+        for item in &items {
+            folded += item.purchase;
+        }
+        assert_eq!(folded.as_f64().to_bits(), p.purchase_outlay().as_f64().to_bits());
+        let kinds: Vec<OutlayKind> = items.iter().map(|i| i.kind).collect();
+        assert!(kinds.contains(&OutlayKind::DiskArray));
+        assert!(kinds.contains(&OutlayKind::TapeLibrary));
+        assert!(kinds.contains(&OutlayKind::SpareCompute));
+        assert!(kinds.contains(&OutlayKind::Facility));
+        assert!(kinds.contains(&OutlayKind::NetworkLink));
     }
 
     #[test]
