@@ -1,0 +1,40 @@
+//! Solver tournament: heuristics vs. exhaustive vs. the lower bound.
+//!
+//! Races greedy / annealing / tabu against the config-grid exhaustive
+//! optimum across a seeded grid of small environments, printing the gap
+//! table and writing `BENCH_tournament.json`. Exits nonzero if any
+//! instance violates the certified ordering
+//! `lower_bound ≤ exhaustive ≤ heuristic` — the optimality certificate
+//! is CI-enforced, not advisory.
+//!
+//! Knobs: `DSD_BUDGET` (iterations per heuristic per instance),
+//! `DSD_SEED`, `DSD_APPS` (largest app count raced, from 2),
+//! `DSD_MAX_EXH` (exhaustive combination ceiling), `DSD_BENCH_DIR`.
+
+use dsd_bench::{env_u64, seed_from_env, write_bench_json};
+use dsd_core::{run_tournament, TournamentConfig};
+use serde::Serialize;
+
+fn main() {
+    let max_apps = env_u64("DSD_APPS", 6).max(2) as usize;
+    let config = TournamentConfig {
+        seed: seed_from_env(),
+        budget: env_u64("DSD_BUDGET", 40),
+        app_counts: (2..=max_apps).collect(),
+        max_exhaustive: u128::from(env_u64("DSD_MAX_EXH", 200_000)),
+    };
+    let report = run_tournament(&config);
+    println!("{report}");
+
+    let path = write_bench_json("tournament", &report.serialize()).expect("write bench json");
+    println!("json written to {}", path.display());
+
+    if report.violations() > 0 {
+        eprintln!(
+            "FAIL: {} bound violation(s), {} ordering violation(s)",
+            report.bound_violations, report.ordering_violations
+        );
+        std::process::exit(1);
+    }
+    println!("certified: lower_bound <= exhaustive <= heuristics on every enumerated instance");
+}

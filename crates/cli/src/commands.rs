@@ -11,8 +11,9 @@ use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 
 use dsd_core::{
-    technique_marginals, Budget, CostAttribution, DesignSolver, Environment, EvalCache,
-    ScenarioOutcomeCache, TechniqueMarginal, DEFAULT_CACHE_CAPACITY,
+    lower_bound, run_tournament, technique_marginals, Budget, Certificate, CostAttribution,
+    DesignSolver, Environment, EvalCache, ScenarioOutcomeCache, TechniqueMarginal,
+    TournamentConfig, DEFAULT_CACHE_CAPACITY,
 };
 use dsd_recovery::Evaluator;
 use dsd_scenarios::experiments::{ablation, figure2, figure3, figure4, sensitivity, table4};
@@ -89,9 +90,12 @@ pub fn cmd_design(
     let env = spec.to_environment()?;
     let mut rng = ChaCha8Rng::seed_from_u64(options.seed);
     let cache = EvalCache::new(DEFAULT_CACHE_CAPACITY);
-    let outcome = DesignSolver::new(&env)
+    let mut outcome = DesignSolver::new(&env)
         .with_cache(&cache)
         .solve(Budget::iterations(options.budget), &mut rng);
+    // Attach the optimality certificate (also publishes the bound.lower /
+    // bound.gap_pct gauges into any installed recorder).
+    outcome.certify(&env);
     let Some(best) = outcome.best.clone() else {
         return Err("no feasible design found within the budget".into());
     };
@@ -131,6 +135,13 @@ pub fn cmd_design(
     let _ = writeln!(text, "outage penalty:  {}", cost.penalties.outage);
     let _ = writeln!(text, "loss penalty:    {}", cost.penalties.loss);
     let _ = writeln!(text, "total:           {}", cost.total());
+    if let Some(cert) = &outcome.bound {
+        let _ = writeln!(
+            text,
+            "certificate:     lower bound {}, gap {:.1}% (dominant term: {})",
+            cert.lower_bound, cert.gap_pct, cert.dominant_term
+        );
+    }
     let stats = outcome.stats;
     let _ = writeln!(text, "search statistics:");
     let _ = writeln!(
@@ -375,6 +386,8 @@ pub struct ExplainReport {
     pub attribution: CostAttribution,
     /// Per-application marginal cost of the chosen technique.
     pub marginals: Vec<TechniqueMarginal>,
+    /// Optimality certificate: relaxation lower bound vs. achieved cost.
+    pub certificate: Certificate,
 }
 
 /// `dsd explain <spec.toml> <design.json> [--top N]` — render the
@@ -398,12 +411,41 @@ pub fn cmd_explain(
     candidate.evaluate(&env);
     let attribution = candidate.attribution(&env);
     attribution.verify().map_err(|e| format!("attribution failed bit-exact verification: {e}"))?;
+    let bound = lower_bound(&env);
+    let certificate = Certificate::new(&bound, candidate.cost().total());
+    certificate.verify().map_err(|e| format!("optimality certificate violated: {e}"))?;
     let mut scache = ScenarioOutcomeCache::new();
     let marginals = technique_marginals(&env, &mut candidate, &mut scache);
-    let text = crate::report::explain_text(&env, &attribution, &marginals, top);
-    let report = ExplainReport { attribution, marginals };
+    let text = crate::report::explain_text(&env, &attribution, &marginals, &certificate, top);
+    let report = ExplainReport { attribution, marginals, certificate };
     let json = serde_json::to_string_pretty(&report)?;
     Ok((text, json))
+}
+
+/// `dsd tournament [--budget N] [--seed N] [--apps N]` — race the
+/// heuristics against the config-grid exhaustive optimum and the
+/// relaxation lower bound across a seeded grid of small environments.
+/// Returns `(text, json, violations)` where `violations` counts
+/// instances breaking the certified `bound <= exhaustive <= heuristic`
+/// ordering (the caller turns a nonzero count into a nonzero exit).
+///
+/// # Errors
+///
+/// Serialization failures only; an infeasible instance simply records
+/// no cost for the affected heuristic.
+pub fn cmd_tournament(
+    options: RunOptions,
+    max_apps: usize,
+) -> Result<(String, String, u64), Box<dyn Error>> {
+    let config = TournamentConfig {
+        seed: options.seed,
+        budget: options.budget,
+        app_counts: (2..=max_apps.max(2)).collect(),
+        ..TournamentConfig::default()
+    };
+    let report = run_tournament(&config);
+    let json = serde_json::to_string_pretty(&report)?;
+    Ok((format!("{report}\n"), json, report.violations()))
 }
 
 /// `dsd obs diff <run-a> <run-b>` — compare two exported runs (metrics
@@ -576,6 +618,71 @@ mod tests {
 
         assert!(cmd_explain("not toml", &json, 3).is_err());
         assert!(cmd_explain(&spec, "not json", 3).is_err());
+    }
+
+    /// Golden snapshot of the explain certificate: the JSON fields
+    /// rebuild a bit-identical [`Certificate`] that still verifies, and
+    /// a tampered achieved cost (below the bound) is rejected.
+    #[test]
+    fn explain_certificate_round_trips_json_and_rejects_tampering() {
+        use dsd_units::Dollars;
+
+        let spec = cmd_init();
+        let (_, json, _) = cmd_design(&spec, RunOptions { budget: 15, seed: 3 }).expect("solvable");
+        let (text, report_json) = cmd_explain(&spec, &json, 3).expect("explains");
+        assert!(text.contains("certificate:"));
+        assert!(text.contains("relaxation lower bound:"));
+        assert!(text.contains("optimality gap:"));
+        assert!(text.contains("dominant relaxation term:"));
+
+        let value = serde_json::parse(&report_json).expect("valid json");
+        let cert = value.get("certificate").expect("certificate section present");
+        let num = |key: &str| match cert.get(key) {
+            Some(serde::Value::Float(f)) => *f,
+            Some(serde::Value::Int(i)) => *i as f64,
+            other => panic!("field `{key}` missing or not numeric: {other:?}"),
+        };
+        let term = match cert.get("dominant_term") {
+            Some(serde::Value::Str(s)) => s.clone(),
+            other => panic!("dominant_term missing: {other:?}"),
+        };
+
+        let rebuilt = Certificate {
+            lower_bound: Dollars::new(num("lower_bound")),
+            achieved: Dollars::new(num("achieved")),
+            gap_pct: num("gap_pct"),
+            dominant_term: term,
+            outlay_floor: Dollars::new(num("outlay_floor")),
+            penalty_floor: Dollars::new(num("penalty_floor")),
+        };
+        // Round-trip is bit-exact: re-serializing the rebuilt certificate
+        // reproduces the snapshot, and the certificate still verifies.
+        assert_eq!(&rebuilt.serialize(), cert, "certificate does not round-trip JSON");
+        rebuilt.verify().expect("round-tripped certificate verifies");
+        assert!(rebuilt.gap_pct >= 0.0);
+        // The gap is consistent with its own fields.
+        let expect_gap = (rebuilt.achieved.as_f64() - rebuilt.lower_bound.as_f64())
+            / rebuilt.lower_bound.as_f64()
+            * 100.0;
+        assert!((rebuilt.gap_pct - expect_gap).abs() < 1e-9);
+
+        // Tampering the achieved cost below the bound must be rejected —
+        // this is the condition that makes `dsd explain` exit nonzero.
+        let mut tampered = rebuilt;
+        tampered.achieved = Dollars::new(tampered.lower_bound.as_f64() * 0.5);
+        assert!(tampered.verify().is_err(), "achieved below bound must fail verification");
+    }
+
+    #[test]
+    fn tournament_races_and_certifies_the_grid() {
+        let (text, json, violations) =
+            cmd_tournament(RunOptions { budget: 6, seed: 11 }, 2).expect("runs");
+        assert_eq!(violations, 0, "{text}");
+        assert!(text.contains("Tournament: 2 instances"));
+        assert!(text.contains("violations: bound=0 ordering=0"));
+        let value = serde_json::parse(&json).expect("valid json");
+        assert!(value.get("instances").is_some());
+        assert!(value.get("summary").is_some());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! dsd experiment table4|figure2..figure7|ablation [--budget N] [--seed N]
 //! dsd obs summary trace.jsonl [metrics.json] [--top N]
 //! dsd obs diff run-a.json run-b.json [--fail-on-regression]
+//! dsd tournament [--budget N] [--seed N] [--apps N] [--json report.json]
 //! ```
 
 use std::error::Error;
@@ -18,11 +19,11 @@ use std::process::ExitCode;
 
 use dsd_cli::commands::{
     cmd_analyze_trace, cmd_design, cmd_evaluate, cmd_experiment, cmd_explain, cmd_init,
-    cmd_obs_diff, cmd_obs_summary, cmd_tables, RunOptions,
+    cmd_obs_diff, cmd_obs_summary, cmd_tables, cmd_tournament, RunOptions,
 };
 
 fn usage() -> &'static str {
-    "usage:\n  dsd init\n  dsd tables\n  dsd design <spec.toml> [--budget N] [--seed N] [--save <design.json>] [--report <report.md>] [--trace <trace.jsonl>] [--metrics <metrics.json>] [--chrome-trace <trace.json>]\n  dsd evaluate <spec.toml> <design.json>\n  dsd explain <spec.toml> <design.json> [--top N] [--json <report.json>]\n  dsd experiment <table4|figure2|figure3|figure4|figure5|figure6|figure7|ablation> [--budget N] [--seed N] [--trace <trace.jsonl>] [--metrics <metrics.json>]\n  dsd analyze-trace <trace.csv>\n  dsd obs summary <trace.jsonl> [<metrics.json>] [--top N]\n  dsd obs diff <run-a.json> <run-b.json> [--fail-on-regression]"
+    "usage:\n  dsd init\n  dsd tables\n  dsd design <spec.toml> [--budget N] [--seed N] [--save <design.json>] [--report <report.md>] [--trace <trace.jsonl>] [--metrics <metrics.json>] [--chrome-trace <trace.json>]\n  dsd evaluate <spec.toml> <design.json>\n  dsd explain <spec.toml> <design.json> [--top N] [--json <report.json>]\n  dsd experiment <table4|figure2|figure3|figure4|figure5|figure6|figure7|ablation> [--budget N] [--seed N] [--trace <trace.jsonl>] [--metrics <metrics.json>]\n  dsd analyze-trace <trace.csv>\n  dsd obs summary <trace.jsonl> [<metrics.json>] [--top N]\n  dsd obs diff <run-a.json> <run-b.json> [--fail-on-regression]\n  dsd tournament [--budget N] [--seed N] [--apps N] [--json <report.json>]"
 }
 
 /// Output-file options pulled from the flags.
@@ -35,6 +36,7 @@ struct OutputPaths {
     chrome_trace: Option<String>,
     json: Option<String>,
     top: Option<usize>,
+    apps: Option<usize>,
     fail_on_regression: bool,
 }
 
@@ -93,6 +95,11 @@ fn parse_flags(args: &[String]) -> Result<(Vec<&str>, RunOptions, OutputPaths), 
                 i += 1;
                 let v = args.get(i).ok_or("--top needs a value")?;
                 out.top = Some(v.parse().map_err(|_| format!("bad top: {v}"))?);
+            }
+            "--apps" => {
+                i += 1;
+                let v = args.get(i).ok_or("--apps needs a value")?;
+                out.apps = Some(v.parse().map_err(|_| format!("bad apps: {v}"))?);
             }
             "--fail-on-regression" => out.fail_on_regression = true,
             flag if flag.starts_with("--") => {
@@ -195,6 +202,17 @@ fn run() -> Result<(), Box<dyn Error>> {
             let trace = fs::read_to_string(trace_path)?;
             let metrics = fs::read_to_string(metrics_path)?;
             print!("{}", cmd_obs_summary(&trace, Some(&metrics), outputs.top.unwrap_or(10))?);
+        }
+        ["tournament"] => {
+            let (text, json, violations) = cmd_tournament(options, outputs.apps.unwrap_or(4))?;
+            print!("{text}");
+            if let Some(path) = outputs.json {
+                fs::write(&path, json)?;
+                println!("tournament report written to {path}");
+            }
+            if violations > 0 {
+                return Err(format!("{violations} certificate violations detected").into());
+            }
         }
         ["obs", "diff", a_path, b_path] => {
             let a = fs::read_to_string(a_path)?;

@@ -5,7 +5,7 @@
 
 use std::fmt::Write as _;
 
-use dsd_core::{Candidate, CostAttribution, Environment, TechniqueMarginal};
+use dsd_core::{Candidate, Certificate, CostAttribution, Environment, TechniqueMarginal};
 use dsd_recovery::Evaluator;
 use dsd_resources::{ArrayRef, DeviceRef, TapeRef};
 use dsd_units::Dollars;
@@ -205,12 +205,14 @@ pub fn markdown(env: &Environment, candidate: &Candidate) -> String {
 /// tables (outlay by resource kind, per-application dominant scenarios
 /// with explicit likelihood weighting) plus the marginal cost of every
 /// chosen technique against its runner-up. `top` bounds the per-app and
-/// overall scenario tables.
+/// overall scenario tables; `certificate` is the relaxation lower bound
+/// checked against the achieved cost.
 #[must_use]
 pub fn explain_text(
     env: &Environment,
     attribution: &CostAttribution,
     marginals: &[TechniqueMarginal],
+    certificate: &Certificate,
     top: usize,
 ) -> String {
     let mut out = String::new();
@@ -222,6 +224,16 @@ pub fn explain_text(
         "line items reproduce the evaluated total bit-for-bit: {} = {}",
         attribution.total(),
         cost.total()
+    );
+
+    let _ = writeln!(out, "\ncertificate:");
+    let _ = writeln!(out, "  relaxation lower bound: {}/yr", certificate.lower_bound);
+    let _ = writeln!(out, "  achieved cost:          {}/yr", certificate.achieved);
+    let _ = writeln!(out, "  optimality gap:         {:.1}%", certificate.gap_pct);
+    let _ = writeln!(
+        out,
+        "  dominant relaxation term: {} (outlay floor {}, penalty floor {})",
+        certificate.dominant_term, certificate.outlay_floor, certificate.penalty_floor
     );
 
     let _ = writeln!(out, "\noutlay by resource kind:");

@@ -225,10 +225,19 @@ fn explain_and_obs_diff_through_the_binary() {
     assert!(text.contains("line items reproduce the evaluated total bit-for-bit"));
     assert!(text.contains("outlay by resource kind:"));
     assert!(text.contains("marginal cost of chosen techniques vs runner-up:"));
+    // The optimality certificate is part of the human-readable output...
+    assert!(text.contains("certificate:"));
+    assert!(text.contains("relaxation lower bound:"));
+    assert!(text.contains("optimality gap:"));
     let explain_json = std::fs::read_to_string(&explain_path).unwrap();
     let report = serde_json::parse(&explain_json).expect("explain JSON parses");
     assert!(report.get("attribution").is_some());
     assert!(report.get("marginals").is_some());
+    // ...and of the machine-readable export.
+    let cert = report.get("certificate").expect("certificate in explain JSON");
+    assert!(cert.get("lower_bound").is_some());
+    assert!(cert.get("gap_pct").is_some());
+    assert!(cert.get("dominant_term").is_some());
 
     // Self-diff: numerically identical, zero regressions, exit 0 even
     // with --fail-on-regression.
@@ -264,6 +273,44 @@ fn explain_and_obs_diff_through_the_binary() {
         .expect("runs");
     assert!(!regressed.status.success(), "a cost regression must exit nonzero");
     assert!(String::from_utf8_lossy(&regressed.stdout).contains("REGRESSED"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `dsd tournament` races the heuristics on a tiny grid, certifies the
+/// `bound <= exhaustive <= heuristic` ordering (exit 0 means zero
+/// violations), and writes the machine-readable report.
+#[test]
+fn tournament_subcommand_certifies_and_writes_json() {
+    let dir = std::env::temp_dir().join(format!("dsd-tournament-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_path = dir.join("tournament.json");
+
+    let out = dsd()
+        .args([
+            "tournament",
+            "--apps",
+            "2",
+            "--budget",
+            "6",
+            "--seed",
+            "11",
+            "--json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Tournament: 2 instances"));
+    assert!(text.contains("violations: bound=0 ordering=0"));
+    assert!(text.contains("heuristic gaps (vs exhaustive | vs bound)"));
+
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    let report = serde_json::parse(&json).expect("tournament JSON parses");
+    assert!(report.get("instances").is_some());
+    assert!(report.get("summary").is_some());
+    assert!(matches!(report.get("bound_violations"), Some(serde::Value::Int(0))));
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -163,6 +163,9 @@ pub struct SolveOutcome {
     /// was attached (its counters are cache-lifetime, not per-run: a
     /// cache shared across restarts or workers accumulates).
     pub cache: Option<CacheStats>,
+    /// Optimality certificate for the best design against the relaxation
+    /// lower bound, filled in by [`SolveOutcome::certify`].
+    pub bound: Option<crate::bounds::Certificate>,
 }
 
 impl SolveOutcome {
@@ -170,6 +173,26 @@ impl SolveOutcome {
     #[must_use]
     pub fn evals_per_sec(&self) -> f64 {
         self.stats.nodes_evaluated as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Computes the relaxation lower bound for `env`, attaches a
+    /// [`crate::bounds::Certificate`] for the best design (if any), and
+    /// publishes the `bound.lower` / `bound.gap_pct` gauges. Returns the
+    /// certificate for convenience.
+    pub fn certify(&mut self, env: &Environment) -> Option<&crate::bounds::Certificate> {
+        let best = self.best.as_ref()?;
+        let lb = crate::bounds::lower_bound(env);
+        let certificate = crate::bounds::Certificate::new(&lb, best.cost().total());
+        certificate.publish();
+        self.bound = Some(certificate);
+        self.bound.as_ref()
+    }
+
+    /// The certified optimality gap in percent, when [`SolveOutcome::certify`]
+    /// has run and a best design exists.
+    #[must_use]
+    pub fn gap_pct(&self) -> Option<f64> {
+        self.bound.as_ref().map(|c| c.gap_pct)
     }
 }
 
@@ -301,6 +324,7 @@ impl<'e> DesignSolver<'e> {
             stats,
             elapsed: tracker.elapsed(),
             cache: self.cache.map(EvalCache::stats),
+            bound: None,
         }
     }
 

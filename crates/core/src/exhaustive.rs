@@ -4,10 +4,13 @@
 //! (§4.3.1), which is why the design solver is a heuristic. For *tiny*
 //! instances — a couple of applications, the Table 2 catalog — joint
 //! enumeration of every technique × placement combination is tractable,
-//! giving the exact optimum. The test suites use this to bound how far
-//! the heuristic lands from optimal where the truth is computable.
+//! giving the exact optimum. The test suites and the tournament harness
+//! use this to bound how far the heuristics land from optimal where the
+//! truth is computable.
 
-use dsd_protection::TechniqueId;
+use std::fmt;
+
+use dsd_protection::{TechniqueConfig, TechniqueId};
 use dsd_recovery::Placement;
 use dsd_units::Dollars;
 use dsd_workload::AppId;
@@ -28,34 +31,109 @@ pub struct ExhaustiveResult {
 }
 
 /// Upper bound on the joint choice space [`exhaustive_optimal`] accepts,
-/// as Π (techniques × placements) per application.
+/// as Π (techniques × configurations × placements) per application.
 pub const MAX_COMBINATIONS: u128 = 2_000_000;
 
-/// Enumerates every joint assignment of class-eligible techniques ×
-/// placements (default configurations) and returns the exact optimum
-/// under the environment's objective.
-///
-/// # Errors
-///
-/// Returns the estimated combination count when it exceeds
-/// [`MAX_COMBINATIONS`] — use the heuristic solver instead.
-pub fn exhaustive_optimal(env: &Environment) -> Result<ExhaustiveResult, u128> {
-    // Per-application choice lists.
-    let mut choices: Vec<(AppId, Vec<(TechniqueId, Placement)>)> = Vec::new();
-    let mut combinations: u128 = 1;
+/// Why an exhaustive enumeration was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExhaustiveError {
+    /// The joint choice space exceeds the configured limit — use the
+    /// heuristic solver instead.
+    SpaceTooLarge {
+        /// Estimated size of the joint choice space (saturating).
+        combinations: u128,
+        /// The limit the estimate was checked against.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for ExhaustiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExhaustiveError::SpaceTooLarge { combinations, limit } => write!(
+                f,
+                "exhaustive space of {combinations} combinations exceeds the limit of {limit}; \
+                 use the heuristic solver"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExhaustiveError {}
+
+/// Knobs for [`exhaustive_optimal_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExhaustiveOptions {
+    /// Refuse spaces larger than this many combinations.
+    pub limit: u128,
+    /// Enumerate each technique's full discrete configuration grid
+    /// ([`dsd_protection::Technique::config_space`]) instead of only the
+    /// default configuration. This is the space the heuristics' `Full`
+    /// polish searches, so with the grid enabled the exhaustive optimum
+    /// is a true floor for addition-free heuristic outcomes.
+    pub config_grid: bool,
+}
+
+impl Default for ExhaustiveOptions {
+    fn default() -> Self {
+        ExhaustiveOptions { limit: MAX_COMBINATIONS, config_grid: false }
+    }
+}
+
+/// One enumerable choice for one application.
+type Choice = (TechniqueId, TechniqueConfig, Placement);
+
+/// Builds the per-application choice lists.
+fn choice_lists(env: &Environment, options: &ExhaustiveOptions) -> Vec<(AppId, Vec<Choice>)> {
+    let mut choices = Vec::with_capacity(env.workloads.len());
     for app in env.workloads.iter() {
         let class = app.class_with(&env.thresholds);
         let mut list = Vec::new();
-        for (tid, _) in env.catalog.eligible_for(class) {
+        for (tid, technique) in env.catalog.eligible_for(class) {
+            let configs = if options.config_grid {
+                technique.config_space()
+            } else {
+                vec![technique.default_config()]
+            };
             for placement in PlacementOptions::enumerate(env, tid) {
-                list.push((tid, placement));
+                for config in &configs {
+                    list.push((tid, *config, placement));
+                }
             }
         }
-        combinations = combinations.saturating_mul(list.len().max(1) as u128);
         choices.push((app.id, list));
     }
-    if combinations > MAX_COMBINATIONS {
-        return Err(combinations);
+    choices
+}
+
+/// Estimated size of the joint choice space [`exhaustive_optimal_with`]
+/// would enumerate: Π per-app choices (saturating at `u128::MAX`).
+#[must_use]
+pub fn combination_count(env: &Environment, options: &ExhaustiveOptions) -> u128 {
+    choice_lists(env, options)
+        .iter()
+        .fold(1u128, |acc, (_, list)| acc.saturating_mul(list.len().max(1) as u128))
+}
+
+/// Enumerates every joint assignment of class-eligible techniques ×
+/// configurations × placements and returns the exact optimum under the
+/// environment's objective. [`exhaustive_optimal`] is the
+/// default-options shorthand.
+///
+/// # Errors
+///
+/// Returns [`ExhaustiveError::SpaceTooLarge`] when the estimated
+/// combination count exceeds `options.limit` (spaces *at* the limit are
+/// enumerated).
+pub fn exhaustive_optimal_with(
+    env: &Environment,
+    options: ExhaustiveOptions,
+) -> Result<ExhaustiveResult, ExhaustiveError> {
+    let choices = choice_lists(env, &options);
+    let combinations =
+        choices.iter().fold(1u128, |acc, (_, list)| acc.saturating_mul(list.len().max(1) as u128));
+    if combinations > options.limit {
+        return Err(ExhaustiveError::SpaceTooLarge { combinations, limit: options.limit });
     }
 
     let mut result = ExhaustiveResult { best: None, feasible: 0, infeasible: 0 };
@@ -65,9 +143,20 @@ pub fn exhaustive_optimal(env: &Environment) -> Result<ExhaustiveResult, u128> {
     Ok(result)
 }
 
+/// Enumerates with [`ExhaustiveOptions::default`]: default technique
+/// configurations only, refusing spaces above [`MAX_COMBINATIONS`].
+///
+/// # Errors
+///
+/// Returns [`ExhaustiveError::SpaceTooLarge`] when the space exceeds
+/// [`MAX_COMBINATIONS`] — use the heuristic solver instead.
+pub fn exhaustive_optimal(env: &Environment) -> Result<ExhaustiveResult, ExhaustiveError> {
+    exhaustive_optimal_with(env, ExhaustiveOptions::default())
+}
+
 fn descend(
     env: &Environment,
-    choices: &[(AppId, Vec<(TechniqueId, Placement)>)],
+    choices: &[(AppId, Vec<Choice>)],
     depth: usize,
     partial: &mut Candidate,
     best_score: &mut Dollars,
@@ -84,10 +173,9 @@ fn descend(
         return;
     }
     let (app, options) = &choices[depth];
-    for (tid, placement) in options {
-        let config = env.catalog[*tid].default_config();
+    for (tid, config, placement) in options {
         let mut next = partial.clone();
-        if next.try_assign(env, *app, *tid, config, *placement).is_err() {
+        if next.try_assign(env, *app, *tid, *config, *placement).is_err() {
             result.infeasible += 1;
             continue;
         }
@@ -165,6 +253,45 @@ mod tests {
     }
 
     #[test]
+    fn config_grid_explores_a_strict_superset() {
+        let env = tiny_env(1);
+        let defaults = ExhaustiveOptions::default();
+        let grid = ExhaustiveOptions { config_grid: true, ..defaults };
+        let n_default = combination_count(&env, &defaults);
+        let n_grid = combination_count(&env, &grid);
+        assert!(n_grid > n_default, "grid {n_grid} must exceed default {n_default}");
+        let best_default =
+            exhaustive_optimal_with(&env, defaults).unwrap().best.unwrap().cost().total();
+        let best_grid = exhaustive_optimal_with(&env, grid).unwrap().best.unwrap().cost().total();
+        assert!(
+            best_grid.as_f64() <= best_default.as_f64() * (1.0 + 1e-9),
+            "a superset search may only improve the optimum"
+        );
+    }
+
+    #[test]
+    fn limit_boundary_is_exact() {
+        let env = tiny_env(2);
+        let count = combination_count(&env, &ExhaustiveOptions::default());
+        assert!(count > 1, "boundary test needs a nontrivial space");
+
+        // At the limit: enumerated.
+        let at = ExhaustiveOptions { limit: count, ..ExhaustiveOptions::default() };
+        assert!(exhaustive_optimal_with(&env, at).is_ok());
+
+        // One above the space: also enumerated.
+        let above = ExhaustiveOptions { limit: count + 1, ..ExhaustiveOptions::default() };
+        assert!(exhaustive_optimal_with(&env, above).is_ok());
+
+        // One below: refused, reporting both figures.
+        let below = ExhaustiveOptions { limit: count - 1, ..ExhaustiveOptions::default() };
+        let err = exhaustive_optimal_with(&env, below).expect_err("space exceeds limit");
+        assert_eq!(err, ExhaustiveError::SpaceTooLarge { combinations: count, limit: count - 1 });
+        let msg = err.to_string();
+        assert!(msg.contains(&count.to_string()) && msg.contains("heuristic solver"), "{msg}");
+    }
+
+    #[test]
     fn oversized_spaces_are_refused() {
         let env = {
             let mk = |i: usize| {
@@ -182,6 +309,8 @@ mod tests {
             )
         };
         let err = exhaustive_optimal(&env).expect_err("space is astronomically large");
-        assert!(err > MAX_COMBINATIONS);
+        let ExhaustiveError::SpaceTooLarge { combinations, limit } = err;
+        assert!(combinations > MAX_COMBINATIONS);
+        assert_eq!(limit, MAX_COMBINATIONS);
     }
 }

@@ -43,13 +43,24 @@ impl Default for AnnealingParams {
 pub struct SimulatedAnnealing<'e> {
     env: &'e Environment,
     params: AnnealingParams,
+    addition_limits: (usize, usize),
 }
 
 impl<'e> SimulatedAnnealing<'e> {
     /// Creates the annealer with default parameters.
     #[must_use]
     pub fn new(env: &'e Environment) -> Self {
-        SimulatedAnnealing { env, params: AnnealingParams::default() }
+        SimulatedAnnealing { env, params: AnnealingParams::default(), addition_limits: (4, 32) }
+    }
+
+    /// Overrides the configuration solver's resource-addition limits
+    /// (quick, full). `(0, 0)` disables additions entirely, confining the
+    /// search to the discrete configuration grid — the space the
+    /// tournament's exhaustive reference enumerates.
+    #[must_use]
+    pub fn with_addition_limits(mut self, quick: usize, full: usize) -> Self {
+        self.addition_limits = (quick, full);
+        self
     }
 
     /// Overrides the schedule (builder style).
@@ -76,13 +87,20 @@ impl<'e> SimulatedAnnealing<'e> {
         let _solve_span = obs::span("anneal.solve", "heuristic");
         let mut tracker = budget.start();
         let mut stats = SolveStats::default();
-        let config = ConfigurationSolver::new(self.env);
+        let config = ConfigurationSolver::new(self.env)
+            .with_addition_limits(self.addition_limits.0, self.addition_limits.1);
         let mut reconf = Reconfigurator::default();
 
         // Start from a random feasible design.
         let mut current = loop {
             if tracker.expired() {
-                return SolveOutcome { best: None, stats, elapsed: tracker.elapsed(), cache: None };
+                return SolveOutcome {
+                    best: None,
+                    stats,
+                    elapsed: tracker.elapsed(),
+                    cache: None,
+                    bound: None,
+                };
             }
             tracker.tick();
             match random_design(self.env, 10, rng) {
@@ -141,7 +159,13 @@ impl<'e> SimulatedAnnealing<'e> {
         config.complete(&mut best, Thoroughness::Full);
         stats.nodes_evaluated += 1;
         stats.publish();
-        SolveOutcome { best: Some(best), stats, elapsed: tracker.elapsed(), cache: None }
+        SolveOutcome {
+            best: Some(best),
+            stats,
+            elapsed: tracker.elapsed(),
+            cache: None,
+            bound: None,
+        }
     }
 }
 

@@ -66,7 +66,7 @@ impl<'e> HumanHeuristic<'e> {
             }
         }
         stats.publish();
-        SolveOutcome { best, stats, elapsed: tracker.elapsed(), cache: None }
+        SolveOutcome { best, stats, elapsed: tracker.elapsed(), cache: None, bound: None }
     }
 
     /// One complete design attempt (with bounded internal restarts).

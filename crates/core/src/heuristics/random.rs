@@ -94,7 +94,7 @@ impl<'e> RandomHeuristic<'e> {
             }
         }
         stats.publish();
-        SolveOutcome { best, stats, elapsed: tracker.elapsed(), cache: None }
+        SolveOutcome { best, stats, elapsed: tracker.elapsed(), cache: None, bound: None }
     }
 }
 

@@ -31,6 +31,8 @@ pub struct TabuSearch<'e> {
     /// Candidate moves evaluated per step; the best non-tabu move is
     /// taken even if it worsens the design (classic tabu behavior).
     moves_per_step: usize,
+    /// Resource-addition limits forwarded to the configuration solver.
+    addition_limits: (usize, usize),
 }
 
 impl<'e> TabuSearch<'e> {
@@ -38,7 +40,17 @@ impl<'e> TabuSearch<'e> {
     /// step.
     #[must_use]
     pub fn new(env: &'e Environment) -> Self {
-        TabuSearch { env, tenure: 3, moves_per_step: 4 }
+        TabuSearch { env, tenure: 3, moves_per_step: 4, addition_limits: (4, 32) }
+    }
+
+    /// Overrides the configuration solver's resource-addition limits
+    /// (quick, full). `(0, 0)` disables additions entirely, confining the
+    /// search to the discrete configuration grid — the space the
+    /// tournament's exhaustive reference enumerates.
+    #[must_use]
+    pub fn with_addition_limits(mut self, quick: usize, full: usize) -> Self {
+        self.addition_limits = (quick, full);
+        self
     }
 
     /// Overrides the tabu tenure (builder style).
@@ -58,12 +70,19 @@ impl<'e> TabuSearch<'e> {
         let _solve_span = obs::span("tabu.solve", "heuristic");
         let mut tracker = budget.start();
         let mut stats = SolveStats::default();
-        let config = ConfigurationSolver::new(self.env);
+        let config = ConfigurationSolver::new(self.env)
+            .with_addition_limits(self.addition_limits.0, self.addition_limits.1);
         let mut reconf = Reconfigurator::default();
 
         let mut current = loop {
             if tracker.expired() {
-                return SolveOutcome { best: None, stats, elapsed: tracker.elapsed(), cache: None };
+                return SolveOutcome {
+                    best: None,
+                    stats,
+                    elapsed: tracker.elapsed(),
+                    cache: None,
+                    bound: None,
+                };
             }
             tracker.tick();
             match random_design(self.env, 10, rng) {
@@ -133,7 +152,13 @@ impl<'e> TabuSearch<'e> {
         config.complete(&mut best, Thoroughness::Full);
         stats.nodes_evaluated += 1;
         stats.publish();
-        SolveOutcome { best: Some(best), stats, elapsed: tracker.elapsed(), cache: None }
+        SolveOutcome {
+            best: Some(best),
+            stats,
+            elapsed: tracker.elapsed(),
+            cache: None,
+            bound: None,
+        }
     }
 }
 

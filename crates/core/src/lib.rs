@@ -41,6 +41,7 @@
 //! }
 //! ```
 
+pub mod bounds;
 mod budget;
 mod candidate;
 mod config_solver;
@@ -54,7 +55,9 @@ pub mod heuristics;
 mod objective;
 mod parallel;
 mod reconfigure;
+mod tournament;
 
+pub use bounds::{lower_bound, AppBound, Certificate, LowerBound};
 pub use budget::Budget;
 pub use candidate::{AppAssignment, Candidate, CostBreakdown, PlacementOptions};
 pub use config_solver::{ConfigurationSolver, Thoroughness};
@@ -63,8 +66,15 @@ pub use design_solver::{DesignSolver, RefitParams, SolveOutcome, SolveStats};
 pub use dsd_recovery::{ScenarioDigest, ScenarioOutcomeCache};
 pub use env::Environment;
 pub use eval_cache::{CacheStats, CandidateKey, EvalCache, DEFAULT_CACHE_CAPACITY};
-pub use exhaustive::{exhaustive_optimal, ExhaustiveResult, MAX_COMBINATIONS};
+pub use exhaustive::{
+    combination_count, exhaustive_optimal, exhaustive_optimal_with, ExhaustiveError,
+    ExhaustiveOptions, ExhaustiveResult, MAX_COMBINATIONS,
+};
 pub use explain::{technique_marginals, CostAttribution, RunnerUp, TechniqueMarginal};
 pub use objective::Objective;
 pub use parallel::{parallel_solve, parallel_solve_with_cache};
 pub use reconfigure::Reconfigurator;
+pub use tournament::{
+    run_tournament, HeuristicEntry, HeuristicSummary, InstanceResult, TournamentConfig,
+    TournamentReport,
+};
