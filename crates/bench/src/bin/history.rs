@@ -1,0 +1,34 @@
+//! Perf-history runner: executes the perf bench binaries plus an
+//! in-process instrumented solve and appends one schema-versioned record
+//! to `BENCH_history.jsonl` (see `dsd_bench::history`). The same runner
+//! backs `dsd bench history`; this standalone binary exists so the
+//! history can be grown without the CLI.
+//!
+//! Flags: `--quick` (reduced budgets for CI smoke), `--skip-bins` (only
+//! the in-process solver section). Knobs: `DSD_BENCH_DIR`, `DSD_BUDGET`,
+//! `DSD_SEED`, `DSD_REPS`, `DSD_APPS`.
+
+use dsd_bench::history::{run_history, HistoryConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let skip_bins = args.iter().any(|a| a == "--skip-bins");
+    if let Some(unknown) = args.iter().find(|a| *a != "--quick" && *a != "--skip-bins") {
+        eprintln!("unknown flag: {unknown}\nusage: history [--quick] [--skip-bins]");
+        std::process::exit(2);
+    }
+    let cfg = HistoryConfig::from_env(quick, skip_bins);
+    match run_history(&cfg) {
+        Ok((record, path)) => {
+            if let Some(solver) = record.get("solver") {
+                println!("solver: {}", dsd_obs::export::to_compact_json(solver));
+            }
+            println!("history record appended to {}", path.display());
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -8,10 +8,9 @@
 //! overrides the output directory; `DSD_BUDGET` / `DSD_SEED` /
 //! `DSD_APPS` / `DSD_REPS` as usual).
 
-use std::time::Instant;
-
 use dsd_bench::{env_u64, seed_from_env, write_bench_json};
 use dsd_core::{Budget, Candidate, Environment, Move, ScenarioOutcomeCache};
+use dsd_obs::Stopwatch;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Value;
@@ -90,7 +89,7 @@ fn main() {
     for rep in 0..reps {
         // Full path: every trial clones the candidate, applies the move,
         // and re-evaluates every failure scenario from scratch.
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let mut ok = 0u64;
         for mv in &moves {
             let mut trial = base.clone();
@@ -109,7 +108,7 @@ fn main() {
 
         // Delta path: one candidate, apply/evaluate/undo per trial,
         // scenario outcomes memoized per failure scope across sweeps.
-        let start = Instant::now();
+        let start = Stopwatch::start();
         for (mv, expected) in moves.iter().zip(&full_costs) {
             match delta.evaluate_delta(&env, mv, &mut scache) {
                 Ok((cost, undo)) => {

@@ -8,16 +8,16 @@
 //! Also measures cost-attribution overhead: itemized penalty evaluation
 //! (`annual_penalties_attributed`) vs the plain aggregate, on the
 //! solved design — the itemized path must stay within 2% and reproduce
-//! the aggregate bit-for-bit.
+//! the aggregate bit-for-bit. And it measures the flight recorder the
+//! same way: solves with an installed progress channel vs without must
+//! stay within 2% of each other on bit-identical searches.
 //!
 //! Writes `BENCH_obs.json` (`DSD_BENCH_DIR` overrides the directory;
 //! `DSD_BUDGET` / `DSD_SEED` / `DSD_REPS` as usual).
 
-use std::time::Instant;
-
 use dsd_bench::{budget_from_env, env_u64, seed_from_env, write_bench_json};
 use dsd_core::{Budget, DesignSolver, Environment};
-use dsd_obs::Recorder;
+use dsd_obs::{ProgressChannel, Recorder, Stopwatch};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Value;
@@ -51,19 +51,19 @@ fn attribution_overhead(
     const BATCH: usize = 64;
     let (mut plain_t, mut attr_t) = (Vec::with_capacity(reps), Vec::with_capacity(reps));
     for _ in 0..reps {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         for _ in 0..BATCH {
             let (plain, _) = evaluator.annual_penalties(&protections, &scenarios);
             std::hint::black_box(plain);
         }
-        plain_t.push(started.elapsed().as_secs_f64());
-        let started = Instant::now();
+        plain_t.push(started.elapsed_secs());
+        let started = Stopwatch::start();
         for _ in 0..BATCH {
             let (attributed, items) =
                 evaluator.annual_penalties_attributed(&protections, &scenarios);
             std::hint::black_box((attributed, items));
         }
-        attr_t.push(started.elapsed().as_secs_f64());
+        attr_t.push(started.elapsed_secs());
     }
     let (plain, _) = evaluator.annual_penalties(&protections, &scenarios);
     let (attributed, items) = evaluator.annual_penalties_attributed(&protections, &scenarios);
@@ -83,10 +83,52 @@ fn attribution_overhead(
 }
 
 fn time_once(env: &Environment, budget: Budget, seed: u64, recorder: Option<&Recorder>) -> f64 {
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let _guard = recorder.map(Recorder::install);
     let _ = solve_cost(env, budget, seed);
-    started.elapsed().as_secs_f64()
+    started.elapsed_secs()
+}
+
+/// Measures the flight-recorder (progress channel) overhead: interleaved
+/// solves with and without an installed active channel. Asserts the two
+/// modes find the bit-identical design — progress emission never
+/// consumes randomness — and returns `(off_median, on_median,
+/// overhead_fraction, events_per_run)`.
+fn progress_overhead(
+    env: &Environment,
+    budget: Budget,
+    seed: u64,
+    reps: usize,
+) -> (f64, f64, f64, usize) {
+    let bare_cost = solve_cost(env, budget, seed);
+    let channel = ProgressChannel::new();
+    let on_cost = {
+        let _g = channel.install();
+        solve_cost(env, budget, seed)
+    };
+    assert_eq!(
+        bare_cost.map(f64::to_bits),
+        on_cost.map(f64::to_bits),
+        "progress channel must not perturb the search"
+    );
+    let events = channel.poll().len();
+    assert!(events > 0, "instrumented solve emits progress events");
+
+    let timed = ProgressChannel::new();
+    let (mut off_t, mut on_t) = (Vec::with_capacity(reps), Vec::with_capacity(reps));
+    for _ in 0..reps {
+        off_t.push(time_once(env, budget, seed, None));
+        let started = Stopwatch::start();
+        {
+            let _g = timed.install();
+            let _ = solve_cost(env, budget, seed);
+        }
+        on_t.push(started.elapsed_secs());
+        // Drain between reps so queue growth never skews a later rep.
+        let _ = timed.poll();
+    }
+    let (off_s, on_s) = (median(off_t), median(on_t));
+    (off_s, on_s, (on_s - off_s) / off_s, events)
 }
 
 fn median(mut times: Vec<f64>) -> f64 {
@@ -155,6 +197,18 @@ fn main() {
         if attr_ok { "within budget" } else { "EXCEEDED (noisy machine?)" }
     );
 
+    let (prog_off_s, prog_on_s, prog_overhead, prog_events) =
+        progress_overhead(&env, budget, seed, reps);
+    let prog_ok = prog_overhead < 0.02;
+    println!("flight recorder (progress channel enabled vs disabled, bit-identical searches):");
+    println!("  channel off:       {prog_off_s:.4}s");
+    println!("  channel on:        {prog_on_s:.4}s  ({:+.2}% vs off)", prog_overhead * 100.0);
+    println!("  instrumented run emitted {prog_events} progress events");
+    println!(
+        "  progress overhead budget (<2%): {}",
+        if prog_ok { "within budget" } else { "EXCEEDED (noisy machine?)" }
+    );
+
     let report = Value::Map(vec![
         ("environment".to_string(), Value::Str("peer_sites_with(4)".to_string())),
         ("seed".to_string(), Value::Int(i64::try_from(seed).unwrap_or(i64::MAX))),
@@ -170,6 +224,12 @@ fn main() {
         ("attribution_overhead_fraction".to_string(), Value::Float(attr_overhead)),
         ("attribution_within_2pct".to_string(), Value::Bool(attr_ok)),
         ("attribution_bit_identical".to_string(), Value::Bool(true)),
+        ("progress_off_median_secs".to_string(), Value::Float(prog_off_s)),
+        ("progress_on_median_secs".to_string(), Value::Float(prog_on_s)),
+        ("progress_overhead_fraction".to_string(), Value::Float(prog_overhead)),
+        ("progress_within_2pct".to_string(), Value::Bool(prog_ok)),
+        ("progress_events".to_string(), Value::Int(i64::try_from(prog_events).unwrap_or(i64::MAX))),
+        ("progress_bit_identical".to_string(), Value::Bool(true)),
         ("active_events".to_string(), Value::Int(i64::try_from(events).unwrap_or(i64::MAX))),
         ("metric_series".to_string(), Value::Int(i64::try_from(series).unwrap_or(i64::MAX))),
         ("identical_results".to_string(), Value::Bool(true)),

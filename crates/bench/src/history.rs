@@ -1,0 +1,466 @@
+//! Perf-history regression harness.
+//!
+//! One `history` run executes the perf-sensitive bench binaries (cache,
+//! incremental_eval, obs, tournament) plus an in-process instrumented
+//! solve, and appends a single schema-versioned record to
+//! `BENCH_history.jsonl` in `DSD_BENCH_DIR`. `compare_latest` then diffs
+//! the newest record against the one before it with the same
+//! [`dsd_obs::export::diff_numeric`] machinery `dsd obs diff` uses, so
+//! CI can fail on throughput or cost regressions while tolerating
+//! wall-clock noise (percentage tolerance, default 10%).
+//!
+//! Records are append-only JSONL: one compact JSON object per line, with
+//! `schema_version` so future sessions can evolve the shape without
+//! breaking old files. Non-numeric context (`recorded_at`, `git_sha`,
+//! the env fingerprint strings) is stored as strings precisely so the
+//! numeric differ never flags it.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::Command;
+
+use dsd_core::{Budget, DesignSolver};
+use dsd_obs::export::{diff_numeric, to_compact_json, DiffClass};
+use dsd_obs::progress::ProgressKind;
+use dsd_obs::ProgressChannel;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Value;
+
+use crate::{env_u64, seed_from_env, DEFAULT_BUDGET_ITERATIONS};
+
+/// Version stamped into every history record.
+pub const HISTORY_SCHEMA_VERSION: i64 = 1;
+
+/// File name of the append-only history log (inside `DSD_BENCH_DIR`).
+pub const HISTORY_FILE: &str = "BENCH_history.jsonl";
+
+/// Default regression tolerance for [`compare_latest`], in percent.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 10.0;
+
+/// The bench binaries a history run executes, as `(binary name, BENCH
+/// json name)` pairs — the binaries live next to whichever executable is
+/// running (all workspace bins land in the same target directory).
+pub const BENCH_BINS: &[(&str, &str)] = &[
+    ("cache", "cache"),
+    ("incremental_eval", "incremental"),
+    ("obs", "obs"),
+    ("tournament", "tournament"),
+];
+
+/// How a history run is shaped.
+#[derive(Debug, Clone)]
+pub struct HistoryConfig {
+    /// Use reduced budgets/reps for the bench bins (CI smoke mode).
+    pub quick: bool,
+    /// Skip executing the external bench bins entirely (the in-process
+    /// solver section is still measured). Used by tests and by callers
+    /// that only care about solver throughput.
+    pub skip_bins: bool,
+    /// Directory holding `BENCH_*.json` artifacts and the history log.
+    pub dir: PathBuf,
+}
+
+impl HistoryConfig {
+    /// Builds a config with the directory taken from `DSD_BENCH_DIR`
+    /// (default: the current directory).
+    #[must_use]
+    pub fn from_env(quick: bool, skip_bins: bool) -> Self {
+        let dir = std::env::var("DSD_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+        HistoryConfig { quick, skip_bins, dir: PathBuf::from(dir) }
+    }
+
+    /// Path of the history log under this config's directory.
+    #[must_use]
+    pub fn history_path(&self) -> PathBuf {
+        self.dir.join(HISTORY_FILE)
+    }
+}
+
+/// Seconds since the Unix epoch, as a string (strings stay out of the
+/// numeric diff, so the timestamp can never be flagged as a regression).
+fn recorded_at() -> String {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs().to_string())
+        .unwrap_or_else(|_| "0".to_string())
+}
+
+/// The current commit, short form: `git rev-parse`, falling back to the
+/// `GITHUB_SHA` CI variable, then `"unknown"`.
+#[must_use]
+pub fn git_sha() -> String {
+    let from_git = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    from_git.or_else(|| std::env::var("GITHUB_SHA").ok()).unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Machine fingerprint: OS, architecture, logical CPU count. Strings for
+/// the identity fields; the CPU count is numeric but direction-neutral.
+#[must_use]
+pub fn env_fingerprint() -> Value {
+    let cpus = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    Value::Map(vec![
+        ("os".to_string(), Value::Str(std::env::consts::OS.to_string())),
+        ("arch".to_string(), Value::Str(std::env::consts::ARCH.to_string())),
+        ("cpus".to_string(), Value::Int(i64::try_from(cpus).unwrap_or(i64::MAX))),
+    ])
+}
+
+/// In-process instrumented solve: runs the design solver on the
+/// peer-sites environment with a progress channel installed and distills
+/// the flight-recorder stream into the headline history numbers —
+/// throughput, final cost, certificate gap, and time-to-5%-gap.
+#[must_use]
+pub fn solver_section(budget: Budget, seed: u64) -> Value {
+    let env = dsd_scenarios::environments::peer_sites_with(4);
+    let channel = ProgressChannel::new();
+    let outcome = {
+        let _guard = channel.install();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        DesignSolver::new(&env).solve(budget, &mut rng)
+    };
+    let events = channel.poll();
+    let mut final_cost = None;
+    let mut final_gap = None;
+    let mut time_to_5pct = None;
+    for event in &events {
+        if let ProgressKind::IncumbentImproved { cost, gap_pct, .. } = event.kind {
+            final_cost = Some(cost);
+            final_gap = gap_pct;
+            if time_to_5pct.is_none() && gap_pct.is_some_and(|g| g <= 5.0) {
+                time_to_5pct = Some(event.elapsed_secs());
+            }
+        }
+    }
+    let opt = |v: Option<f64>| v.map_or(Value::Null, Value::Float);
+    Value::Map(vec![
+        ("seed".to_string(), Value::Int(i64::try_from(seed).unwrap_or(i64::MAX))),
+        (
+            "nodes_evaluated".to_string(),
+            Value::Int(i64::try_from(outcome.stats.nodes_evaluated).unwrap_or(i64::MAX)),
+        ),
+        ("evals_per_sec".to_string(), Value::Float(outcome.evals_per_sec())),
+        ("best_cost".to_string(), opt(final_cost)),
+        ("gap_pct".to_string(), opt(final_gap)),
+        ("time_to_5pct_gap_secs".to_string(), opt(time_to_5pct)),
+        (
+            "progress_events".to_string(),
+            Value::Int(i64::try_from(events.len()).unwrap_or(i64::MAX)),
+        ),
+    ])
+}
+
+/// Locates a workspace binary next to the currently running executable.
+fn sibling_bin(name: &str) -> Option<PathBuf> {
+    let me = std::env::current_exe().ok()?;
+    let path = me.parent()?.join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    path.exists().then_some(path)
+}
+
+/// Sets an env var on a child command only when the caller has not set
+/// it, so `DSD_BUDGET=… dsd bench history` still overrides quick mode.
+fn env_default(cmd: &mut Command, key: &str, value: &str) {
+    if std::env::var_os(key).is_none() {
+        cmd.env(key, value);
+    }
+}
+
+/// Runs one bench binary and returns `(ok, report)` — `report` is the
+/// parsed `BENCH_<name>.json` it wrote, or `Null` when the binary is
+/// missing or failed.
+fn run_bench_bin(bin: &str, json_name: &str, cfg: &HistoryConfig) -> (bool, Value) {
+    let Some(path) = sibling_bin(bin) else {
+        eprintln!("history: skipping `{bin}` (not built next to the current executable)");
+        return (false, Value::Null);
+    };
+    let mut cmd = Command::new(path);
+    cmd.env("DSD_BENCH_DIR", &cfg.dir);
+    if cfg.quick {
+        env_default(&mut cmd, "DSD_BUDGET", "20");
+        env_default(&mut cmd, "DSD_REPS", "2");
+        env_default(&mut cmd, "DSD_APPS", "3");
+        env_default(&mut cmd, "DSD_SEEDS", "2");
+    }
+    let ok = match cmd.status() {
+        Ok(status) if status.success() => true,
+        Ok(status) => {
+            eprintln!("history: `{bin}` exited with {status}");
+            false
+        }
+        Err(e) => {
+            eprintln!("history: `{bin}` failed to run: {e}");
+            false
+        }
+    };
+    if !ok {
+        return (false, Value::Null);
+    }
+    let json_path = cfg.dir.join(format!("BENCH_{json_name}.json"));
+    let report = std::fs::read_to_string(&json_path)
+        .ok()
+        .and_then(|text| serde_json::parse(&text).ok())
+        .unwrap_or(Value::Null);
+    (ok, report)
+}
+
+/// Runs a full history pass: the in-process solver section plus (unless
+/// skipped) every bench binary, assembling one schema-versioned record.
+#[must_use]
+pub fn build_record(cfg: &HistoryConfig) -> Value {
+    let budget = if cfg.quick {
+        Budget::iterations(env_u64("DSD_BUDGET", 40))
+    } else {
+        Budget::iterations(env_u64("DSD_BUDGET", DEFAULT_BUDGET_ITERATIONS))
+    };
+    let solver = solver_section(budget, seed_from_env());
+    let mut benches = Vec::new();
+    if !cfg.skip_bins {
+        for (bin, json_name) in BENCH_BINS {
+            let (ok, report) = run_bench_bin(bin, json_name, cfg);
+            benches.push((
+                (*json_name).to_string(),
+                Value::Map(vec![
+                    ("ok".to_string(), Value::Bool(ok)),
+                    ("report".to_string(), report),
+                ]),
+            ));
+        }
+    }
+    Value::Map(vec![
+        ("schema_version".to_string(), Value::Int(HISTORY_SCHEMA_VERSION)),
+        ("recorded_at".to_string(), Value::Str(recorded_at())),
+        ("git_sha".to_string(), Value::Str(git_sha())),
+        ("env".to_string(), env_fingerprint()),
+        ("quick".to_string(), Value::Bool(cfg.quick)),
+        ("solver".to_string(), solver),
+        ("benches".to_string(), Value::Map(benches)),
+    ])
+}
+
+/// Appends one record to the history log (created on first use) and
+/// returns the log's path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn append_record(cfg: &HistoryConfig, record: &Value) -> std::io::Result<PathBuf> {
+    let path = cfg.history_path();
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
+    writeln!(file, "{}", to_compact_json(record))?;
+    Ok(path)
+}
+
+/// Runs a history pass and appends the record. Returns `(record, path)`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the append.
+pub fn run_history(cfg: &HistoryConfig) -> std::io::Result<(Value, PathBuf)> {
+    let record = build_record(cfg);
+    let path = append_record(cfg, &record)?;
+    Ok((record, path))
+}
+
+/// Parses a history log leniently: malformed lines are skipped and
+/// counted, mirroring the trace/progress parsers — a torn tail from an
+/// interrupted run must never invalidate the history.
+#[must_use]
+pub fn load_history(text: &str) -> (Vec<Value>, u64) {
+    let mut records = Vec::new();
+    let mut skipped = 0;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::parse(line) {
+            Ok(value @ Value::Map(_)) => records.push(value),
+            _ => skipped += 1,
+        }
+    }
+    (records, skipped)
+}
+
+/// Diffs the latest history record against the one before it (or against
+/// itself when the log holds a single record — the CI bootstrap case,
+/// which by construction yields zero deltas). Returns the rendered
+/// report and the number of regressions beyond `tolerance_pct`.
+///
+/// # Errors
+///
+/// Returns an error when the history is empty.
+pub fn compare_latest(records: &[Value], tolerance_pct: f64) -> Result<(String, usize), String> {
+    use std::fmt::Write as _;
+    let latest = records.last().ok_or("history is empty — run `dsd bench history` first")?;
+    let baseline = if records.len() >= 2 { &records[records.len() - 2] } else { latest };
+    let context = |r: &Value| {
+        let s = |key: &str| match r.get(key) {
+            Some(Value::Str(s)) => s.clone(),
+            _ => "?".to_string(),
+        };
+        format!("sha {} @ {}", s("git_sha"), s("recorded_at"))
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "baseline: {}", context(baseline));
+    let _ = writeln!(out, "latest:   {}", context(latest));
+    if records.len() < 2 {
+        let _ = writeln!(out, "single record — comparing the latest run against itself");
+    }
+
+    let entries = diff_numeric(baseline, latest);
+    let mut regressions = 0usize;
+    let mut tolerated = 0usize;
+    let mut improved = 0usize;
+    for e in &entries {
+        let class = e.classify();
+        if class == DiffClass::Unchanged {
+            continue;
+        }
+        let pct = e.pct_delta();
+        let label = match class {
+            DiffClass::Regressed => {
+                // Wall-clock noise is expected run to run; only count a
+                // regression when it exceeds the tolerance band.
+                if pct.is_none_or(|p| p.abs() > tolerance_pct) {
+                    regressions += 1;
+                    "REGRESSED"
+                } else {
+                    tolerated += 1;
+                    "tolerated"
+                }
+            }
+            DiffClass::Improved => {
+                improved += 1;
+                "improved "
+            }
+            DiffClass::Changed => "changed  ",
+            DiffClass::Added => "added    ",
+            DiffClass::Removed => "removed  ",
+            DiffClass::Unchanged => unreachable!("filtered above"),
+        };
+        let delta = pct.map_or_else(|| "n/a".to_string(), |p| format!("{p:+.2}%"));
+        let show = |v: Option<f64>| v.map_or("—".to_string(), |v| format!("{v}"));
+        let _ = writeln!(
+            out,
+            "  {label} {:<48} {:>14} -> {:<14} ({delta})",
+            e.name,
+            show(e.a),
+            show(e.b)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "summary: {regressions} regressions beyond {tolerance_pct:.0}% tolerance, \
+         {tolerated} within tolerance, {improved} improvements"
+    );
+    Ok((out, regressions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(sha: &str, evals_per_sec: f64, time_secs: f64) -> Value {
+        Value::Map(vec![
+            ("schema_version".to_string(), Value::Int(HISTORY_SCHEMA_VERSION)),
+            ("recorded_at".to_string(), Value::Str("1000".to_string())),
+            ("git_sha".to_string(), Value::Str(sha.to_string())),
+            (
+                "solver".to_string(),
+                Value::Map(vec![
+                    ("evals_per_sec".to_string(), Value::Float(evals_per_sec)),
+                    ("time_to_5pct_gap_secs".to_string(), Value::Float(time_secs)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn solver_section_reports_the_flight_numbers() {
+        let section = solver_section(Budget::iterations(8), 3);
+        let get = |key: &str| section.get(key).cloned().expect(key);
+        assert!(matches!(get("evals_per_sec"), Value::Float(f) if f > 0.0));
+        assert!(matches!(get("best_cost"), Value::Float(f) if f.is_finite()));
+        assert!(matches!(get("progress_events"), Value::Int(n) if n > 0));
+        // The gap comes from the certificate bound and is non-negative.
+        if let Value::Float(gap) = get("gap_pct") {
+            assert!(gap >= 0.0);
+        }
+    }
+
+    #[test]
+    fn build_record_has_the_schema_headline_fields() {
+        let dir = std::env::temp_dir().join(format!("dsd-history-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = HistoryConfig { quick: true, skip_bins: true, dir: dir.clone() };
+        let record = build_record(&cfg);
+        assert!(matches!(record.get("schema_version"), Some(Value::Int(1))));
+        assert!(matches!(record.get("recorded_at"), Some(Value::Str(_))));
+        assert!(matches!(record.get("git_sha"), Some(Value::Str(_))));
+        assert!(record.get("solver").is_some());
+        let env = record.get("env").expect("fingerprint");
+        assert!(matches!(env.get("cpus"), Some(Value::Int(n)) if *n >= 1));
+
+        // Round-trips through the append/load pair, twice.
+        let path = append_record(&cfg, &record).unwrap();
+        append_record(&cfg, &record).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let (records, skipped) = load_history(&text);
+        assert_eq!(records.len(), 2);
+        assert_eq!(skipped, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_history_skips_a_torn_tail() {
+        let mut text = to_compact_json(&record("abc", 100.0, 1.0));
+        text.push('\n');
+        text.push_str("{\"schema_version\":1,\"recorded_at\":\"10");
+        let (records, skipped) = load_history(&text);
+        assert_eq!(records.len(), 1);
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn self_compare_is_clean_and_single_record_self_compares() {
+        let r = record("abc", 100.0, 1.0);
+        let (out, regressions) = compare_latest(std::slice::from_ref(&r), 10.0).unwrap();
+        assert_eq!(regressions, 0);
+        assert!(out.contains("single record"));
+        assert!(out.contains("0 regressions"));
+
+        let (_, regressions) = compare_latest(&[r.clone(), r], 10.0).unwrap();
+        assert_eq!(regressions, 0);
+        assert!(compare_latest(&[], 10.0).is_err());
+    }
+
+    #[test]
+    fn tolerance_gates_wallclock_regressions() {
+        let base = record("abc", 100.0, 1.0);
+        // 5% slower time-to-gap: regressed direction, but within the 10%
+        // band — tolerated, not failed.
+        let slightly = record("def", 100.0, 1.05);
+        let (out, regressions) = compare_latest(&[base.clone(), slightly], 10.0).unwrap();
+        assert_eq!(regressions, 0, "{out}");
+        assert!(out.contains("tolerated"));
+
+        // 50% throughput collapse: beyond tolerance, counted.
+        let collapsed = record("def", 50.0, 1.0);
+        let (out, regressions) = compare_latest(&[base.clone(), collapsed], 10.0).unwrap();
+        assert_eq!(regressions, 1, "{out}");
+        assert!(out.contains("REGRESSED"));
+        assert!(out.contains("evals_per_sec"));
+
+        // Improvements never count against the run.
+        let faster = record("def", 200.0, 0.5);
+        let (out, regressions) = compare_latest(&[base, faster], 10.0).unwrap();
+        assert_eq!(regressions, 0, "{out}");
+        assert!(out.contains("improved"));
+    }
+}

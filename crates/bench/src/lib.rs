@@ -11,6 +11,8 @@
 //! DSD_BUDGET=500 DSD_SEED=7 cargo run -p dsd-bench --release --bin figure3
 //! ```
 
+pub mod history;
+
 use std::path::PathBuf;
 
 use dsd_core::{Budget, SolveOutcome};

@@ -304,9 +304,19 @@ pub fn cmd_obs_summary(
     metrics_text: Option<&str>,
     top: usize,
 ) -> Result<String, Box<dyn Error>> {
-    let records = dsd_obs::export::parse_jsonl(trace_text)?;
+    let parsed = dsd_obs::export::parse_jsonl(trace_text);
+    if parsed.records.is_empty() && !trace_text.trim().is_empty() {
+        let detail = parsed.first_error.unwrap_or_else(|| "no parseable lines".to_string());
+        return Err(format!("not a JSONL trace ({detail})").into());
+    }
+    let records = parsed.records;
     let mut out = String::new();
     let _ = writeln!(out, "trace: {} events", records.len());
+    if parsed.skipped > 0 {
+        // Truncated/corrupt lines (a torn tail from a killed run) are
+        // skipped, not fatal — but always surfaced.
+        let _ = writeln!(out, "parse.skipped: {} malformed lines ignored", parsed.skipped);
+    }
 
     let _ = writeln!(out, "top events by cumulative time:");
     for t in dsd_obs::export::totals_by_name(&records).into_iter().take(top) {
@@ -342,8 +352,8 @@ pub fn cmd_obs_summary(
         for (name, h) in &snapshot.histograms {
             let _ = writeln!(
                 out,
-                "  hist    {name:<28} n={} p50={:.6} p90={:.6} p99={:.6} max={:.6}",
-                h.count, h.p50, h.p90, h.p99, h.max
+                "  hist    {name:<28} n={} mean={:.6} p50={:.6} p90={:.6} p99={:.6} max={:.6}",
+                h.count, h.mean, h.p50, h.p90, h.p99, h.max
             );
         }
         let rates = snapshot.move_rates();
@@ -501,6 +511,76 @@ pub fn cmd_obs_diff(a_text: &str, b_text: &str) -> Result<(String, usize), Box<d
     Ok((out, counts[0]))
 }
 
+/// `dsd obs curve <progress.jsonl>...` — turn one or more flight-recorder
+/// logs (`dsd design --progress-log`) into a convergence-curve report:
+/// cost and certificate gap vs time, time-to-X%-gap milestones,
+/// per-worker lanes, and an A/B table when several runs are given.
+/// Returns `(text, json, csv)`; the caller writes the exports on
+/// `--json` / `--csv`.
+///
+/// # Errors
+///
+/// An input that yields no progress events (and is not blank).
+pub fn cmd_obs_curve(
+    runs: &[(String, String)],
+) -> Result<(String, String, String), Box<dyn Error>> {
+    let curves: Vec<crate::convergence::RunCurve> = runs
+        .iter()
+        .map(|(name, text)| crate::convergence::RunCurve::parse(name, text))
+        .collect::<Result<_, _>>()?;
+    let text = crate::convergence::render(&curves);
+    let json = serde_json::to_string_pretty(&crate::convergence::json_report(&curves))?;
+    let csv = crate::convergence::csv(&curves);
+    Ok((text, json, csv))
+}
+
+/// `dsd bench history [--quick]` — run the perf-history pass (the bench
+/// binaries plus an in-process instrumented solve) and append one
+/// schema-versioned record to `BENCH_history.jsonl` in `DSD_BENCH_DIR`.
+///
+/// # Errors
+///
+/// Filesystem errors from the append.
+pub fn cmd_bench_history(quick: bool, skip_bins: bool) -> Result<String, Box<dyn Error>> {
+    let cfg = dsd_bench::history::HistoryConfig::from_env(quick, skip_bins);
+    let (record, path) = dsd_bench::history::run_history(&cfg)?;
+    let mut out = String::new();
+    if let Some(solver) = record.get("solver") {
+        let _ = writeln!(out, "solver: {}", dsd_obs::export::to_compact_json(solver));
+    }
+    if let Some(serde::Value::Map(benches)) = record.get("benches") {
+        for (name, section) in benches {
+            let ok = matches!(section.get("ok"), Some(serde::Value::Bool(true)));
+            let _ = writeln!(out, "bench {name}: {}", if ok { "ok" } else { "SKIPPED/FAILED" });
+        }
+    }
+    let _ = writeln!(out, "history record appended to {}", path.display());
+    Ok(out)
+}
+
+/// `dsd bench compare [--tolerance PCT] [--fail-on-regression]` — diff
+/// the latest `BENCH_history.jsonl` record against the previous one
+/// (or itself when the log holds a single record). Returns the rendered
+/// report and the count of regressions beyond the tolerance; the caller
+/// turns a nonzero count into a nonzero exit under
+/// `--fail-on-regression`.
+///
+/// # Errors
+///
+/// A missing or empty history log.
+pub fn cmd_bench_compare(tolerance_pct: f64) -> Result<(String, usize), Box<dyn Error>> {
+    let cfg = dsd_bench::history::HistoryConfig::from_env(false, false);
+    let path = cfg.history_path();
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let (records, skipped) = dsd_bench::history::load_history(&text);
+    let (mut out, regressions) = dsd_bench::history::compare_latest(&records, tolerance_pct)?;
+    if skipped > 0 {
+        let _ = writeln!(out, "parse.skipped: {skipped} malformed history lines ignored");
+    }
+    Ok((out, regressions))
+}
+
 /// Builds an environment directly from spec text (helper for tests and
 /// the binary's validation path).
 ///
@@ -595,6 +675,53 @@ mod tests {
 
         assert!(cmd_obs_summary("not json", None, 10).is_err());
         assert!(cmd_obs_summary(&trace, Some("not json"), 10).is_err());
+    }
+
+    #[test]
+    fn obs_summary_tolerates_a_torn_tail() {
+        let recorder = dsd_obs::Recorder::new();
+        {
+            let _g = recorder.install();
+            let _span = dsd_obs::span("solver.solve", "solver");
+        }
+        let mut trace = dsd_obs::export::trace_jsonl(&recorder.drain_events());
+        trace.push_str("{\"ts_us\":9.0,\"dur_us\":0.0,\"kind\":\"insta");
+        let out = cmd_obs_summary(&trace, None, 10).expect("summarizes despite torn tail");
+        assert!(out.contains("trace: 1 events"), "{out}");
+        assert!(out.contains("parse.skipped: 1 malformed lines ignored"), "{out}");
+    }
+
+    #[test]
+    fn obs_curve_digests_a_real_design_progress_log() {
+        let spec = cmd_init();
+        let channel = dsd_obs::ProgressChannel::new();
+        let _ = {
+            let _g = channel.install();
+            cmd_design(&spec, RunOptions { budget: 15, seed: 3 }).expect("solvable")
+        };
+        let log = dsd_obs::progress::progress_jsonl(&channel.poll());
+        let (text, json, csv) = cmd_obs_curve(&[("run".to_string(), log)]).expect("curves");
+        assert!(text.contains("time to gap:"), "{text}");
+        assert!(text.contains("worker lanes:"), "{text}");
+        assert!(json.contains("time_to_5pct_gap_secs"), "{json}");
+        assert!(csv.starts_with("run,elapsed_secs,cost,gap_pct"), "{csv}");
+        assert!(cmd_obs_curve(&[("bad".to_string(), "not a log".to_string())]).is_err());
+    }
+
+    #[test]
+    fn bench_history_appends_and_self_compares_clean() {
+        let dir = std::env::temp_dir().join(format!("dsd-clihist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("DSD_BENCH_DIR", &dir);
+        let out = cmd_bench_history(true, true).expect("history runs");
+        assert!(out.contains("history record appended"), "{out}");
+        assert!(out.contains("solver:"), "{out}");
+        let (report, regressions) = cmd_bench_compare(10.0).expect("compares");
+        assert_eq!(regressions, 0, "{report}");
+        assert!(report.contains("single record"), "{report}");
+        assert!(report.contains("0 regressions"), "{report}");
+        std::env::remove_var("DSD_BENCH_DIR");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,440 @@
+//! Convergence-curve reports over flight-recorder logs (`dsd obs
+//! curve`).
+//!
+//! A progress log (`dsd design --progress-log`) is a JSONL stream of
+//! typed events; this module turns one or more of them into a report:
+//! cost and certificate gap versus elapsed time, time-to-X%-gap
+//! milestones, per-worker lanes, and — with several runs — an A/B table
+//! against the first run. Parsing is lenient (torn tails are counted,
+//! never fatal), matching the rest of the observability surface.
+
+use std::fmt::Write as _;
+
+use dsd_obs::progress::{parse_progress_jsonl, ProgressKind};
+use dsd_obs::ProgressEvent;
+use serde::Value;
+
+/// Gap milestones (percent above the certificate lower bound) reported
+/// as time-to-gap. 5% is the headline number the bench history tracks.
+pub const GAP_THRESHOLDS: &[f64] = &[50.0, 20.0, 10.0, 5.0, 2.0, 1.0];
+
+/// One incumbent-improvement sample on the curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurveSample {
+    /// Seconds since the channel epoch.
+    pub elapsed_secs: f64,
+    /// Incumbent objective (total annual cost, dollars).
+    pub cost: f64,
+    /// Gap above the certificate lower bound, percent, when known.
+    pub gap_pct: Option<f64>,
+}
+
+/// Per-worker lane digest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lane {
+    /// Dense worker index from the progress channel.
+    pub worker: u64,
+    /// Last cumulative evaluation count reported by this lane.
+    pub evals: u64,
+    /// Last heartbeat throughput, when the lane heartbeat at all.
+    pub evals_per_sec: Option<f64>,
+    /// Incumbent improvements emitted by this lane.
+    pub incumbents: usize,
+    /// Heartbeats emitted by this lane.
+    pub heartbeats: usize,
+}
+
+/// One parsed progress log.
+#[derive(Debug, Clone)]
+pub struct RunCurve {
+    /// Display name (the file stem of the log).
+    pub name: String,
+    /// Every parsed event, in emission order.
+    pub events: Vec<ProgressEvent>,
+    /// Malformed lines skipped by the lenient parser.
+    pub skipped: u64,
+}
+
+impl RunCurve {
+    /// Parses a progress log leniently. Errors only when nothing parses
+    /// from non-blank input (the file is not a progress log at all).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the run and the first parse error.
+    pub fn parse(name: &str, text: &str) -> Result<RunCurve, String> {
+        let parsed = parse_progress_jsonl(text);
+        if parsed.events.is_empty() && !text.trim().is_empty() {
+            let detail = parsed.first_error.unwrap_or_else(|| "no parseable lines".to_string());
+            return Err(format!("{name}: not a progress log ({detail})"));
+        }
+        Ok(RunCurve { name: name.to_string(), events: parsed.events, skipped: parsed.skipped })
+    }
+
+    /// The incumbent-improvement curve, in time order.
+    #[must_use]
+    pub fn incumbents(&self) -> Vec<CurveSample> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                ProgressKind::IncumbentImproved { cost, gap_pct, .. } => {
+                    Some(CurveSample { elapsed_secs: e.elapsed_secs(), cost, gap_pct })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Final incumbent cost (the run's reported objective).
+    #[must_use]
+    pub fn final_cost(&self) -> Option<f64> {
+        self.incumbents().last().map(|s| s.cost)
+    }
+
+    /// Final incumbent gap above the lower bound.
+    #[must_use]
+    pub fn final_gap(&self) -> Option<f64> {
+        self.incumbents().last().and_then(|s| s.gap_pct)
+    }
+
+    /// Total evaluations: sum over lanes of each lane's last cumulative
+    /// count.
+    #[must_use]
+    pub fn total_evals(&self) -> u64 {
+        self.lanes().iter().map(|l| l.evals).sum()
+    }
+
+    /// Earliest time at which the incumbent gap reached `pct` percent or
+    /// better; `None` when the run never got there (or logged no gaps).
+    #[must_use]
+    pub fn time_to_gap(&self, pct: f64) -> Option<f64> {
+        self.incumbents()
+            .iter()
+            .find(|s| s.gap_pct.is_some_and(|g| g <= pct))
+            .map(|s| s.elapsed_secs)
+    }
+
+    /// Per-worker lane digests, by worker index.
+    #[must_use]
+    pub fn lanes(&self) -> Vec<Lane> {
+        let mut lanes: std::collections::BTreeMap<u64, Lane> = std::collections::BTreeMap::new();
+        for event in &self.events {
+            let lane = lanes.entry(event.worker).or_insert(Lane {
+                worker: event.worker,
+                evals: 0,
+                evals_per_sec: None,
+                incumbents: 0,
+                heartbeats: 0,
+            });
+            match &event.kind {
+                ProgressKind::IncumbentImproved { evals, .. } => {
+                    lane.evals = lane.evals.max(*evals);
+                    lane.incumbents += 1;
+                }
+                ProgressKind::WorkerHeartbeat { evals, evals_per_sec, .. } => {
+                    lane.evals = lane.evals.max(*evals);
+                    lane.evals_per_sec = Some(*evals_per_sec);
+                    lane.heartbeats += 1;
+                }
+                ProgressKind::Done { evals, .. } => lane.evals = lane.evals.max(*evals),
+                ProgressKind::PhaseEntered { .. } | ProgressKind::Restart { .. } => {}
+            }
+        }
+        lanes.into_values().collect()
+    }
+
+    /// Restarts reported (maximum cumulative count in the stream).
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                ProgressKind::Restart { restarts } => Some(restarts),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Seconds spanned by the stream.
+    #[must_use]
+    pub fn duration_secs(&self) -> f64 {
+        self.events.last().map_or(0.0, ProgressEvent::elapsed_secs)
+    }
+}
+
+/// Human-readable report over one or more runs.
+#[must_use]
+pub fn render(runs: &[RunCurve]) -> String {
+    let mut out = String::new();
+    for run in runs {
+        let _ = writeln!(
+            out,
+            "run {}: {} events ({} skipped), {:.3}s, {} restarts",
+            run.name,
+            run.events.len(),
+            run.skipped,
+            run.duration_secs(),
+            run.restarts()
+        );
+        let samples = run.incumbents();
+        match samples.last() {
+            Some(last) => {
+                let gap = last.gap_pct.map_or("—".to_string(), |g| format!("{g:.2}%"));
+                let _ = writeln!(
+                    out,
+                    "  final: cost ${:.2}, gap {gap}, {} evals",
+                    last.cost,
+                    run.total_evals()
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  final: no incumbents logged");
+            }
+        }
+        let _ = writeln!(out, "  convergence (elapsed, cost, gap):");
+        for s in &samples {
+            let gap = s.gap_pct.map_or("     —".to_string(), |g| format!("{g:6.2}%"));
+            let _ = writeln!(out, "    {:>9.4}s  ${:<14.2} {gap}", s.elapsed_secs, s.cost);
+        }
+        let milestones: Vec<String> = GAP_THRESHOLDS
+            .iter()
+            .map(|&pct| {
+                let t = run.time_to_gap(pct).map_or("—".to_string(), |t| format!("{t:.4}s"));
+                format!("<={pct:.0}% {t}")
+            })
+            .collect();
+        let _ = writeln!(out, "  time to gap: {}", milestones.join(" | "));
+        let _ = writeln!(out, "  worker lanes:");
+        for lane in run.lanes() {
+            let rate = lane.evals_per_sec.map_or("—".to_string(), |r| format!("{r:.0}/s"));
+            let _ = writeln!(
+                out,
+                "    worker {}: {} evals ({rate}), {} incumbents, {} heartbeats",
+                lane.worker, lane.evals, lane.incumbents, lane.heartbeats
+            );
+        }
+    }
+    if runs.len() >= 2 {
+        let _ = writeln!(out, "A/B vs {}:", runs[0].name);
+        let base = &runs[0];
+        for run in runs {
+            let cost = run.final_cost();
+            let cost_delta = match (base.final_cost(), cost) {
+                (Some(a), Some(b)) if a != 0.0 && !std::ptr::eq(run, base) => {
+                    format!(" ({:+.2}%)", (b - a) / a * 100.0)
+                }
+                _ => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<24} cost {}{cost_delta}  gap {}  time-to-5% {}",
+                run.name,
+                cost.map_or("—".to_string(), |c| format!("${c:.2}")),
+                run.final_gap().map_or("—".to_string(), |g| format!("{g:.2}%")),
+                run.time_to_gap(5.0).map_or("—".to_string(), |t| format!("{t:.4}s")),
+            );
+        }
+    }
+    out
+}
+
+/// Machine-readable report (one `runs` array; mirrors [`render`]).
+#[must_use]
+pub fn json_report(runs: &[RunCurve]) -> Value {
+    let opt = |v: Option<f64>| v.map_or(Value::Null, Value::Float);
+    let run_values = runs
+        .iter()
+        .map(|run| {
+            let curve = run
+                .incumbents()
+                .iter()
+                .map(|s| {
+                    Value::Map(vec![
+                        ("elapsed_secs".to_string(), Value::Float(s.elapsed_secs)),
+                        ("cost".to_string(), Value::Float(s.cost)),
+                        ("gap_pct".to_string(), opt(s.gap_pct)),
+                    ])
+                })
+                .collect();
+            let milestones = GAP_THRESHOLDS
+                .iter()
+                .map(|&pct| (format!("time_to_{pct:.0}pct_gap_secs"), opt(run.time_to_gap(pct))))
+                .collect();
+            let lanes = run
+                .lanes()
+                .iter()
+                .map(|lane| {
+                    Value::Map(vec![
+                        (
+                            "worker".to_string(),
+                            Value::Int(i64::try_from(lane.worker).unwrap_or(i64::MAX)),
+                        ),
+                        (
+                            "evals".to_string(),
+                            Value::Int(i64::try_from(lane.evals).unwrap_or(i64::MAX)),
+                        ),
+                        ("evals_per_sec".to_string(), opt(lane.evals_per_sec)),
+                        (
+                            "incumbents".to_string(),
+                            Value::Int(i64::try_from(lane.incumbents).unwrap_or(i64::MAX)),
+                        ),
+                        (
+                            "heartbeats".to_string(),
+                            Value::Int(i64::try_from(lane.heartbeats).unwrap_or(i64::MAX)),
+                        ),
+                    ])
+                })
+                .collect();
+            Value::Map(vec![
+                ("name".to_string(), Value::Str(run.name.clone())),
+                (
+                    "events".to_string(),
+                    Value::Int(i64::try_from(run.events.len()).unwrap_or(i64::MAX)),
+                ),
+                ("skipped".to_string(), Value::Int(i64::try_from(run.skipped).unwrap_or(i64::MAX))),
+                ("duration_secs".to_string(), Value::Float(run.duration_secs())),
+                ("final_cost".to_string(), opt(run.final_cost())),
+                ("final_gap_pct".to_string(), opt(run.final_gap())),
+                (
+                    "restarts".to_string(),
+                    Value::Int(i64::try_from(run.restarts()).unwrap_or(i64::MAX)),
+                ),
+                ("milestones".to_string(), Value::Map(milestones)),
+                ("curve".to_string(), Value::Seq(curve)),
+                ("lanes".to_string(), Value::Seq(lanes)),
+            ])
+        })
+        .collect();
+    Value::Map(vec![("runs".to_string(), Value::Seq(run_values))])
+}
+
+/// CSV export of the incumbent curves: `run,elapsed_secs,cost,gap_pct`
+/// (one row per improvement, all runs concatenated — ready for A/B
+/// plotting).
+#[must_use]
+pub fn csv(runs: &[RunCurve]) -> String {
+    let mut out = String::from("run,elapsed_secs,cost,gap_pct\n");
+    for run in runs {
+        for s in run.incumbents() {
+            let gap = s.gap_pct.map_or(String::new(), |g| format!("{g}"));
+            let _ = writeln!(out, "{},{},{},{gap}", run.name, s.elapsed_secs, s.cost);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_obs::progress::progress_jsonl;
+
+    fn sample_log() -> String {
+        let events = vec![
+            ProgressEvent {
+                worker: 0,
+                elapsed_ns: 1_000_000,
+                kind: ProgressKind::PhaseEntered { phase: "greedy".into() },
+            },
+            ProgressEvent {
+                worker: 0,
+                elapsed_ns: 2_000_000,
+                kind: ProgressKind::IncumbentImproved {
+                    cost: 2000.0,
+                    gap_pct: Some(40.0),
+                    evals: 5,
+                },
+            },
+            ProgressEvent {
+                worker: 1,
+                elapsed_ns: 3_000_000,
+                kind: ProgressKind::WorkerHeartbeat {
+                    evals: 8,
+                    evals_per_sec: 100.0,
+                    cache_hit_rate: 0.25,
+                },
+            },
+            ProgressEvent {
+                worker: 0,
+                elapsed_ns: 4_000_000,
+                kind: ProgressKind::IncumbentImproved {
+                    cost: 1500.0,
+                    gap_pct: Some(4.0),
+                    evals: 9,
+                },
+            },
+            ProgressEvent {
+                worker: 0,
+                elapsed_ns: 5_000_000,
+                kind: ProgressKind::Done { cost: Some(1500.0), gap_pct: Some(4.0), evals: 9 },
+            },
+        ];
+        progress_jsonl(&events)
+    }
+
+    #[test]
+    fn curve_digests_a_log() {
+        let run = RunCurve::parse("a", &sample_log()).expect("parses");
+        assert_eq!(run.events.len(), 5);
+        assert_eq!(run.skipped, 0);
+        assert_eq!(run.final_cost(), Some(1500.0));
+        assert_eq!(run.final_gap(), Some(4.0));
+        assert_eq!(run.total_evals(), 17, "lane 0 at 9 + lane 1 at 8");
+        assert_eq!(run.time_to_gap(5.0), Some(0.004));
+        assert_eq!(run.time_to_gap(50.0), Some(0.002));
+        assert_eq!(run.time_to_gap(1.0), None);
+        assert_eq!(run.lanes().len(), 2);
+    }
+
+    #[test]
+    fn render_reports_milestones_and_lanes() {
+        let run = RunCurve::parse("a", &sample_log()).expect("parses");
+        let text = render(&[run]);
+        assert!(text.contains("time to gap:"), "{text}");
+        assert!(text.contains("<=5% 0.0040s"), "{text}");
+        assert!(text.contains("<=1% —"), "{text}");
+        assert!(text.contains("worker 0: 9 evals"), "{text}");
+        assert!(text.contains("worker 1: 8 evals (100/s)"), "{text}");
+        assert!(!text.contains("A/B"), "single run has no A/B table: {text}");
+    }
+
+    #[test]
+    fn two_runs_render_an_ab_table() {
+        let a = RunCurve::parse("base", &sample_log()).expect("parses");
+        let mut faster = RunCurve::parse("cand", &sample_log()).expect("parses");
+        for event in &mut faster.events {
+            if let ProgressKind::IncumbentImproved { cost, .. } = &mut event.kind {
+                *cost *= 0.9;
+            }
+        }
+        let text = render(&[a, faster]);
+        assert!(text.contains("A/B vs base"), "{text}");
+        assert!(text.contains("(-10.00%)"), "{text}");
+    }
+
+    #[test]
+    fn json_and_csv_exports_carry_the_curve() {
+        let run = RunCurve::parse("a", &sample_log()).expect("parses");
+        let value = json_report(std::slice::from_ref(&run));
+        let runs = match value.get("runs") {
+            Some(Value::Seq(v)) => v.clone(),
+            other => panic!("runs array missing: {other:?}"),
+        };
+        assert_eq!(runs.len(), 1);
+        assert!(matches!(
+            runs[0].get("milestones").and_then(|m| m.get("time_to_5pct_gap_secs")),
+            Some(Value::Float(t)) if (t - 0.004).abs() < 1e-12
+        ));
+        let text = csv(&[run]);
+        assert!(text.starts_with("run,elapsed_secs,cost,gap_pct\n"), "{text}");
+        assert!(text.contains("a,0.004,1500,4"), "{text}");
+
+        // Torn tails are skipped, not fatal; garbage is an error.
+        let mut torn = sample_log();
+        torn.push_str("{\"t\":\"incumbent\",\"wor");
+        let run = RunCurve::parse("torn", &torn).expect("parses");
+        assert_eq!(run.skipped, 1);
+        assert!(RunCurve::parse("bad", "not a log").is_err());
+        assert!(RunCurve::parse("empty", "").expect("ok").events.is_empty());
+    }
+}

@@ -9,7 +9,11 @@
 //!   assumptions;
 //! * [`report`] — markdown design reports (`dsd design --report`);
 //! * [`commands`] — the subcommand implementations shared by the binary
-//!   and the integration tests.
+//!   and the integration tests;
+//! * [`live`] — the `--progress` live status line and the collector
+//!   behind `--progress-log`;
+//! * [`convergence`] — convergence-curve reports over progress logs
+//!   (`dsd obs curve`).
 //!
 //! # Example spec
 //!
@@ -50,6 +54,8 @@
 //! ```
 
 pub mod commands;
+pub mod convergence;
+pub mod live;
 pub mod report;
 pub mod saved;
 pub mod spec;

@@ -1,0 +1,232 @@
+//! Live progress rendering for `dsd design --progress`.
+//!
+//! A [`ProgressMonitor`] owns a [`ProgressChannel`] plus a background
+//! consumer thread that polls it (~10 Hz), folds the events into a
+//! [`StatusState`], and — in live mode — repaints a one-line status on
+//! stderr (stderr so piped stdout stays clean). All drained events are
+//! retained and handed back by [`ProgressMonitor::finish`], so the same
+//! stream can be written to a `--progress-log` JSONL file afterwards.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use dsd_obs::progress::ProgressKind;
+use dsd_obs::{ProgressChannel, ProgressEvent, ProgressGuard};
+
+/// Rolling digest of a progress stream, rendered as the status line.
+#[derive(Debug, Default, Clone)]
+pub struct StatusState {
+    phase: String,
+    cost: Option<f64>,
+    gap_pct: Option<f64>,
+    lane_evals: BTreeMap<u64, u64>,
+    restarts: u64,
+    done: u64,
+    elapsed_ns: u64,
+}
+
+impl StatusState {
+    /// Folds a batch of events into the digest. Returns `true` when the
+    /// batch changed anything worth repainting.
+    pub fn absorb(&mut self, events: &[ProgressEvent]) -> bool {
+        let mut dirty = false;
+        for event in events {
+            self.elapsed_ns = self.elapsed_ns.max(event.elapsed_ns);
+            match &event.kind {
+                ProgressKind::PhaseEntered { phase } => {
+                    self.phase = phase.clone();
+                }
+                ProgressKind::IncumbentImproved { cost, gap_pct, evals } => {
+                    self.cost = Some(*cost);
+                    self.gap_pct = *gap_pct;
+                    self.lane_evals.insert(event.worker, *evals);
+                }
+                ProgressKind::WorkerHeartbeat { evals, .. } => {
+                    self.lane_evals.insert(event.worker, *evals);
+                }
+                ProgressKind::Restart { restarts } => {
+                    self.restarts = self.restarts.max(*restarts);
+                }
+                ProgressKind::Done { cost, gap_pct, evals } => {
+                    if cost.is_some() {
+                        self.cost = *cost;
+                        self.gap_pct = *gap_pct;
+                    }
+                    self.lane_evals.insert(event.worker, *evals);
+                    self.done += 1;
+                }
+            }
+            dirty = true;
+        }
+        dirty
+    }
+
+    /// Total evaluations across worker lanes (each lane reports a
+    /// cumulative count, so the sum over lane maxima is exact).
+    #[must_use]
+    pub fn evals(&self) -> u64 {
+        self.lane_evals.values().sum()
+    }
+
+    /// The one-line status rendering.
+    #[must_use]
+    pub fn line(&self) -> String {
+        let mut out = format!("{:7.1}s", self.elapsed_ns as f64 / 1e9);
+        if !self.phase.is_empty() {
+            out.push_str(&format!(" [{}]", self.phase));
+        }
+        match self.cost {
+            Some(cost) => out.push_str(&format!(" cost ${cost:.0}")),
+            None => out.push_str(" cost —"),
+        }
+        if let Some(gap) = self.gap_pct {
+            out.push_str(&format!(" gap {gap:.1}%"));
+        }
+        out.push_str(&format!(" evals {}", self.evals()));
+        if self.lane_evals.len() > 1 {
+            out.push_str(&format!(" workers {}", self.lane_evals.len()));
+        }
+        if self.restarts > 0 {
+            out.push_str(&format!(" restarts {}", self.restarts));
+        }
+        if self.done > 0 {
+            out.push_str(" done");
+        }
+        out
+    }
+}
+
+/// Channel + consumer thread behind `--progress` / `--progress-log`.
+pub struct ProgressMonitor {
+    channel: ProgressChannel,
+    stop: Arc<AtomicBool>,
+    handle: thread::JoinHandle<Vec<ProgressEvent>>,
+}
+
+impl ProgressMonitor {
+    /// Starts the monitor. `live` controls the stderr status line; the
+    /// event stream is collected either way.
+    #[must_use]
+    pub fn start(live: bool) -> Self {
+        let channel = ProgressChannel::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let (poller, stopper) = (channel.clone(), Arc::clone(&stop));
+        let handle = thread::spawn(move || {
+            let mut events = Vec::new();
+            let mut state = StatusState::default();
+            loop {
+                let finished = stopper.load(Ordering::Acquire);
+                let batch = poller.poll();
+                let dirty = state.absorb(&batch);
+                events.extend(batch);
+                if live && dirty {
+                    // \r + clear-to-end keeps repaints on a single line.
+                    eprint!("\r\x1b[K{}", state.line());
+                    let _ = std::io::stderr().flush();
+                }
+                if finished {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(100));
+            }
+            if live {
+                // Leave the final status visible and restore the cursor.
+                eprintln!();
+            }
+            events
+        });
+        ProgressMonitor { channel, stop, handle }
+    }
+
+    /// Installs the underlying channel on the calling thread (the solver
+    /// thread), returning the emission guard.
+    #[must_use]
+    pub fn install(&self) -> ProgressGuard {
+        self.channel.install()
+    }
+
+    /// Events dropped by the bounded queue so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.channel.dropped()
+    }
+
+    /// Stops the consumer (after one final drain) and returns every
+    /// collected event in emission order.
+    #[must_use]
+    pub fn finish(self) -> Vec<ProgressEvent> {
+        self.stop.store(true, Ordering::Release);
+        self.handle.join().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(worker: u64, ns: u64, kind: ProgressKind) -> ProgressEvent {
+        ProgressEvent { worker, elapsed_ns: ns, kind }
+    }
+
+    #[test]
+    fn status_line_digests_the_stream() {
+        let mut state = StatusState::default();
+        assert!(!state.absorb(&[]));
+        let dirty = state.absorb(&[
+            event(0, 1_000_000, ProgressKind::PhaseEntered { phase: "greedy".into() }),
+            event(
+                0,
+                2_000_000,
+                ProgressKind::IncumbentImproved { cost: 1234.0, gap_pct: Some(7.5), evals: 10 },
+            ),
+            event(
+                1,
+                3_000_000,
+                ProgressKind::WorkerHeartbeat {
+                    evals: 20,
+                    evals_per_sec: 5.0,
+                    cache_hit_rate: 0.5,
+                },
+            ),
+            event(0, 4_000_000, ProgressKind::Restart { restarts: 2 }),
+        ]);
+        assert!(dirty);
+        let line = state.line();
+        assert!(line.contains("[greedy]"), "{line}");
+        assert!(line.contains("cost $1234"), "{line}");
+        assert!(line.contains("gap 7.5%"), "{line}");
+        assert!(line.contains("evals 30"), "{line}");
+        assert!(line.contains("workers 2"), "{line}");
+        assert!(line.contains("restarts 2"), "{line}");
+        assert!(!line.contains("done"), "{line}");
+
+        state.absorb(&[event(
+            0,
+            5_000_000,
+            ProgressKind::Done { cost: Some(1200.0), gap_pct: Some(5.0), evals: 15 },
+        )]);
+        let line = state.line();
+        assert!(line.contains("cost $1200"), "{line}");
+        assert!(line.contains("done"), "{line}");
+        assert!(line.contains("evals 35"), "{line}");
+    }
+
+    #[test]
+    fn monitor_collects_events_across_threads() {
+        let monitor = ProgressMonitor::start(false);
+        {
+            let _g = monitor.install();
+            dsd_obs::progress::phase_entered("greedy");
+            dsd_obs::progress::incumbent_improved(10.0, Some(1.0), 5);
+            dsd_obs::progress::done(Some(10.0), Some(1.0), 5);
+        }
+        assert_eq!(monitor.dropped(), 0);
+        let events = monitor.finish();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events.last().unwrap().kind, ProgressKind::Done { .. }));
+    }
+}

@@ -5,11 +5,15 @@
 //! dsd tables                             # print the paper's input catalogs
 //! dsd design env.toml [--budget N] [--seed N] [--save design.json]
 //!     [--trace trace.jsonl] [--metrics metrics.json] [--chrome-trace trace.json]
+//!     [--progress] [--progress-log progress.jsonl]
 //! dsd evaluate env.toml design.json      # re-evaluate a saved design
 //! dsd explain env.toml design.json [--top N] [--json report.json]
 //! dsd experiment table4|figure2..figure7|ablation [--budget N] [--seed N]
 //! dsd obs summary trace.jsonl [metrics.json] [--top N]
+//! dsd obs curve progress.jsonl... [--json report.json] [--csv curve.csv]
 //! dsd obs diff run-a.json run-b.json [--fail-on-regression]
+//! dsd bench history [--quick]
+//! dsd bench compare [--tolerance PCT] [--fail-on-regression]
 //! dsd tournament [--budget N] [--seed N] [--apps N] [--json report.json]
 //! ```
 
@@ -18,12 +22,14 @@ use std::fs;
 use std::process::ExitCode;
 
 use dsd_cli::commands::{
-    cmd_analyze_trace, cmd_design, cmd_evaluate, cmd_experiment, cmd_explain, cmd_init,
-    cmd_obs_diff, cmd_obs_summary, cmd_tables, cmd_tournament, RunOptions,
+    cmd_analyze_trace, cmd_bench_compare, cmd_bench_history, cmd_design, cmd_evaluate,
+    cmd_experiment, cmd_explain, cmd_init, cmd_obs_curve, cmd_obs_diff, cmd_obs_summary,
+    cmd_tables, cmd_tournament, RunOptions,
 };
+use dsd_cli::live::ProgressMonitor;
 
 fn usage() -> &'static str {
-    "usage:\n  dsd init\n  dsd tables\n  dsd design <spec.toml> [--budget N] [--seed N] [--save <design.json>] [--report <report.md>] [--trace <trace.jsonl>] [--metrics <metrics.json>] [--chrome-trace <trace.json>]\n  dsd evaluate <spec.toml> <design.json>\n  dsd explain <spec.toml> <design.json> [--top N] [--json <report.json>]\n  dsd experiment <table4|figure2|figure3|figure4|figure5|figure6|figure7|ablation> [--budget N] [--seed N] [--trace <trace.jsonl>] [--metrics <metrics.json>]\n  dsd analyze-trace <trace.csv>\n  dsd obs summary <trace.jsonl> [<metrics.json>] [--top N]\n  dsd obs diff <run-a.json> <run-b.json> [--fail-on-regression]\n  dsd tournament [--budget N] [--seed N] [--apps N] [--json <report.json>]"
+    "usage:\n  dsd init\n  dsd tables\n  dsd design <spec.toml> [--budget N] [--seed N] [--save <design.json>] [--report <report.md>] [--trace <trace.jsonl>] [--metrics <metrics.json>] [--chrome-trace <trace.json>] [--progress] [--progress-log <progress.jsonl>]\n  dsd evaluate <spec.toml> <design.json>\n  dsd explain <spec.toml> <design.json> [--top N] [--json <report.json>]\n  dsd experiment <table4|figure2|figure3|figure4|figure5|figure6|figure7|ablation> [--budget N] [--seed N] [--trace <trace.jsonl>] [--metrics <metrics.json>]\n  dsd analyze-trace <trace.csv>\n  dsd obs summary <trace.jsonl> [<metrics.json>] [--top N]\n  dsd obs curve <progress.jsonl>... [--json <report.json>] [--csv <curve.csv>]\n  dsd obs diff <run-a.json> <run-b.json> [--fail-on-regression]\n  dsd bench history [--quick] [--skip-bins]\n  dsd bench compare [--tolerance PCT] [--fail-on-regression]\n  dsd tournament [--budget N] [--seed N] [--apps N] [--json <report.json>]"
 }
 
 /// Output-file options pulled from the flags.
@@ -35,9 +41,15 @@ struct OutputPaths {
     metrics: Option<String>,
     chrome_trace: Option<String>,
     json: Option<String>,
+    csv: Option<String>,
+    progress_log: Option<String>,
     top: Option<usize>,
     apps: Option<usize>,
+    tolerance: Option<f64>,
     fail_on_regression: bool,
+    progress: bool,
+    quick: bool,
+    skip_bins: bool,
 }
 
 impl OutputPaths {
@@ -91,6 +103,19 @@ fn parse_flags(args: &[String]) -> Result<(Vec<&str>, RunOptions, OutputPaths), 
                 i += 1;
                 out.json = Some(args.get(i).ok_or("--json needs a path")?.clone());
             }
+            "--csv" => {
+                i += 1;
+                out.csv = Some(args.get(i).ok_or("--csv needs a path")?.clone());
+            }
+            "--progress-log" => {
+                i += 1;
+                out.progress_log = Some(args.get(i).ok_or("--progress-log needs a path")?.clone());
+            }
+            "--tolerance" => {
+                i += 1;
+                let v = args.get(i).ok_or("--tolerance needs a value")?;
+                out.tolerance = Some(v.parse().map_err(|_| format!("bad tolerance: {v}"))?);
+            }
             "--top" => {
                 i += 1;
                 let v = args.get(i).ok_or("--top needs a value")?;
@@ -102,6 +127,9 @@ fn parse_flags(args: &[String]) -> Result<(Vec<&str>, RunOptions, OutputPaths), 
                 out.apps = Some(v.parse().map_err(|_| format!("bad apps: {v}"))?);
             }
             "--fail-on-regression" => out.fail_on_regression = true,
+            "--progress" => out.progress = true,
+            "--quick" => out.quick = true,
+            "--skip-bins" => out.skip_bins = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag: {flag}").into());
             }
@@ -147,10 +175,27 @@ fn run() -> Result<(), Box<dyn Error>> {
         ["tables"] => print!("{}", cmd_tables()),
         ["design", spec_path] => {
             let spec = fs::read_to_string(spec_path)?;
+            // The flight recorder streams typed progress events to a
+            // consumer thread; `--progress` renders them live on stderr,
+            // `--progress-log` persists them as JSONL afterwards.
+            let monitor = (outputs.progress || outputs.progress_log.is_some())
+                .then(|| ProgressMonitor::start(outputs.progress));
             let result = {
                 let _guard = recorder.as_ref().map(dsd_obs::Recorder::install);
+                let _progress_guard = monitor.as_ref().map(ProgressMonitor::install);
                 cmd_design(&spec, options)
             };
+            if let Some(monitor) = monitor {
+                let dropped = monitor.dropped();
+                let events = monitor.finish();
+                if let Some(path) = &outputs.progress_log {
+                    fs::write(path, dsd_obs::progress::progress_jsonl(&events))?;
+                    println!("progress log written to {path}");
+                }
+                if dropped > 0 {
+                    eprintln!("progress: {dropped} events dropped by the bounded queue");
+                }
+            }
             if let Some(recorder) = &recorder {
                 export_observability(recorder, &outputs)?;
             }
@@ -212,6 +257,39 @@ fn run() -> Result<(), Box<dyn Error>> {
             }
             if violations > 0 {
                 return Err(format!("{violations} certificate violations detected").into());
+            }
+        }
+        ["obs", "curve", paths @ ..] if !paths.is_empty() => {
+            let mut runs = Vec::new();
+            for path in paths {
+                let text = fs::read_to_string(path)?;
+                let name = std::path::Path::new(path)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or(path)
+                    .to_string();
+                runs.push((name, text));
+            }
+            let (text, json, csv) = cmd_obs_curve(&runs)?;
+            print!("{text}");
+            if let Some(path) = outputs.json {
+                fs::write(&path, json)?;
+                println!("curve report written to {path}");
+            }
+            if let Some(path) = outputs.csv {
+                fs::write(&path, csv)?;
+                println!("curve csv written to {path}");
+            }
+        }
+        ["bench", "history"] => {
+            print!("{}", cmd_bench_history(outputs.quick, outputs.skip_bins)?);
+        }
+        ["bench", "compare"] => {
+            let tolerance = outputs.tolerance.unwrap_or(dsd_bench::history::DEFAULT_TOLERANCE_PCT);
+            let (text, regressions) = cmd_bench_compare(tolerance)?;
+            print!("{text}");
+            if outputs.fail_on_regression && regressions > 0 {
+                return Err(format!("{regressions} perf regressions beyond tolerance").into());
             }
         }
         ["obs", "diff", a_path, b_path] => {

@@ -128,7 +128,9 @@ fn design_records_trace_and_metrics() {
 
     // The JSONL trace parses and contains the advertised event taxonomy.
     let trace_text = std::fs::read_to_string(&trace_path).unwrap();
-    let records = dsd_obs::export::parse_jsonl(&trace_text).expect("trace parses");
+    let parsed = dsd_obs::export::parse_jsonl(&trace_text);
+    assert_eq!(parsed.skipped, 0, "clean trace: {:?}", parsed.first_error);
+    let records = parsed.records;
     let has = |name: &str| records.iter().any(|r| r.name == name);
     assert!(has("greedy.place"), "greedy placements");
     assert!(has("refit.move"), "refit moves");
@@ -311,6 +313,104 @@ fn tournament_subcommand_certifies_and_writes_json() {
     assert!(report.get("instances").is_some());
     assert!(report.get("summary").is_some());
     assert!(matches!(report.get("bound_violations"), Some(serde::Value::Int(0))));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The flight recorder end to end: a seeded `dsd design --progress-log`
+/// writes a JSONL event stream whose final incumbent bit-matches the
+/// published cost/gap gauges, and `dsd obs curve` digests the log into a
+/// convergence report with time-to-gap milestones.
+#[test]
+fn progress_log_bit_matches_the_metrics_and_curves_render() {
+    let dir = std::env::temp_dir().join(format!("dsd-progress-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("env.toml");
+    let progress_path = dir.join("progress.jsonl");
+    let metrics_path = dir.join("metrics.json");
+    let report_path = dir.join("curve.json");
+    let csv_path = dir.join("curve.csv");
+
+    let init = dsd().arg("init").output().expect("runs");
+    assert!(init.status.success());
+    std::fs::write(&spec_path, &init.stdout).unwrap();
+
+    let design = dsd()
+        .args([
+            "design",
+            spec_path.to_str().unwrap(),
+            "--budget",
+            "15",
+            "--seed",
+            "3",
+            "--progress",
+            "--progress-log",
+            progress_path.to_str().unwrap(),
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(design.status.success(), "{}", String::from_utf8_lossy(&design.stderr));
+    // `--progress` paints the live status line on stderr.
+    let live = String::from_utf8_lossy(&design.stderr);
+    assert!(live.contains("cost $"), "live status line painted: {live}");
+
+    // The log parses cleanly and ends with a done marker.
+    let log_text = std::fs::read_to_string(&progress_path).unwrap();
+    let parsed = dsd_obs::progress::parse_progress_jsonl(&log_text);
+    assert_eq!(parsed.skipped, 0, "clean log: {:?}", parsed.first_error);
+    assert!(
+        matches!(parsed.events.last().map(|e| &e.kind), Some(dsd_obs::ProgressKind::Done { .. })),
+        "log ends with a done event"
+    );
+
+    // The final incumbent event bit-matches the published gauges: the
+    // channel observes the same floats the solver reports.
+    let (final_cost, final_gap) = parsed
+        .events
+        .iter()
+        .rev()
+        .find_map(|e| match e.kind {
+            dsd_obs::ProgressKind::IncumbentImproved { cost, gap_pct, .. } => Some((cost, gap_pct)),
+            _ => None,
+        })
+        .expect("at least one incumbent event");
+    let metrics_text = std::fs::read_to_string(&metrics_path).unwrap();
+    let snapshot: dsd_obs::MetricsSnapshot =
+        serde_json::from_str(&metrics_text).expect("metrics parse");
+    let gauge_cost = snapshot.gauge("cost.total").expect("cost.total gauge");
+    assert_eq!(final_cost.to_bits(), gauge_cost.to_bits(), "incumbent cost bit-matches");
+    let gauge_gap = snapshot.gauge("bound.gap_pct").expect("bound.gap_pct gauge");
+    assert_eq!(
+        final_gap.map(f64::to_bits),
+        Some(gauge_gap.to_bits()),
+        "incumbent gap bit-matches the certificate"
+    );
+
+    // `dsd obs curve` renders milestones and writes the exports.
+    let curve = dsd()
+        .args([
+            "obs",
+            "curve",
+            progress_path.to_str().unwrap(),
+            "--json",
+            report_path.to_str().unwrap(),
+            "--csv",
+            csv_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(curve.status.success(), "{}", String::from_utf8_lossy(&curve.stderr));
+    let text = String::from_utf8_lossy(&curve.stdout);
+    assert!(text.contains("time to gap:"), "{text}");
+    assert!(text.contains("worker lanes:"), "{text}");
+
+    let report = serde_json::parse(&std::fs::read_to_string(&report_path).unwrap())
+        .expect("curve report parses");
+    assert!(report.get("runs").is_some());
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    assert!(csv.starts_with("run,elapsed_secs,cost,gap_pct"), "{csv}");
 
     std::fs::remove_dir_all(&dir).ok();
 }

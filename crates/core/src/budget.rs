@@ -5,7 +5,9 @@
 //! so results are machine-independent and deterministic under a seed, but
 //! wall-clock budgets are supported for paper-faithful runs.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use dsd_obs::Stopwatch;
 
 /// A solve budget: the solver stops when *either* limit is reached.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,10 +36,11 @@ impl Budget {
         Budget { max_iterations: Some(n), max_duration: Some(d) }
     }
 
-    /// Starts consuming this budget.
+    /// Starts consuming this budget (timed on the workspace's monotonic
+    /// [`Stopwatch`]).
     #[must_use]
     pub fn start(self) -> BudgetTracker {
-        BudgetTracker { budget: self, started: Instant::now(), iterations: 0 }
+        BudgetTracker { budget: self, started: Stopwatch::start(), iterations: 0 }
     }
 }
 
@@ -45,7 +48,7 @@ impl Budget {
 #[derive(Debug, Clone)]
 pub struct BudgetTracker {
     budget: Budget,
-    started: Instant,
+    started: Stopwatch,
     iterations: u64,
 }
 

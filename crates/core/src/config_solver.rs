@@ -116,8 +116,10 @@ impl<'e> ConfigurationSolver<'e> {
     ) -> CostBreakdown {
         if thoroughness == Thoroughness::Full {
             // Full completions are rare (final polish, human heuristic),
-            // so they get a span; Quick completions are the hot path and
-            // are visible through `refit.move` / `solver.eval_latency`.
+            // so they get a span and a progress phase; Quick completions
+            // are the hot path and are visible through `refit.move` /
+            // `solver.eval_latency`.
+            dsd_obs::progress::phase_entered("config.full");
             let _span = obs::span("config.optimize", "config");
             self.optimize_configs(candidate, scache);
         }

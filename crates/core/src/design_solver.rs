@@ -16,9 +16,10 @@
 //! equivalent explicit best-tracking; the explored node set (b siblings ×
 //! depth-d best-of-b walks per round) is the same.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use dsd_obs as obs;
+use dsd_obs::{duration_ns, progress, Stopwatch};
 use rand::Rng;
 
 use dsd_recovery::ScenarioOutcomeCache;
@@ -31,6 +32,7 @@ use crate::config_solver::{ConfigurationSolver, Thoroughness};
 use crate::delta::Move;
 use crate::env::Environment;
 use crate::eval_cache::{CacheStats, EvalCache};
+use crate::flight::{heartbeat, FlightPlan};
 use crate::reconfigure::{weighted_index, Reconfigurator};
 
 /// Refit-stage shape parameters (paper §3.1.2: breadth `b`, typically 3;
@@ -144,10 +146,6 @@ impl SolveStats {
     }
 }
 
-fn duration_ns(d: Duration) -> u64 {
-    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
-}
-
 /// Result of a solve: the best (evaluated) design found, if any design
 /// was feasible, plus run statistics.
 #[derive(Debug, Clone)]
@@ -175,14 +173,14 @@ impl SolveOutcome {
         self.stats.nodes_evaluated as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
-    /// Computes the relaxation lower bound for `env`, attaches a
-    /// [`crate::bounds::Certificate`] for the best design (if any), and
-    /// publishes the `bound.lower` / `bound.gap_pct` gauges. Returns the
-    /// certificate for convenience.
+    /// Fetches the relaxation lower bound for `env` (memoized on the
+    /// environment), attaches a [`crate::bounds::Certificate`] for the
+    /// best design (if any), and publishes the `bound.lower` /
+    /// `bound.gap_pct` gauges. Returns the certificate for convenience.
     pub fn certify(&mut self, env: &Environment) -> Option<&crate::bounds::Certificate> {
         let best = self.best.as_ref()?;
-        let lb = crate::bounds::lower_bound(env);
-        let certificate = crate::bounds::Certificate::new(&lb, best.cost().total());
+        let lb = env.certified_lower_bound();
+        let certificate = crate::bounds::Certificate::new(lb, best.cost().total());
         certificate.publish();
         self.bound = Some(certificate);
         self.bound.as_ref()
@@ -278,10 +276,20 @@ impl<'e> DesignSolver<'e> {
         // reuse composes with the completion-level eval cache.
         let mut scache = ScenarioOutcomeCache::new();
         let mut best: Option<Candidate> = None;
+        // Flight recorder: the certificate bound behind gap percentages
+        // is computed only when a progress channel is listening, and
+        // emission never touches `rng`.
+        let flight = FlightPlan::new(self.env);
+        let mut restarts = 0u64;
 
         while !tracker.expired() {
+            if restarts > 0 {
+                progress::restart(restarts);
+            }
+            restarts += 1;
+            progress::phase_entered("greedy");
             let greedy_span = obs::span("solver.greedy", "solver");
-            let greedy_started = Instant::now();
+            let greedy_started = Stopwatch::start();
             let built = self.greedy_stage(rng, &mut tracker, &mut stats, &mut scache);
             stats.greedy_time += greedy_started.elapsed();
             drop(greedy_span);
@@ -299,20 +307,42 @@ impl<'e> DesignSolver<'e> {
             stats.greedy_builds += 1;
             self.complete_node(&config, &mut current, Thoroughness::Quick, &mut stats, &mut scache);
 
+            progress::phase_entered("refit");
             let refit_span = obs::span("solver.refit", "solver");
-            let refit_started = Instant::now();
-            self.refit_stage(&mut current, &mut reconf, rng, &mut tracker, &mut stats, &mut scache);
+            let refit_started = Stopwatch::start();
+            let global_best = best.as_ref().map(|b| self.env.score(b.cost()));
+            self.refit_stage(
+                &mut current,
+                &mut reconf,
+                rng,
+                &mut tracker,
+                &mut stats,
+                &mut scache,
+                &flight,
+                global_best,
+            );
             stats.refit_time += refit_started.elapsed();
             drop(refit_span);
             if track_best(self.env, &mut best, current) {
                 record_improvement(self.env, best.as_ref(), &stats);
+                if let Some(b) = &best {
+                    flight.incumbent(b.cost().total(), stats.nodes_evaluated);
+                }
             }
+            heartbeat(stats.nodes_evaluated, tracker.elapsed(), stats.cache_hit_rate());
         }
 
         if let Some(b) = best.as_mut() {
+            progress::phase_entered("polish");
             self.complete_node(&config, b, Thoroughness::Full, &mut stats, &mut scache);
         }
         stats.publish();
+        if let Some(b) = &best {
+            // The final incumbent event carries the polished objective, so
+            // a progress log always ends at the run's reported cost.
+            flight.incumbent(b.cost().total(), stats.nodes_evaluated);
+        }
+        flight.done(best.as_ref().map(|b| b.cost().total()), stats.nodes_evaluated);
         if let Some(b) = &best {
             obs::gauge("solver.best_cost", self.env.score(b.cost()).as_f64());
         }
@@ -338,7 +368,7 @@ impl<'e> DesignSolver<'e> {
         stats: &mut SolveStats,
         scache: &mut ScenarioOutcomeCache,
     ) {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         match self.cache {
             Some(cache) => {
                 let (_, hit) = config.complete_cached_with(candidate, thoroughness, cache, scache);
@@ -438,6 +468,9 @@ impl<'e> DesignSolver<'e> {
     }
 
     /// Stage 2: refit (§3.1.2). Mutates `current` toward a local optimum.
+    /// `global_best` is the score of the best design from earlier
+    /// restarts, so progress incumbents stay globally monotone.
+    #[allow(clippy::too_many_arguments)]
     fn refit_stage<R: Rng + ?Sized>(
         &self,
         current: &mut Candidate,
@@ -446,6 +479,8 @@ impl<'e> DesignSolver<'e> {
         tracker: &mut BudgetTracker,
         stats: &mut SolveStats,
         scache: &mut ScenarioOutcomeCache,
+        flight: &FlightPlan,
+        global_best: Option<Dollars>,
     ) {
         // Refit nodes complete with the same addition limits as the rest
         // of the search, so one cache namespace covers both stages.
@@ -513,6 +548,12 @@ impl<'e> DesignSolver<'e> {
                     *current = rb.clone();
                     best = rb;
                     record_improvement(self.env, Some(&best), stats);
+                    // Progress incumbents only report *global* improvements
+                    // (a later restart's local walk may trail the best seen
+                    // so far), keeping the convergence curve monotone.
+                    if global_best.is_none_or(|g| self.env.score(best.cost()) < g) {
+                        flight.incumbent(best.cost().total(), stats.nodes_evaluated);
+                    }
                 }
                 // No improvement this round: local optimum (Algorithm 1's
                 // termination test).

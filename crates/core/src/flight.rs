@@ -1,0 +1,67 @@
+//! Flight-recorder glue: what the solvers share to emit progress.
+//!
+//! Every solver and heuristic reports into the [`dsd_obs::progress`]
+//! channel through a [`FlightPlan`], which owns the one piece of state
+//! progress events need beyond raw counters: the relaxation lower bound
+//! (PR-6 certificates) that turns an incumbent cost into a gap
+//! percentage. The bound is computed once per solve, *only when a
+//! channel is actually listening*, and its computation is deterministic
+//! arithmetic — no randomness is consumed, so instrumented and
+//! uninstrumented searches stay bit-identical.
+
+use std::time::Duration;
+
+use dsd_obs::progress;
+use dsd_units::Dollars;
+
+use crate::bounds::{Certificate, LowerBound};
+use crate::env::Environment;
+
+/// Per-solve progress-emission context. Constructing one is free when no
+/// enabled progress channel is installed on the current thread.
+#[derive(Debug, Default)]
+pub(crate) struct FlightPlan {
+    bound: Option<LowerBound>,
+}
+
+impl FlightPlan {
+    /// Prepares emission for one solve: fetches the certificate lower
+    /// bound iff a progress channel is listening (so gap percentages in
+    /// incumbent events bit-match a later [`crate::bounds::Certificate`]
+    /// over the same environment). The bound is memoized on the
+    /// environment, so repeated instrumented solves pay for it once.
+    pub(crate) fn new(env: &Environment) -> Self {
+        let bound = progress::enabled().then(|| env.certified_lower_bound().clone());
+        FlightPlan { bound }
+    }
+
+    /// Gap to the bound for a cost, percent — exactly
+    /// `Certificate::new(bound, cost).gap_pct`.
+    pub(crate) fn gap_pct(&self, cost: Dollars) -> Option<f64> {
+        self.bound.as_ref().map(|lb| Certificate::new(lb, cost).gap_pct)
+    }
+
+    /// Emits an incumbent-improved event.
+    pub(crate) fn incumbent(&self, cost: Dollars, evals: u64) {
+        if progress::enabled() {
+            progress::incumbent_improved(cost.as_f64(), self.gap_pct(cost), evals);
+        }
+    }
+
+    /// Emits the final done event.
+    pub(crate) fn done(&self, cost: Option<Dollars>, evals: u64) {
+        if progress::enabled() {
+            let gap = cost.and_then(|c| self.gap_pct(c));
+            progress::done(cost.map(Dollars::as_f64), gap, evals);
+        }
+    }
+}
+
+/// Emits a worker heartbeat from raw run counters. The throughput
+/// division only happens when someone is listening.
+pub(crate) fn heartbeat(evals: u64, elapsed: Duration, cache_hit_rate: f64) {
+    if progress::enabled() {
+        let evals_per_sec = evals as f64 / elapsed.as_secs_f64().max(1e-9);
+        progress::worker_heartbeat(evals, evals_per_sec, cache_hit_rate);
+    }
+}

@@ -10,12 +10,14 @@
 //! strategy itself.
 
 use dsd_obs as obs;
+use dsd_obs::progress;
 use rand::Rng;
 
 use crate::budget::Budget;
 use crate::config_solver::{ConfigurationSolver, Thoroughness};
 use crate::design_solver::{SolveOutcome, SolveStats};
 use crate::env::Environment;
+use crate::flight::{heartbeat, FlightPlan};
 use crate::heuristics::random::random_design;
 use crate::reconfigure::Reconfigurator;
 
@@ -87,6 +89,8 @@ impl<'e> SimulatedAnnealing<'e> {
         let _solve_span = obs::span("anneal.solve", "heuristic");
         let mut tracker = budget.start();
         let mut stats = SolveStats::default();
+        let flight = FlightPlan::new(self.env);
+        progress::phase_entered("anneal");
         let config = ConfigurationSolver::new(self.env)
             .with_addition_limits(self.addition_limits.0, self.addition_limits.1);
         let mut reconf = Reconfigurator::default();
@@ -94,6 +98,7 @@ impl<'e> SimulatedAnnealing<'e> {
         // Start from a random feasible design.
         let mut current = loop {
             if tracker.expired() {
+                flight.done(None, stats.nodes_evaluated);
                 return SolveOutcome {
                     best: None,
                     stats,
@@ -110,10 +115,14 @@ impl<'e> SimulatedAnnealing<'e> {
                     stats.greedy_builds += 1;
                     break c;
                 }
-                None => stats.greedy_failures += 1,
+                None => {
+                    stats.greedy_failures += 1;
+                    progress::restart(stats.greedy_failures);
+                }
             }
         };
         let mut best = current.clone();
+        flight.incumbent(best.cost().total(), stats.nodes_evaluated);
 
         let mut temperature =
             self.env.score(current.cost()).as_f64() * self.params.initial_temp_fraction;
@@ -147,7 +156,11 @@ impl<'e> SimulatedAnnealing<'e> {
                 current = proposal;
                 if self.env.score(current.cost()) < self.env.score(best.cost()) {
                     best = current.clone();
+                    flight.incumbent(best.cost().total(), stats.nodes_evaluated);
                 }
+            }
+            if stats.nodes_evaluated.is_multiple_of(32) {
+                heartbeat(stats.nodes_evaluated, tracker.elapsed(), 0.0);
             }
 
             step += 1;
@@ -159,6 +172,8 @@ impl<'e> SimulatedAnnealing<'e> {
         config.complete(&mut best, Thoroughness::Full);
         stats.nodes_evaluated += 1;
         stats.publish();
+        flight.incumbent(best.cost().total(), stats.nodes_evaluated);
+        flight.done(Some(best.cost().total()), stats.nodes_evaluated);
         SolveOutcome {
             best: Some(best),
             stats,

@@ -1,6 +1,7 @@
 //! The emulated human storage architect (paper §4.1).
 
 use dsd_obs as obs;
+use dsd_obs::progress;
 use rand::Rng;
 
 use dsd_protection::TechniqueId;
@@ -11,6 +12,7 @@ use crate::candidate::{Candidate, PlacementOptions};
 use crate::config_solver::{ConfigurationSolver, Thoroughness};
 use crate::design_solver::{SolveOutcome, SolveStats};
 use crate::env::Environment;
+use crate::flight::{heartbeat, FlightPlan};
 use crate::reconfigure::weighted_index;
 
 /// Emulates a human architect's gold/silver/bronze design process:
@@ -45,6 +47,8 @@ impl<'e> HumanHeuristic<'e> {
         let _solve_span = obs::span("human.solve", "heuristic");
         let mut tracker = budget.start();
         let mut stats = SolveStats::default();
+        let flight = FlightPlan::new(self.env);
+        progress::phase_entered("human");
         let config = ConfigurationSolver::new(self.env);
         let mut best: Option<Candidate> = None;
 
@@ -60,12 +64,20 @@ impl<'e> HumanHeuristic<'e> {
                     });
                     if better {
                         best = Some(candidate);
+                        if let Some(b) = &best {
+                            flight.incumbent(b.cost().total(), stats.nodes_evaluated);
+                        }
                     }
                 }
-                None => stats.greedy_failures += 1,
+                None => {
+                    stats.greedy_failures += 1;
+                    progress::restart(stats.greedy_failures);
+                }
             }
+            heartbeat(stats.nodes_evaluated, tracker.elapsed(), 0.0);
         }
         stats.publish();
+        flight.done(best.as_ref().map(|b| b.cost().total()), stats.nodes_evaluated);
         SolveOutcome { best, stats, elapsed: tracker.elapsed(), cache: None, bound: None }
     }
 

@@ -2,6 +2,7 @@
 //! designs, keeping the cheapest.
 
 use dsd_obs as obs;
+use dsd_obs::progress;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -9,6 +10,7 @@ use crate::budget::Budget;
 use crate::candidate::{Candidate, PlacementOptions};
 use crate::design_solver::{SolveOutcome, SolveStats};
 use crate::env::Environment;
+use crate::flight::{heartbeat, FlightPlan};
 
 /// Generates one uniformly random complete design: for each application
 /// (in random order) a uniformly random technique from the whole catalog
@@ -71,6 +73,8 @@ impl<'e> RandomHeuristic<'e> {
         let _solve_span = obs::span("random.solve", "heuristic");
         let mut tracker = budget.start();
         let mut stats = SolveStats::default();
+        let flight = FlightPlan::new(self.env);
+        progress::phase_entered("random");
         let mut best: Option<Candidate> = None;
         while !tracker.expired() {
             tracker.tick();
@@ -85,15 +89,23 @@ impl<'e> RandomHeuristic<'e> {
                     });
                     if better {
                         best = Some(candidate);
+                        if let Some(b) = &best {
+                            flight.incumbent(b.cost().total(), stats.nodes_evaluated);
+                        }
                     }
                 }
                 None => {
                     stats.greedy_failures += 1;
                     obs::add("random.infeasible_samples", 1);
+                    progress::restart(stats.greedy_failures);
                 }
+            }
+            if stats.nodes_evaluated.is_multiple_of(32) {
+                heartbeat(stats.nodes_evaluated, tracker.elapsed(), 0.0);
             }
         }
         stats.publish();
+        flight.done(best.as_ref().map(|b| b.cost().total()), stats.nodes_evaluated);
         SolveOutcome { best, stats, elapsed: tracker.elapsed(), cache: None, bound: None }
     }
 }

@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 
 use dsd_obs as obs;
+use dsd_obs::progress;
 use rand::Rng;
 
 use dsd_workload::AppId;
@@ -18,6 +19,7 @@ use crate::candidate::Candidate;
 use crate::config_solver::{ConfigurationSolver, Thoroughness};
 use crate::design_solver::{SolveOutcome, SolveStats};
 use crate::env::Environment;
+use crate::flight::{heartbeat, FlightPlan};
 use crate::heuristics::random::random_design;
 use crate::reconfigure::Reconfigurator;
 
@@ -70,12 +72,15 @@ impl<'e> TabuSearch<'e> {
         let _solve_span = obs::span("tabu.solve", "heuristic");
         let mut tracker = budget.start();
         let mut stats = SolveStats::default();
+        let flight = FlightPlan::new(self.env);
+        progress::phase_entered("tabu");
         let config = ConfigurationSolver::new(self.env)
             .with_addition_limits(self.addition_limits.0, self.addition_limits.1);
         let mut reconf = Reconfigurator::default();
 
         let mut current = loop {
             if tracker.expired() {
+                flight.done(None, stats.nodes_evaluated);
                 return SolveOutcome {
                     best: None,
                     stats,
@@ -92,10 +97,14 @@ impl<'e> TabuSearch<'e> {
                     stats.greedy_builds += 1;
                     break c;
                 }
-                None => stats.greedy_failures += 1,
+                None => {
+                    stats.greedy_failures += 1;
+                    progress::restart(stats.greedy_failures);
+                }
             }
         };
         let mut best = current.clone();
+        flight.incumbent(best.cost().total(), stats.nodes_evaluated);
         let mut tabu: VecDeque<AppId> = VecDeque::with_capacity(self.tenure);
 
         while !tracker.expired() {
@@ -146,12 +155,18 @@ impl<'e> TabuSearch<'e> {
             current = next;
             if self.env.score(current.cost()) < self.env.score(best.cost()) {
                 best = current.clone();
+                flight.incumbent(best.cost().total(), stats.nodes_evaluated);
+            }
+            if stats.nodes_evaluated.is_multiple_of(32) {
+                heartbeat(stats.nodes_evaluated, tracker.elapsed(), 0.0);
             }
         }
 
         config.complete(&mut best, Thoroughness::Full);
         stats.nodes_evaluated += 1;
         stats.publish();
+        flight.incumbent(best.cost().total(), stats.nodes_evaluated);
+        flight.done(Some(best.cost().total()), stats.nodes_evaluated);
         SolveOutcome {
             best: Some(best),
             stats,

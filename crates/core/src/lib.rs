@@ -51,6 +51,7 @@ mod env;
 pub mod eval_cache;
 mod exhaustive;
 mod explain;
+mod flight;
 pub mod heuristics;
 mod objective;
 mod parallel;

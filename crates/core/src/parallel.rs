@@ -47,22 +47,27 @@ pub fn parallel_solve_with_cache(
     cache: &EvalCache,
 ) -> SolveOutcome {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let started = std::time::Instant::now();
+    let started = dsd_obs::Stopwatch::start();
     let mut fanout_span = dsd_obs::span("solver.parallel", "solver");
     fanout_span.arg("workers", seeds.len());
     dsd_obs::gauge("solver.workers", seeds.len() as f64);
-    // Propagate the caller's recorder into the workers: each installs its
-    // own clone, so buffers stay per-thread and events/metrics from every
-    // seed land in the one shared sink.
+    dsd_obs::progress::phase_entered("parallel");
+    // Propagate the caller's recorder and progress channel into the
+    // workers: each installs its own clone, so event buffers stay
+    // per-thread and every worker's progress lands in one shared queue
+    // under its own lane (dense worker index per install).
     let recorder = dsd_obs::current();
+    let channel = dsd_obs::progress::current();
     let best = Mutex::new(None::<SolveOutcome>);
 
     std::thread::scope(|scope| {
         for &seed in seeds {
             let best = &best;
             let recorder = recorder.clone();
+            let channel = channel.clone();
             scope.spawn(move || {
                 let _obs_guard = recorder.as_ref().map(dsd_obs::Recorder::install);
+                let _progress_guard = channel.as_ref().map(dsd_obs::ProgressChannel::install);
                 let mut rng = ChaCha8Rng::seed_from_u64(seed);
                 let outcome = DesignSolver::new(env).with_cache(cache).solve(budget, &mut rng);
                 let mut slot = best.lock().expect("best lock poisoned");

@@ -1,0 +1,77 @@
+//! The single monotonic clock the workspace times with.
+//!
+//! Every elapsed-time field the solvers and benches report —
+//! `SolveStats` stage times, budget deadlines, bench rep timings,
+//! progress-event offsets — goes through [`Stopwatch`] so there is
+//! exactly one place that decides which clock is read. The clock is
+//! `std::time::Instant` (monotonic, immune to wall-clock adjustments);
+//! nothing in the workspace should call `Instant::now()` for timing
+//! directly.
+
+use std::time::{Duration, Instant};
+
+/// A started monotonic clock. Cheap to copy; reading it never blocks and
+/// never consumes randomness.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+impl Stopwatch {
+    /// Starts the clock now.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch { started: Instant::now() }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed time in whole nanoseconds, saturating at `u64::MAX`
+    /// (~584 years — effectively never).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        duration_ns(self.elapsed())
+    }
+
+    /// Elapsed time in (fractional) seconds.
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+/// A `Duration` as whole nanoseconds, saturating at `u64::MAX`.
+#[must_use]
+pub fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+        assert!(sw.elapsed_secs() >= 0.0);
+    }
+
+    #[test]
+    fn duration_ns_saturates() {
+        assert_eq!(duration_ns(Duration::from_nanos(125)), 125);
+        assert_eq!(duration_ns(Duration::MAX), u64::MAX);
+    }
+}

@@ -228,36 +228,60 @@ fn num_field(map: &Value, key: &str, line: usize) -> Result<f64, TraceError> {
     }
 }
 
+/// Result of leniently parsing a JSONL trace: every line that matched
+/// the schema, plus a count of lines that did not.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParsedTrace {
+    /// Records in file order.
+    pub records: Vec<TraceRecord>,
+    /// Non-blank lines skipped because they were malformed (the
+    /// `parse.skipped` diagnostic).
+    pub skipped: u64,
+    /// Description of the first skipped line, for diagnostics.
+    pub first_error: Option<String>,
+}
+
+fn parse_line(line: &str, line_no: usize) -> Result<TraceRecord, TraceError> {
+    let value =
+        serde_json::parse(line).map_err(|e| TraceError::new(format!("line {line_no}: {e}")))?;
+    let kind = str_field(&value, "kind", line_no)?;
+    if kind != "span" && kind != "instant" {
+        return Err(TraceError::new(format!("line {line_no}: unknown kind `{kind}`")));
+    }
+    Ok(TraceRecord {
+        name: str_field(&value, "name", line_no)?,
+        cat: str_field(&value, "cat", line_no)?,
+        kind,
+        ts_us: num_field(&value, "ts_us", line_no)?,
+        dur_us: num_field(&value, "dur_us", line_no)?,
+        tid: num_field(&value, "tid", line_no)? as u64,
+        args: value.get("args").cloned().unwrap_or(Value::Map(Vec::new())),
+    })
+}
+
 /// Parses a JSONL trace produced by [`trace_jsonl`], validating the
-/// schema of every line.
-///
-/// # Errors
-///
-/// [`TraceError`] naming the first malformed line.
-pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, TraceError> {
-    let mut records = Vec::new();
+/// schema of every line. Lenient by design: a malformed line — most
+/// commonly the torn tail of a trace whose writer was killed mid-line —
+/// is counted and skipped, never fatal. Callers surface
+/// [`ParsedTrace::skipped`] as a `parse.skipped` diagnostic.
+#[must_use]
+pub fn parse_jsonl(text: &str) -> ParsedTrace {
+    let mut parsed = ParsedTrace::default();
     for (i, line) in text.lines().enumerate() {
-        let line_no = i + 1;
         if line.trim().is_empty() {
             continue;
         }
-        let value =
-            serde_json::parse(line).map_err(|e| TraceError::new(format!("line {line_no}: {e}")))?;
-        let kind = str_field(&value, "kind", line_no)?;
-        if kind != "span" && kind != "instant" {
-            return Err(TraceError::new(format!("line {line_no}: unknown kind `{kind}`")));
+        match parse_line(line, i + 1) {
+            Ok(record) => parsed.records.push(record),
+            Err(e) => {
+                parsed.skipped += 1;
+                if parsed.first_error.is_none() {
+                    parsed.first_error = Some(e.to_string());
+                }
+            }
         }
-        records.push(TraceRecord {
-            name: str_field(&value, "name", line_no)?,
-            cat: str_field(&value, "cat", line_no)?,
-            kind,
-            ts_us: num_field(&value, "ts_us", line_no)?,
-            dur_us: num_field(&value, "dur_us", line_no)?,
-            tid: num_field(&value, "tid", line_no)? as u64,
-            args: value.get("args").cloned().unwrap_or(Value::Map(Vec::new())),
-        });
     }
-    Ok(records)
+    parsed
 }
 
 /// Cumulative statistics of one event name within a trace.
@@ -502,7 +526,9 @@ mod tests {
         let events = sample_events();
         let text = trace_jsonl(&events);
         assert_eq!(text.lines().count(), 2);
-        let records = parse_jsonl(&text).expect("parses");
+        let parsed = parse_jsonl(&text);
+        assert_eq!(parsed.skipped, 0);
+        let records = parsed.records;
         assert_eq!(records.len(), 2);
         let place = records.iter().find(|r| r.name == "greedy.place").expect("place");
         assert_eq!(place.kind, "instant");
@@ -530,7 +556,7 @@ mod tests {
                 vec![("evals", ArgValue::Int(12)), ("cost", ArgValue::Float(70.0))],
             );
         }
-        let records = parse_jsonl(&trace_jsonl(&r.drain_events())).expect("parses");
+        let records = parse_jsonl(&trace_jsonl(&r.drain_events())).records;
         let curve = objective_curve(&records);
         assert_eq!(curve.len(), 2);
         assert_eq!(curve[0], CurvePoint { evals: 5.0, cost: 90.0 });
@@ -622,12 +648,29 @@ mod tests {
     }
 
     #[test]
-    fn parse_rejects_malformed_lines() {
-        assert!(parse_jsonl("not json\n").is_err());
-        assert!(parse_jsonl("{\"kind\":\"span\"}\n").is_err(), "missing fields");
+    fn parse_skips_malformed_lines_with_a_count() {
+        let parsed = parse_jsonl("not json\n");
+        assert!(parsed.records.is_empty());
+        assert_eq!(parsed.skipped, 1);
+        assert!(parsed.first_error.as_deref().is_some_and(|e| e.contains("line 1")));
+
+        let parsed = parse_jsonl("{\"kind\":\"span\"}\n");
+        assert_eq!(parsed.skipped, 1, "missing fields");
         let bad_kind = "{\"ts_us\":0.0,\"dur_us\":0.0,\"kind\":\"wat\",\"name\":\"n\",\"cat\":\"c\",\"tid\":0}";
-        assert!(parse_jsonl(bad_kind).is_err());
-        assert!(parse_jsonl("\n\n").expect("blank lines ok").is_empty());
+        assert_eq!(parse_jsonl(bad_kind).skipped, 1);
+
+        let blank = parse_jsonl("\n\n");
+        assert!(blank.records.is_empty() && blank.skipped == 0, "blank lines ok");
+    }
+
+    #[test]
+    fn parse_keeps_good_lines_around_a_torn_tail() {
+        let mut text = trace_jsonl(&sample_events());
+        text.push_str("{\"ts_us\":9.0,\"dur_us\":0.0,\"kind\":\"insta"); // killed mid-write
+        let parsed = parse_jsonl(&text);
+        assert_eq!(parsed.records.len(), 2, "good lines survive");
+        assert_eq!(parsed.skipped, 1);
+        assert!(parsed.first_error.as_deref().is_some_and(|e| e.contains("line 3")));
     }
 
     #[test]
@@ -638,7 +681,7 @@ mod tests {
 {\"ts_us\":2.0,\"dur_us\":5.0,\"kind\":\"span\",\"name\":\"a\",\"cat\":\"s\",\"tid\":0}
 {\"ts_us\":3.0,\"dur_us\":0.0,\"kind\":\"instant\",\"name\":\"c\",\"cat\":\"s\",\"tid\":0}
 ";
-        let totals = totals_by_name(&parse_jsonl(text).expect("parses"));
+        let totals = totals_by_name(&parse_jsonl(text).records);
         assert_eq!(totals[0].name, "b");
         assert_eq!(totals[1].name, "a");
         assert_eq!(totals[1].count, 2);

@@ -14,7 +14,14 @@
 //!   `cache.hit_ratio`, `recovery.schedule_len`), snapshotable to JSON;
 //! * **exporters** ([`export`]): a JSONL solver trace (one event per
 //!   greedy placement, refit move, cache hit/miss, scenario batch) and a
-//!   Chrome `trace_event` file loadable in `about:tracing` / Perfetto.
+//!   Chrome `trace_event` file loadable in `about:tracing` / Perfetto;
+//! * a **flight recorder** ([`progress`]): a bounded live channel of
+//!   typed progress events — incumbent improvements with the gap to the
+//!   certificate bound, phase transitions, per-worker heartbeats — that
+//!   a consumer polls while the search runs (status lines, progress
+//!   logs, convergence curves);
+//! * the workspace's **monotonic clock** ([`Stopwatch`]): the single
+//!   helper every elapsed-time field is measured with.
 //!
 //! # Usage
 //!
@@ -45,16 +52,20 @@
 //! randomness, so instrumented and uninstrumented searches are
 //! bit-identical.
 
+mod clock;
 mod event;
 pub mod export;
 mod metrics;
+pub mod progress;
 mod recorder;
 
+pub use clock::{duration_ns, Stopwatch};
 pub use event::{ArgValue, Event, EventKind};
 pub use metrics::{
     BucketSnapshot, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     MoveRates,
 };
+pub use progress::{ProgressChannel, ProgressEvent, ProgressGuard, ProgressKind};
 pub use recorder::{
     add, current, enabled, flush, gauge, instant, instant_with, observe, span, InstallGuard,
     Recorder, Span,

@@ -1,0 +1,646 @@
+//! The flight recorder: a live progress channel for long-running solves.
+//!
+//! Spans and metrics ([`crate::Recorder`]) answer *where did the time
+//! go* after a run finishes; the [`ProgressChannel`] answers *how is the
+//! search doing right now*. Solvers emit typed [`ProgressEvent`]s —
+//! incumbent improvements (with the gap to the certificate bound),
+//! phase transitions, per-worker heartbeats, restarts, completion — and
+//! a consumer on another thread polls them to drive a status line, a
+//! progress log, or (eventually) a fleet scheduler.
+//!
+//! The discipline matches the tracing core:
+//!
+//! * with no channel installed, every emission is one thread-local bool
+//!   read (and the `off` cargo feature compiles even that away);
+//! * emission never consumes randomness and never mutates solver state,
+//!   so instrumented and uninstrumented searches are bit-identical;
+//! * the queue is bounded: on overflow the *oldest* event is dropped
+//!   (and counted), so the most recent incumbent always survives — a
+//!   truncated flight log still ends at the final answer.
+//!
+//! ```
+//! # if cfg!(feature = "off") { return; }
+//! use dsd_obs::progress;
+//! let channel = progress::ProgressChannel::new();
+//! {
+//!     let _guard = channel.install();
+//!     progress::phase_entered("greedy");
+//!     progress::incumbent_improved(120.5, Some(4.2), 37);
+//!     progress::done(Some(120.5), Some(4.2), 37);
+//! }
+//! let events = channel.poll();
+//! assert_eq!(events.len(), 3);
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::Stopwatch;
+use crate::export::{to_compact_json, write_compact};
+use serde::Value;
+
+/// Queued events retained before the oldest are dropped.
+const DEFAULT_CAPACITY: usize = 65_536;
+
+/// What a [`ProgressEvent`] reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgressKind {
+    /// The worker entered a named solver phase (greedy, refit, …).
+    PhaseEntered {
+        /// Phase name.
+        phase: String,
+    },
+    /// A new best design was found.
+    IncumbentImproved {
+        /// Objective value of the new incumbent (dollars).
+        cost: f64,
+        /// Gap to the certificate lower bound, percent; `None` when no
+        /// bound was computed for this run.
+        gap_pct: Option<f64>,
+        /// Candidate evaluations performed so far on this worker.
+        evals: u64,
+    },
+    /// Periodic liveness/throughput report from one worker.
+    WorkerHeartbeat {
+        /// Candidate evaluations performed so far on this worker.
+        evals: u64,
+        /// Evaluation throughput since the worker started.
+        evals_per_sec: f64,
+        /// Evaluation-cache hit rate in `[0, 1]` (0 when no cache).
+        cache_hit_rate: f64,
+    },
+    /// The search restarted from a fresh design.
+    Restart {
+        /// Restarts performed so far on this worker (1-based).
+        restarts: u64,
+    },
+    /// The worker finished its search.
+    Done {
+        /// Final objective value, when a feasible design was found.
+        cost: Option<f64>,
+        /// Final gap to the certificate bound, percent.
+        gap_pct: Option<f64>,
+        /// Total candidate evaluations on this worker.
+        evals: u64,
+    },
+}
+
+impl ProgressKind {
+    /// Short tag used as the `t` field of the JSONL encoding.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ProgressKind::PhaseEntered { .. } => "phase",
+            ProgressKind::IncumbentImproved { .. } => "incumbent",
+            ProgressKind::WorkerHeartbeat { .. } => "heartbeat",
+            ProgressKind::Restart { .. } => "restart",
+            ProgressKind::Done { .. } => "done",
+        }
+    }
+}
+
+/// One typed event on the progress channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressEvent {
+    /// Dense worker index (assigned per [`ProgressChannel::install`]).
+    pub worker: u64,
+    /// Nanoseconds since the channel was created (monotonic).
+    pub elapsed_ns: u64,
+    /// What happened.
+    pub kind: ProgressKind,
+}
+
+impl ProgressEvent {
+    /// Elapsed time as fractional seconds.
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed_ns as f64 / 1e9
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    epoch: Stopwatch,
+    enabled: bool,
+    capacity: usize,
+    queue: Mutex<VecDeque<ProgressEvent>>,
+    dropped: AtomicU64,
+    next_worker: AtomicU64,
+}
+
+/// A bounded multi-producer channel of [`ProgressEvent`]s. Cloning is
+/// cheap (one `Arc`); all clones share the queue, so a consumer thread
+/// can [`ProgressChannel::poll`] while worker threads emit.
+#[derive(Debug, Clone)]
+pub struct ProgressChannel {
+    shared: Arc<Shared>,
+}
+
+impl Default for ProgressChannel {
+    fn default() -> Self {
+        ProgressChannel::new()
+    }
+}
+
+impl ProgressChannel {
+    /// A channel that collects events (default capacity).
+    #[must_use]
+    pub fn new() -> Self {
+        ProgressChannel::with_settings(true, DEFAULT_CAPACITY)
+    }
+
+    /// A channel with an explicit queue capacity (≥ 1). On overflow the
+    /// oldest queued event is dropped and counted.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        ProgressChannel::with_settings(true, capacity.max(1))
+    }
+
+    /// A channel that can be installed but records nothing — the
+    /// baseline for overhead measurements.
+    #[must_use]
+    pub fn disabled() -> Self {
+        ProgressChannel::with_settings(false, 1)
+    }
+
+    fn with_settings(enabled: bool, capacity: usize) -> Self {
+        ProgressChannel {
+            shared: Arc::new(Shared {
+                epoch: Stopwatch::start(),
+                enabled,
+                capacity,
+                queue: Mutex::new(VecDeque::new()),
+                dropped: AtomicU64::new(0),
+                next_worker: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Whether this channel actually collects events.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.shared.enabled
+    }
+
+    /// Installs this channel as the current thread's progress sink and
+    /// returns a guard; emission stops when the guard drops and the
+    /// previously installed channel, if any, is restored. Each install
+    /// is assigned the next dense worker index, so fan-out workers that
+    /// install their own clone get distinct lanes.
+    #[must_use]
+    pub fn install(&self) -> ProgressGuard {
+        if cfg!(feature = "off") {
+            return ProgressGuard { previous: None, active: false };
+        }
+        let worker = self.shared.next_worker.fetch_add(1, Ordering::Relaxed);
+        let sender = Sender { shared: Arc::clone(&self.shared), worker };
+        let previous = CURRENT.with(|c| c.borrow_mut().replace(sender));
+        ACTIVE.with(|a| a.set(self.shared.enabled));
+        ProgressGuard { previous, active: true }
+    }
+
+    /// Takes every event queued since the last poll, in emission order.
+    /// Safe to call from any thread while producers are still emitting.
+    #[must_use]
+    pub fn poll(&self) -> Vec<ProgressEvent> {
+        let mut queue = self.shared.queue.lock().expect("progress queue poisoned");
+        queue.drain(..).collect()
+    }
+
+    /// Events dropped so far because the queue was full (oldest-first).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    fn push(&self, event: ProgressEvent) {
+        let mut queue = self.shared.queue.lock().expect("progress queue poisoned");
+        if queue.len() >= self.shared.capacity {
+            queue.pop_front();
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        queue.push_back(event);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Sender {
+    shared: Arc<Shared>,
+    worker: u64,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Sender>> = const { RefCell::new(None) };
+    // Fast gate consulted before touching the RefCell: true only while
+    // an *enabled* channel is installed — the same single-bool discipline
+    // as the tracing recorder.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Guard returned by [`ProgressChannel::install`]; restores the previous
+/// channel on drop.
+pub struct ProgressGuard {
+    previous: Option<Sender>,
+    active: bool,
+}
+
+impl Drop for ProgressGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let restored_active = self.previous.as_ref().is_some_and(|s| s.shared.enabled);
+        CURRENT.with(|c| {
+            *c.borrow_mut() = self.previous.take();
+        });
+        ACTIVE.with(|a| a.set(restored_active));
+    }
+}
+
+/// Runs `f` with the current thread's sender, if an enabled channel is
+/// installed — the single "is anyone listening" check.
+fn with_sender<T>(f: impl FnOnce(&Sender) -> T) -> Option<T> {
+    if cfg!(feature = "off") {
+        return None;
+    }
+    if !ACTIVE.with(Cell::get) {
+        return None;
+    }
+    CURRENT.with(|c| {
+        let borrow = c.try_borrow().ok()?;
+        match borrow.as_ref() {
+            Some(sender) if sender.shared.enabled => Some(f(sender)),
+            _ => None,
+        }
+    })
+}
+
+/// Whether an enabled progress channel is installed on this thread.
+#[must_use]
+pub fn enabled() -> bool {
+    with_sender(|_| ()).is_some()
+}
+
+/// The channel currently installed on this thread, if any (enabled or
+/// not). Lets fan-out drivers propagate the caller's channel to worker
+/// threads, exactly like [`crate::current`] for the recorder.
+#[must_use]
+pub fn current() -> Option<ProgressChannel> {
+    if cfg!(feature = "off") {
+        return None;
+    }
+    CURRENT.with(|c| {
+        c.try_borrow()
+            .ok()
+            .and_then(|b| b.as_ref().map(|s| ProgressChannel { shared: Arc::clone(&s.shared) }))
+    })
+}
+
+fn emit(kind: ProgressKind) {
+    with_sender(|sender| {
+        let event = ProgressEvent {
+            worker: sender.worker,
+            elapsed_ns: sender.shared.epoch.elapsed_ns(),
+            kind,
+        };
+        ProgressChannel { shared: Arc::clone(&sender.shared) }.push(event);
+    });
+}
+
+/// Reports entry into a named solver phase.
+pub fn phase_entered(phase: &str) {
+    if enabled() {
+        emit(ProgressKind::PhaseEntered { phase: phase.to_string() });
+    }
+}
+
+/// Reports a new incumbent design.
+pub fn incumbent_improved(cost: f64, gap_pct: Option<f64>, evals: u64) {
+    emit(ProgressKind::IncumbentImproved { cost, gap_pct, evals });
+}
+
+/// Reports worker liveness and throughput.
+pub fn worker_heartbeat(evals: u64, evals_per_sec: f64, cache_hit_rate: f64) {
+    emit(ProgressKind::WorkerHeartbeat { evals, evals_per_sec, cache_hit_rate });
+}
+
+/// Reports a restart from a fresh design.
+pub fn restart(restarts: u64) {
+    emit(ProgressKind::Restart { restarts });
+}
+
+/// Reports search completion.
+pub fn done(cost: Option<f64>, gap_pct: Option<f64>, evals: u64) {
+    emit(ProgressKind::Done { cost, gap_pct, evals });
+}
+
+fn opt_float(v: Option<f64>) -> Value {
+    v.map_or(Value::Null, Value::Float)
+}
+
+fn int(v: u64) -> Value {
+    Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+fn event_value(event: &ProgressEvent) -> Value {
+    let mut map = vec![
+        ("t".to_string(), Value::Str(event.kind.tag().to_string())),
+        ("worker".to_string(), int(event.worker)),
+        ("ns".to_string(), int(event.elapsed_ns)),
+    ];
+    match &event.kind {
+        ProgressKind::PhaseEntered { phase } => {
+            map.push(("phase".to_string(), Value::Str(phase.clone())));
+        }
+        ProgressKind::IncumbentImproved { cost, gap_pct, evals } => {
+            map.push(("cost".to_string(), Value::Float(*cost)));
+            map.push(("gap_pct".to_string(), opt_float(*gap_pct)));
+            map.push(("evals".to_string(), int(*evals)));
+        }
+        ProgressKind::WorkerHeartbeat { evals, evals_per_sec, cache_hit_rate } => {
+            map.push(("evals".to_string(), int(*evals)));
+            map.push(("evals_per_sec".to_string(), Value::Float(*evals_per_sec)));
+            map.push(("cache_hit_rate".to_string(), Value::Float(*cache_hit_rate)));
+        }
+        ProgressKind::Restart { restarts } => {
+            map.push(("restarts".to_string(), int(*restarts)));
+        }
+        ProgressKind::Done { cost, gap_pct, evals } => {
+            map.push(("cost".to_string(), opt_float(*cost)));
+            map.push(("gap_pct".to_string(), opt_float(*gap_pct)));
+            map.push(("evals".to_string(), int(*evals)));
+        }
+    }
+    Value::Map(map)
+}
+
+/// Renders progress events as JSONL — one compact object per line, in
+/// emission order. Floats use Rust's shortest round-trip formatting, so
+/// a parsed-back `cost` is bit-identical to the emitted one.
+#[must_use]
+pub fn progress_jsonl(events: &[ProgressEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        write_compact(&event_value(event), &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// One progress event as a compact JSON line (no trailing newline) —
+/// for streaming appends to an open log.
+#[must_use]
+pub fn progress_line(event: &ProgressEvent) -> String {
+    to_compact_json(&event_value(event))
+}
+
+/// Result of leniently parsing a progress log: everything that parsed,
+/// plus a count of lines that did not (truncated tails, corruption).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParsedProgress {
+    /// Events in file order.
+    pub events: Vec<ProgressEvent>,
+    /// Non-blank lines skipped because they did not parse.
+    pub skipped: u64,
+    /// Description of the first skipped line, for diagnostics.
+    pub first_error: Option<String>,
+}
+
+fn num(map: &Value, key: &str) -> Option<f64> {
+    match map.get(key)? {
+        Value::Float(f) => Some(*f),
+        Value::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+fn opt_num(map: &Value, key: &str) -> Option<f64> {
+    match map.get(key) {
+        Some(Value::Float(f)) => Some(*f),
+        Some(Value::Int(i)) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+fn parse_event(value: &Value) -> Option<ProgressEvent> {
+    let Value::Str(tag) = value.get("t")? else { return None };
+    let worker = num(value, "worker")? as u64;
+    let elapsed_ns = num(value, "ns")? as u64;
+    let kind = match tag.as_str() {
+        "phase" => match value.get("phase")? {
+            Value::Str(phase) => ProgressKind::PhaseEntered { phase: phase.clone() },
+            _ => return None,
+        },
+        "incumbent" => ProgressKind::IncumbentImproved {
+            cost: num(value, "cost")?,
+            gap_pct: opt_num(value, "gap_pct"),
+            evals: num(value, "evals")? as u64,
+        },
+        "heartbeat" => ProgressKind::WorkerHeartbeat {
+            evals: num(value, "evals")? as u64,
+            evals_per_sec: num(value, "evals_per_sec")?,
+            cache_hit_rate: num(value, "cache_hit_rate")?,
+        },
+        "restart" => ProgressKind::Restart { restarts: num(value, "restarts")? as u64 },
+        "done" => ProgressKind::Done {
+            cost: opt_num(value, "cost"),
+            gap_pct: opt_num(value, "gap_pct"),
+            evals: num(value, "evals")? as u64,
+        },
+        _ => return None,
+    };
+    Some(ProgressEvent { worker, elapsed_ns, kind })
+}
+
+/// Parses a progress log produced by [`progress_jsonl`]. Lenient by
+/// design: a malformed or truncated line (a killed run's torn tail) is
+/// counted and skipped, never fatal — the same contract as
+/// [`crate::export::parse_jsonl`].
+#[must_use]
+pub fn parse_progress_jsonl(text: &str) -> ParsedProgress {
+    let mut parsed = ParsedProgress::default();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = serde_json::parse(line).ok().as_ref().and_then(parse_event);
+        match event {
+            Some(event) => parsed.events.push(event),
+            None => {
+                parsed.skipped += 1;
+                if parsed.first_error.is_none() {
+                    parsed.first_error =
+                        Some(format!("line {}: unparseable progress event", i + 1));
+                }
+            }
+        }
+    }
+    parsed
+}
+
+// Emission is compiled away under the `off` feature, so these tests only
+// make sense without it.
+#[cfg(all(test, not(feature = "off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nothing_emitted_without_install() {
+        incumbent_improved(1.0, None, 1);
+        worker_heartbeat(1, 1.0, 0.0);
+        assert!(!enabled());
+        assert!(current().is_none());
+        let c = ProgressChannel::new();
+        assert!(c.poll().is_empty());
+    }
+
+    #[test]
+    fn install_emits_typed_events_in_order() {
+        let c = ProgressChannel::new();
+        {
+            let _g = c.install();
+            assert!(enabled());
+            phase_entered("greedy");
+            incumbent_improved(90.0, Some(12.5), 7);
+            restart(1);
+            worker_heartbeat(10, 1000.0, 0.25);
+            done(Some(90.0), Some(12.5), 10);
+        }
+        let events = c.poll();
+        let tags: Vec<&str> = events.iter().map(|e| e.kind.tag()).collect();
+        assert_eq!(tags, vec!["phase", "incumbent", "restart", "heartbeat", "done"]);
+        assert!(events.windows(2).all(|w| w[0].elapsed_ns <= w[1].elapsed_ns));
+        assert!(events.iter().all(|e| e.worker == 0));
+        assert_eq!(
+            events[1].kind,
+            ProgressKind::IncumbentImproved { cost: 90.0, gap_pct: Some(12.5), evals: 7 }
+        );
+    }
+
+    #[test]
+    fn disabled_channel_emits_nothing() {
+        let c = ProgressChannel::disabled();
+        {
+            let _g = c.install();
+            assert!(!enabled());
+            assert!(current().is_some(), "still propagatable");
+            incumbent_improved(1.0, None, 1);
+        }
+        assert!(c.poll().is_empty());
+        assert_eq!(c.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let c = ProgressChannel::with_capacity(3);
+        let _g = c.install();
+        for i in 0..5u64 {
+            restart(i);
+        }
+        incumbent_improved(42.0, None, 5);
+        let events = c.poll();
+        assert_eq!(events.len(), 3);
+        assert_eq!(c.dropped(), 3);
+        // The newest events survive — including the final incumbent.
+        assert_eq!(events[0].kind, ProgressKind::Restart { restarts: 3 });
+        assert_eq!(
+            events[2].kind,
+            ProgressKind::IncumbentImproved { cost: 42.0, gap_pct: None, evals: 5 }
+        );
+    }
+
+    #[test]
+    fn nested_install_restores_previous() {
+        let outer = ProgressChannel::new();
+        let inner = ProgressChannel::new();
+        let _og = outer.install();
+        restart(1);
+        {
+            let _ig = inner.install();
+            restart(2);
+        }
+        restart(3);
+        let outer_events = outer.poll();
+        assert_eq!(outer_events.len(), 2);
+        assert_eq!(inner.poll().len(), 1);
+    }
+
+    #[test]
+    fn workers_get_distinct_lanes() {
+        let c = ProgressChannel::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    let _g = c.install();
+                    worker_heartbeat(1, 1.0, 0.0);
+                });
+            }
+        });
+        let workers: std::collections::BTreeSet<u64> = c.poll().iter().map(|e| e.worker).collect();
+        assert_eq!(workers.len(), 4, "each install gets its own worker index");
+    }
+
+    #[test]
+    fn poll_while_producing_sees_everything_once() {
+        let c = ProgressChannel::new();
+        let _g = c.install();
+        restart(1);
+        let first = c.poll();
+        restart(2);
+        let second = c.poll();
+        assert_eq!(first.len(), 1);
+        assert_eq!(second.len(), 1);
+        assert!(c.poll().is_empty());
+    }
+
+    #[test]
+    fn jsonl_roundtrips_bit_exactly() {
+        let c = ProgressChannel::new();
+        {
+            let _g = c.install();
+            phase_entered("refit");
+            incumbent_improved(123.456_789_012_345, Some(3.75), 42);
+            worker_heartbeat(100, 98_765.432_1, 0.875);
+            restart(2);
+            done(None, None, 100);
+        }
+        let events = c.poll();
+        let text = progress_jsonl(&events);
+        assert_eq!(text.lines().count(), 5);
+        let parsed = parse_progress_jsonl(&text);
+        assert_eq!(parsed.skipped, 0);
+        assert_eq!(parsed.events, events, "floats round-trip bit-exactly");
+    }
+
+    #[test]
+    fn parse_skips_torn_tail_lines() {
+        let c = ProgressChannel::new();
+        {
+            let _g = c.install();
+            incumbent_improved(50.0, Some(1.0), 9);
+        }
+        let mut text = progress_jsonl(&c.poll());
+        text.push_str("{\"t\":\"incumbent\",\"worker\":0,\"ns\":12,\"cos"); // torn mid-write
+        let parsed = parse_progress_jsonl(&text);
+        assert_eq!(parsed.events.len(), 1);
+        assert_eq!(parsed.skipped, 1);
+        assert!(parsed.first_error.is_some());
+        assert!(parse_progress_jsonl("\n\n").events.is_empty());
+        assert_eq!(parse_progress_jsonl("{\"t\":\"wat\",\"worker\":0,\"ns\":0}").skipped, 1);
+    }
+
+    #[test]
+    fn progress_line_matches_jsonl() {
+        let event = ProgressEvent {
+            worker: 1,
+            elapsed_ns: 500,
+            kind: ProgressKind::PhaseEntered { phase: "greedy".into() },
+        };
+        let line = progress_line(&event);
+        assert!(!line.contains('\n'));
+        assert_eq!(progress_jsonl(std::slice::from_ref(&event)), format!("{line}\n"));
+    }
+}
