@@ -44,6 +44,7 @@ pub const DEFAULT_TOLERANCE_PCT: f64 = 10.0;
 pub const BENCH_BINS: &[(&str, &str)] = &[
     ("cache", "cache"),
     ("incremental_eval", "incremental"),
+    ("fleet", "fleet"),
     ("obs", "obs"),
     ("tournament", "tournament"),
 ];
@@ -187,6 +188,7 @@ fn run_bench_bin(bin: &str, json_name: &str, cfg: &HistoryConfig) -> (bool, Valu
         env_default(&mut cmd, "DSD_REPS", "2");
         env_default(&mut cmd, "DSD_APPS", "3");
         env_default(&mut cmd, "DSD_SEEDS", "2");
+        env_default(&mut cmd, "DSD_MAX_THREADS", "4");
     }
     let ok = match cmd.status() {
         Ok(status) if status.success() => true,

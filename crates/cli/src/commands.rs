@@ -12,7 +12,7 @@ use serde::Serialize;
 
 use dsd_core::{
     lower_bound, run_tournament, technique_marginals, Budget, Certificate, CostAttribution,
-    DesignSolver, Environment, EvalCache, ScenarioOutcomeCache, TechniqueMarginal,
+    DesignSolver, Environment, EvalCache, Portfolio, ScenarioOutcomeCache, TechniqueMarginal,
     TournamentConfig, DEFAULT_CACHE_CAPACITY,
 };
 use dsd_recovery::Evaluator;
@@ -28,11 +28,16 @@ pub struct RunOptions {
     pub budget: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Run `dsd design` through the work-stealing portfolio solver
+    /// instead of the single-seeded sequential solver.
+    pub portfolio: bool,
+    /// Portfolio worker threads; `None` sizes to the machine.
+    pub threads: Option<usize>,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { budget: 300, seed: 2006 }
+        RunOptions { budget: 300, seed: 2006, portfolio: false, threads: None }
     }
 }
 
@@ -88,11 +93,26 @@ pub fn cmd_design(
 ) -> Result<(String, String, String), Box<dyn Error>> {
     let spec = EnvironmentSpec::from_toml(spec_text)?;
     let env = spec.to_environment()?;
-    let mut rng = ChaCha8Rng::seed_from_u64(options.seed);
     let cache = EvalCache::new(DEFAULT_CACHE_CAPACITY);
-    let mut outcome = DesignSolver::new(&env)
-        .with_cache(&cache)
-        .solve(Budget::iterations(options.budget), &mut rng);
+    let budget = Budget::iterations(options.budget);
+    // `--portfolio` races greedy/annealing/tabu workers on a shared
+    // incumbent; each worker-seed gets the same per-task budget the
+    // sequential solver would have received.
+    let mut portfolio_info = None;
+    let mut outcome = if options.portfolio {
+        let portfolio = match options.threads {
+            Some(threads) => Portfolio::new(&env).with_workers(threads),
+            None => Portfolio::new(&env),
+        };
+        let seeds: Vec<u64> =
+            (0..portfolio.workers() as u64).map(|i| options.seed.wrapping_add(i)).collect();
+        let run = portfolio.solve_with_cache(budget, &seeds, &cache);
+        portfolio_info = Some((run.workers, run.tasks, run.steals, run.adoptions));
+        run.outcome
+    } else {
+        let mut rng = ChaCha8Rng::seed_from_u64(options.seed);
+        DesignSolver::new(&env).with_cache(&cache).solve(budget, &mut rng)
+    };
     // Attach the optimality certificate (also publishes the bound.lower /
     // bound.gap_pct gauges into any installed recorder).
     outcome.certify(&env);
@@ -166,6 +186,12 @@ pub fn cmd_design(
             cache_stats.hit_rate() * 100.0,
             cache_stats.evictions,
             cache_stats.entries
+        );
+    }
+    if let Some((workers, tasks, steals, adoptions)) = portfolio_info {
+        let _ = writeln!(
+            text,
+            "  portfolio:     {workers} workers, {tasks} tasks, {steals} steals, {adoptions} adoptions"
         );
     }
 
@@ -514,20 +540,30 @@ pub fn cmd_obs_diff(a_text: &str, b_text: &str) -> Result<(String, usize), Box<d
 /// `dsd obs curve <progress.jsonl>...` — turn one or more flight-recorder
 /// logs (`dsd design --progress-log`) into a convergence-curve report:
 /// cost and certificate gap vs time, time-to-X%-gap milestones,
-/// per-worker lanes, and an A/B table when several runs are given.
+/// per-worker lanes (including steal/adoption cooperation counts), and
+/// an A/B table when several runs are given. `lane` narrows every run to
+/// one worker lane's events — runs without that lane are dropped.
 /// Returns `(text, json, csv)`; the caller writes the exports on
 /// `--json` / `--csv`.
 ///
 /// # Errors
 ///
-/// An input that yields no progress events (and is not blank).
+/// An input that yields no progress events (and is not blank), or a
+/// `lane` present in none of the runs.
 pub fn cmd_obs_curve(
     runs: &[(String, String)],
+    lane: Option<u64>,
 ) -> Result<(String, String, String), Box<dyn Error>> {
-    let curves: Vec<crate::convergence::RunCurve> = runs
+    let mut curves: Vec<crate::convergence::RunCurve> = runs
         .iter()
         .map(|(name, text)| crate::convergence::RunCurve::parse(name, text))
         .collect::<Result<_, _>>()?;
+    if let Some(worker) = lane {
+        curves.retain_mut(|c| c.filter_lane(worker));
+        if curves.is_empty() {
+            return Err(format!("lane {worker} not present in any run").into());
+        }
+    }
     let text = crate::convergence::render(&curves);
     let json = serde_json::to_string_pretty(&crate::convergence::json_report(&curves))?;
     let csv = crate::convergence::csv(&curves);
@@ -615,7 +651,8 @@ mod tests {
     fn design_and_evaluate_roundtrip() {
         let spec = cmd_init();
         let (text, json, report) =
-            cmd_design(&spec, RunOptions { budget: 15, seed: 3 }).expect("solvable");
+            cmd_design(&spec, RunOptions { budget: 15, seed: 3, ..RunOptions::default() })
+                .expect("solvable");
         assert!(text.contains("total:"));
         assert!(text.contains("search statistics:"));
         assert!(text.contains("eval cache:"));
@@ -697,15 +734,16 @@ mod tests {
         let channel = dsd_obs::ProgressChannel::new();
         let _ = {
             let _g = channel.install();
-            cmd_design(&spec, RunOptions { budget: 15, seed: 3 }).expect("solvable")
+            cmd_design(&spec, RunOptions { budget: 15, seed: 3, ..RunOptions::default() })
+                .expect("solvable")
         };
         let log = dsd_obs::progress::progress_jsonl(&channel.poll());
-        let (text, json, csv) = cmd_obs_curve(&[("run".to_string(), log)]).expect("curves");
+        let (text, json, csv) = cmd_obs_curve(&[("run".to_string(), log)], None).expect("curves");
         assert!(text.contains("time to gap:"), "{text}");
         assert!(text.contains("worker lanes:"), "{text}");
         assert!(json.contains("time_to_5pct_gap_secs"), "{json}");
         assert!(csv.starts_with("run,elapsed_secs,cost,gap_pct"), "{csv}");
-        assert!(cmd_obs_curve(&[("bad".to_string(), "not a log".to_string())]).is_err());
+        assert!(cmd_obs_curve(&[("bad".to_string(), "not a log".to_string())], None).is_err());
     }
 
     #[test]
@@ -727,7 +765,9 @@ mod tests {
     #[test]
     fn explain_reproduces_the_design_cost_bit_for_bit() {
         let spec = cmd_init();
-        let (_, json, _) = cmd_design(&spec, RunOptions { budget: 15, seed: 3 }).expect("solvable");
+        let (_, json, _) =
+            cmd_design(&spec, RunOptions { budget: 15, seed: 3, ..RunOptions::default() })
+                .expect("solvable");
         let (text, report_json) = cmd_explain(&spec, &json, 3).expect("explains");
         assert!(text.contains("objective:"));
         assert!(text.contains("line items reproduce the evaluated total bit-for-bit"));
@@ -755,7 +795,9 @@ mod tests {
         use dsd_units::Dollars;
 
         let spec = cmd_init();
-        let (_, json, _) = cmd_design(&spec, RunOptions { budget: 15, seed: 3 }).expect("solvable");
+        let (_, json, _) =
+            cmd_design(&spec, RunOptions { budget: 15, seed: 3, ..RunOptions::default() })
+                .expect("solvable");
         let (text, report_json) = cmd_explain(&spec, &json, 3).expect("explains");
         assert!(text.contains("certificate:"));
         assert!(text.contains("relaxation lower bound:"));
@@ -803,7 +845,8 @@ mod tests {
     #[test]
     fn tournament_races_and_certifies_the_grid() {
         let (text, json, violations) =
-            cmd_tournament(RunOptions { budget: 6, seed: 11 }, 2).expect("runs");
+            cmd_tournament(RunOptions { budget: 6, seed: 11, ..RunOptions::default() }, 2)
+                .expect("runs");
         assert_eq!(violations, 0, "{text}");
         assert!(text.contains("Tournament: 2 instances"));
         assert!(text.contains("violations: bound=0 ordering=0"));
@@ -815,7 +858,9 @@ mod tests {
     #[test]
     fn obs_diff_of_a_run_against_itself_reports_zero_deltas() {
         let spec = cmd_init();
-        let (_, json, _) = cmd_design(&spec, RunOptions { budget: 15, seed: 3 }).expect("solvable");
+        let (_, json, _) =
+            cmd_design(&spec, RunOptions { budget: 15, seed: 3, ..RunOptions::default() })
+                .expect("solvable");
         let (_, report_json) = cmd_explain(&spec, &json, 3).expect("explains");
         let (out, regressions) = cmd_obs_diff(&report_json, &report_json).expect("diffs");
         assert_eq!(regressions, 0);
@@ -840,7 +885,9 @@ mod tests {
 
     #[test]
     fn experiments_dispatch() {
-        let out = cmd_experiment("figure2", RunOptions { budget: 10, seed: 1 }).unwrap();
+        let out =
+            cmd_experiment("figure2", RunOptions { budget: 10, seed: 1, ..RunOptions::default() })
+                .unwrap();
         assert!(out.contains("Figure 2"));
         assert!(cmd_experiment("figure9", RunOptions::default()).is_err());
     }

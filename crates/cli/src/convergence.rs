@@ -42,6 +42,10 @@ pub struct Lane {
     pub incumbents: usize,
     /// Heartbeats emitted by this lane.
     pub heartbeats: usize,
+    /// Tasks this lane stole from other workers' queues (portfolio runs).
+    pub steals: u64,
+    /// Times this lane adopted the shared incumbent (portfolio runs).
+    pub adoptions: u64,
 }
 
 /// One parsed progress log.
@@ -125,6 +129,8 @@ impl RunCurve {
                 evals_per_sec: None,
                 incumbents: 0,
                 heartbeats: 0,
+                steals: 0,
+                adoptions: 0,
             });
             match &event.kind {
                 ProgressKind::IncumbentImproved { evals, .. } => {
@@ -137,10 +143,40 @@ impl RunCurve {
                     lane.heartbeats += 1;
                 }
                 ProgressKind::Done { evals, .. } => lane.evals = lane.evals.max(*evals),
+                ProgressKind::TaskStolen { steals, .. } => {
+                    lane.steals = lane.steals.max(*steals);
+                }
+                ProgressKind::IncumbentAdopted { adoptions, .. } => {
+                    lane.adoptions = lane.adoptions.max(*adoptions);
+                }
                 ProgressKind::PhaseEntered { .. } | ProgressKind::Restart { .. } => {}
             }
         }
         lanes.into_values().collect()
+    }
+
+    /// Keeps only events emitted on worker lane `worker` (the `--lane`
+    /// filter): the curve, milestones, and lane digest then describe that
+    /// worker alone. Returns `false` when the lane does not appear in the
+    /// stream (the events are left untouched).
+    pub fn filter_lane(&mut self, worker: u64) -> bool {
+        if !self.events.iter().any(|e| e.worker == worker) {
+            return false;
+        }
+        self.events.retain(|e| e.worker == worker);
+        true
+    }
+
+    /// Tasks stolen across all lanes (portfolio cooperation).
+    #[must_use]
+    pub fn steals(&self) -> u64 {
+        self.lanes().iter().map(|l| l.steals).sum()
+    }
+
+    /// Incumbent adoptions across all lanes (portfolio cooperation).
+    #[must_use]
+    pub fn adoptions(&self) -> u64 {
+        self.lanes().iter().map(|l| l.adoptions).sum()
     }
 
     /// Restarts reported (maximum cumulative count in the stream).
@@ -205,12 +241,27 @@ pub fn render(runs: &[RunCurve]) -> String {
             })
             .collect();
         let _ = writeln!(out, "  time to gap: {}", milestones.join(" | "));
+        if run.steals() > 0 || run.adoptions() > 0 {
+            let _ = writeln!(
+                out,
+                "  cooperation: {} steals, {} adoptions",
+                run.steals(),
+                run.adoptions()
+            );
+        }
         let _ = writeln!(out, "  worker lanes:");
         for lane in run.lanes() {
             let rate = lane.evals_per_sec.map_or("—".to_string(), |r| format!("{r:.0}/s"));
+            let mut cooperation = String::new();
+            if lane.steals > 0 {
+                cooperation.push_str(&format!(", {} steals", lane.steals));
+            }
+            if lane.adoptions > 0 {
+                cooperation.push_str(&format!(", {} adoptions", lane.adoptions));
+            }
             let _ = writeln!(
                 out,
-                "    worker {}: {} evals ({rate}), {} incumbents, {} heartbeats",
+                "    worker {}: {} evals ({rate}), {} incumbents, {} heartbeats{cooperation}",
                 lane.worker, lane.evals, lane.incumbents, lane.heartbeats
             );
         }
@@ -283,6 +334,14 @@ pub fn json_report(runs: &[RunCurve]) -> Value {
                             "heartbeats".to_string(),
                             Value::Int(i64::try_from(lane.heartbeats).unwrap_or(i64::MAX)),
                         ),
+                        (
+                            "steals".to_string(),
+                            Value::Int(i64::try_from(lane.steals).unwrap_or(i64::MAX)),
+                        ),
+                        (
+                            "adoptions".to_string(),
+                            Value::Int(i64::try_from(lane.adoptions).unwrap_or(i64::MAX)),
+                        ),
                     ])
                 })
                 .collect();
@@ -299,6 +358,11 @@ pub fn json_report(runs: &[RunCurve]) -> Value {
                 (
                     "restarts".to_string(),
                     Value::Int(i64::try_from(run.restarts()).unwrap_or(i64::MAX)),
+                ),
+                ("steals".to_string(), Value::Int(i64::try_from(run.steals()).unwrap_or(i64::MAX))),
+                (
+                    "adoptions".to_string(),
+                    Value::Int(i64::try_from(run.adoptions()).unwrap_or(i64::MAX)),
                 ),
                 ("milestones".to_string(), Value::Map(milestones)),
                 ("curve".to_string(), Value::Seq(curve)),
@@ -384,6 +448,83 @@ mod tests {
         assert_eq!(run.time_to_gap(50.0), Some(0.002));
         assert_eq!(run.time_to_gap(1.0), None);
         assert_eq!(run.lanes().len(), 2);
+    }
+
+    fn cooperative_log() -> String {
+        let mut events = vec![
+            ProgressEvent {
+                worker: 0,
+                elapsed_ns: 1_000_000,
+                kind: ProgressKind::IncumbentImproved {
+                    cost: 2000.0,
+                    gap_pct: Some(40.0),
+                    evals: 5,
+                },
+            },
+            ProgressEvent {
+                worker: 1,
+                elapsed_ns: 2_000_000,
+                kind: ProgressKind::TaskStolen { victim: 0, steals: 1 },
+            },
+            ProgressEvent {
+                worker: 1,
+                elapsed_ns: 3_000_000,
+                kind: ProgressKind::TaskStolen { victim: 0, steals: 2 },
+            },
+            ProgressEvent {
+                worker: 1,
+                elapsed_ns: 4_000_000,
+                kind: ProgressKind::IncumbentAdopted { cost: 2000.0, adoptions: 1 },
+            },
+            ProgressEvent {
+                worker: 1,
+                elapsed_ns: 5_000_000,
+                kind: ProgressKind::IncumbentImproved {
+                    cost: 1800.0,
+                    gap_pct: Some(20.0),
+                    evals: 7,
+                },
+            },
+        ];
+        events.push(ProgressEvent {
+            worker: 0,
+            elapsed_ns: 6_000_000,
+            kind: ProgressKind::Done { cost: Some(1800.0), gap_pct: Some(20.0), evals: 9 },
+        });
+        progress_jsonl(&events)
+    }
+
+    #[test]
+    fn cooperation_counts_land_in_lanes_and_reports() {
+        let run = RunCurve::parse("coop", &cooperative_log()).expect("parses");
+        assert_eq!(run.steals(), 2);
+        assert_eq!(run.adoptions(), 1);
+        let lanes = run.lanes();
+        assert_eq!(lanes[0].steals, 0);
+        assert_eq!(lanes[1].steals, 2);
+        assert_eq!(lanes[1].adoptions, 1);
+        let text = render(std::slice::from_ref(&run));
+        assert!(text.contains("cooperation: 2 steals, 1 adoptions"), "{text}");
+        assert!(text.contains("2 steals, 1 adoptions"), "{text}");
+        let value = json_report(&[run]);
+        let first = match value.get("runs") {
+            Some(Value::Seq(v)) => v[0].clone(),
+            other => panic!("runs array missing: {other:?}"),
+        };
+        assert!(matches!(first.get("steals"), Some(Value::Int(2))));
+        assert!(matches!(first.get("adoptions"), Some(Value::Int(1))));
+    }
+
+    #[test]
+    fn lane_filter_narrows_the_curve_to_one_worker() {
+        let mut run = RunCurve::parse("coop", &cooperative_log()).expect("parses");
+        assert!(!run.filter_lane(7), "unknown lane leaves events untouched");
+        assert_eq!(run.events.len(), 6);
+        assert!(run.filter_lane(1));
+        assert!(run.events.iter().all(|e| e.worker == 1));
+        assert_eq!(run.final_cost(), Some(1800.0));
+        assert_eq!(run.steals(), 2);
+        assert_eq!(run.lanes().len(), 1);
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub struct StatusState {
     gap_pct: Option<f64>,
     lane_evals: BTreeMap<u64, u64>,
     restarts: u64,
+    steals: u64,
+    adoptions: u64,
     done: u64,
     elapsed_ns: u64,
 }
@@ -50,6 +52,12 @@ impl StatusState {
                 }
                 ProgressKind::Restart { restarts } => {
                     self.restarts = self.restarts.max(*restarts);
+                }
+                ProgressKind::TaskStolen { .. } => {
+                    self.steals += 1;
+                }
+                ProgressKind::IncumbentAdopted { .. } => {
+                    self.adoptions += 1;
                 }
                 ProgressKind::Done { cost, gap_pct, evals } => {
                     if cost.is_some() {
@@ -92,6 +100,12 @@ impl StatusState {
         }
         if self.restarts > 0 {
             out.push_str(&format!(" restarts {}", self.restarts));
+        }
+        if self.steals > 0 {
+            out.push_str(&format!(" steals {}", self.steals));
+        }
+        if self.adoptions > 0 {
+            out.push_str(&format!(" adoptions {}", self.adoptions));
         }
         if self.done > 0 {
             out.push_str(" done");

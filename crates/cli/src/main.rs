@@ -29,7 +29,7 @@ use dsd_cli::commands::{
 use dsd_cli::live::ProgressMonitor;
 
 fn usage() -> &'static str {
-    "usage:\n  dsd init\n  dsd tables\n  dsd design <spec.toml> [--budget N] [--seed N] [--save <design.json>] [--report <report.md>] [--trace <trace.jsonl>] [--metrics <metrics.json>] [--chrome-trace <trace.json>] [--progress] [--progress-log <progress.jsonl>]\n  dsd evaluate <spec.toml> <design.json>\n  dsd explain <spec.toml> <design.json> [--top N] [--json <report.json>]\n  dsd experiment <table4|figure2|figure3|figure4|figure5|figure6|figure7|ablation> [--budget N] [--seed N] [--trace <trace.jsonl>] [--metrics <metrics.json>]\n  dsd analyze-trace <trace.csv>\n  dsd obs summary <trace.jsonl> [<metrics.json>] [--top N]\n  dsd obs curve <progress.jsonl>... [--json <report.json>] [--csv <curve.csv>]\n  dsd obs diff <run-a.json> <run-b.json> [--fail-on-regression]\n  dsd bench history [--quick] [--skip-bins]\n  dsd bench compare [--tolerance PCT] [--fail-on-regression]\n  dsd tournament [--budget N] [--seed N] [--apps N] [--json <report.json>]"
+    "usage:\n  dsd init\n  dsd tables\n  dsd design <spec.toml> [--budget N] [--seed N] [--portfolio] [--threads N] [--save <design.json>] [--report <report.md>] [--trace <trace.jsonl>] [--metrics <metrics.json>] [--chrome-trace <trace.json>] [--progress] [--progress-log <progress.jsonl>]\n  dsd evaluate <spec.toml> <design.json>\n  dsd explain <spec.toml> <design.json> [--top N] [--json <report.json>]\n  dsd experiment <table4|figure2|figure3|figure4|figure5|figure6|figure7|ablation> [--budget N] [--seed N] [--trace <trace.jsonl>] [--metrics <metrics.json>]\n  dsd analyze-trace <trace.csv>\n  dsd obs summary <trace.jsonl> [<metrics.json>] [--top N]\n  dsd obs curve <progress.jsonl>... [--lane N] [--json <report.json>] [--csv <curve.csv>]\n  dsd obs diff <run-a.json> <run-b.json> [--fail-on-regression]\n  dsd bench history [--quick] [--skip-bins]\n  dsd bench compare [--tolerance PCT] [--fail-on-regression]\n  dsd tournament [--budget N] [--seed N] [--apps N] [--json <report.json>]"
 }
 
 /// Output-file options pulled from the flags.
@@ -45,6 +45,7 @@ struct OutputPaths {
     progress_log: Option<String>,
     top: Option<usize>,
     apps: Option<usize>,
+    lane: Option<u64>,
     tolerance: Option<f64>,
     fail_on_regression: bool,
     progress: bool,
@@ -78,6 +79,21 @@ fn parse_flags(args: &[String]) -> Result<(Vec<&str>, RunOptions, OutputPaths), 
                 i += 1;
                 let v = args.get(i).ok_or("--seed needs a value")?;
                 options.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--portfolio" => options.portfolio = true,
+            "--threads" => {
+                i += 1;
+                let v = args.get(i).ok_or("--threads needs a value")?;
+                let threads: usize = v.parse().map_err(|_| format!("bad threads: {v}"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                options.threads = Some(threads);
+            }
+            "--lane" => {
+                i += 1;
+                let v = args.get(i).ok_or("--lane needs a value")?;
+                out.lane = Some(v.parse().map_err(|_| format!("bad lane: {v}"))?);
             }
             "--save" => {
                 i += 1;
@@ -270,7 +286,7 @@ fn run() -> Result<(), Box<dyn Error>> {
                     .to_string();
                 runs.push((name, text));
             }
-            let (text, json, csv) = cmd_obs_curve(&runs)?;
+            let (text, json, csv) = cmd_obs_curve(&runs, outputs.lane)?;
             print!("{text}");
             if let Some(path) = outputs.json {
                 fs::write(&path, json)?;

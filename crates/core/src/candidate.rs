@@ -137,7 +137,11 @@ struct EvalMemo {
     fingerprints: Vec<AppSliceFingerprint>,
     /// Failure scenarios for the current primary placements.
     scenarios: Vec<FailureScenario>,
-    /// Reusable scratch for the per-scenario digest vector.
+    /// Per-scenario digest vector, parallel to `scenarios`. Persistent
+    /// across evaluations: a digest is recombined only when an
+    /// application in the scenario's failure domain went dirty (see
+    /// [`Candidate::evaluate_with`]), so an evaluation after a move
+    /// touches only the shard of scenarios the move intersects.
     digests: Vec<ScenarioDigest>,
     /// Apps whose assignment changed: protection AND fingerprint entries
     /// must be recomputed.
@@ -157,6 +161,19 @@ impl EvalMemo {
     fn stale() -> Self {
         EvalMemo { shape_stale: true, ..EvalMemo::default() }
     }
+}
+
+/// What [`Candidate::refresh_memo`] had to do, telling the digest layer
+/// how much recombination work remains.
+enum MemoRefresh {
+    /// Protections, fingerprints, or the scenario list were rebuilt —
+    /// every scenario digest must be recombined.
+    Rebuilt,
+    /// Only the listed applications' slice fingerprints changed (their
+    /// primaries did not — a primary change re-enumerates scenarios and
+    /// reports [`MemoRefresh::Rebuilt`]), so only scenarios whose failure
+    /// domain contains one of them need their digest recombined.
+    Dirty(Vec<(AppId, ArrayRef)>),
 }
 
 /// A (possibly partial) candidate design: per-application assignments plus
@@ -635,10 +652,39 @@ impl Candidate {
         cache: &mut ScenarioOutcomeCache,
     ) -> &CostBreakdown {
         if self.cost.is_none() {
-            self.refresh_memo(env);
+            let refresh = self.refresh_memo(env);
             let EvalMemo { protections, fingerprints, scenarios, digests, .. } = &mut self.memo;
-            digests.clear();
-            digests.extend(scenarios.iter().map(|s| crate::delta::combine(&s.scope, fingerprints)));
+            // Failure-domain partitioning: recombine a scenario's digest
+            // only when an application in its failure domain went dirty.
+            // In the `Dirty` path no primary moved, so scope membership
+            // is unchanged and every clean scenario's digest is still
+            // exact — a move prices only the shard it touches.
+            match refresh {
+                _ if digests.len() != scenarios.len() => {
+                    digests.clear();
+                    digests.extend(
+                        scenarios.iter().map(|s| crate::delta::combine(&s.scope, fingerprints)),
+                    );
+                }
+                MemoRefresh::Rebuilt => {
+                    digests.clear();
+                    digests.extend(
+                        scenarios.iter().map(|s| crate::delta::combine(&s.scope, fingerprints)),
+                    );
+                }
+                MemoRefresh::Dirty(dirty) if dirty.is_empty() => {}
+                MemoRefresh::Dirty(dirty) => {
+                    let mut recombined = 0u64;
+                    for (digest, s) in digests.iter_mut().zip(scenarios.iter()) {
+                        if dirty.iter().any(|&(app, primary)| s.scope.affects_app(app, primary)) {
+                            *digest = crate::delta::combine(&s.scope, fingerprints);
+                            recombined += 1;
+                        }
+                    }
+                    dsd_obs::add("eval.digests_recombined", recombined);
+                    dsd_obs::add("eval.digests_reused", scenarios.len() as u64 - recombined);
+                }
+            }
             let evaluator = Evaluator::new(&env.workloads, &self.provision, env.recovery);
             let penalties =
                 evaluator.annual_penalties_cached_totals(protections, scenarios, digests, cache);
@@ -652,8 +698,10 @@ impl Candidate {
     /// rebuilding only the entries the mutators marked stale. The
     /// refreshed memo is bit-equivalent to a from-scratch build: each
     /// entry is a pure function of the current assignment and provision
-    /// state, recomputed by the same code either way.
-    fn refresh_memo(&mut self, env: &Environment) {
+    /// state, recomputed by the same code either way. Returns which
+    /// applications' slices actually changed so the digest layer can
+    /// limit recombination to the failure domains they belong to.
+    fn refresh_memo(&mut self, env: &Environment) -> MemoRefresh {
         let memo = &mut self.memo;
         if memo.shape_stale || memo.protections.len() != self.assignments.len() {
             memo.protections.clear();
@@ -674,8 +722,9 @@ impl Candidate {
             memo.stale_fingerprints.clear();
             memo.scenarios_stale = false;
             memo.shape_stale = false;
-            return;
+            return MemoRefresh::Rebuilt;
         }
+        let mut dirty = Vec::new();
         if !(memo.stale_assignments.is_empty() && memo.stale_fingerprints.is_empty()) {
             for (i, (&app, a)) in self.assignments.iter().enumerate() {
                 let assignment_stale = memo.stale_assignments.contains(&app);
@@ -689,6 +738,7 @@ impl Candidate {
                 }
                 if assignment_stale || memo.stale_fingerprints.contains(&app) {
                     memo.fingerprints[i] = crate::delta::fingerprint_app(&self.provision, app, a);
+                    dirty.push((app, a.placement.primary));
                 }
             }
             memo.stale_assignments.clear();
@@ -699,7 +749,9 @@ impl Candidate {
                 .failures
                 .enumerate(self.assignments.iter().map(|(&app, a)| (app, a.placement.primary)));
             memo.scenarios_stale = false;
+            return MemoRefresh::Rebuilt;
         }
+        MemoRefresh::Dirty(dirty)
     }
 
     /// Applies `mv` and evaluates the result incrementally: only

@@ -8,15 +8,24 @@
 //! annealing over the *same* reconfiguration move set and configuration
 //! solver as the design solver, so the comparison isolates the search
 //! strategy itself.
+//!
+//! Beyond the standalone baseline ([`SimulatedAnnealing::solve`], random
+//! start), the annealer can start from a caller-provided design
+//! ([`SimulatedAnnealing::solve_from`]) and share the evaluation cache —
+//! this is how portfolio workers refine the shared incumbent.
 
 use dsd_obs as obs;
 use dsd_obs::progress;
 use rand::Rng;
 
-use crate::budget::Budget;
+use dsd_recovery::ScenarioOutcomeCache;
+
+use crate::budget::{Budget, BudgetTracker};
+use crate::candidate::Candidate;
 use crate::config_solver::{ConfigurationSolver, Thoroughness};
 use crate::design_solver::{SolveOutcome, SolveStats};
 use crate::env::Environment;
+use crate::eval_cache::EvalCache;
 use crate::flight::{heartbeat, FlightPlan};
 use crate::heuristics::random::random_design;
 use crate::reconfigure::Reconfigurator;
@@ -46,13 +55,19 @@ pub struct SimulatedAnnealing<'e> {
     env: &'e Environment,
     params: AnnealingParams,
     addition_limits: (usize, usize),
+    cache: Option<&'e EvalCache>,
 }
 
 impl<'e> SimulatedAnnealing<'e> {
     /// Creates the annealer with default parameters.
     #[must_use]
     pub fn new(env: &'e Environment) -> Self {
-        SimulatedAnnealing { env, params: AnnealingParams::default(), addition_limits: (4, 32) }
+        SimulatedAnnealing {
+            env,
+            params: AnnealingParams::default(),
+            addition_limits: (4, 32),
+            cache: None,
+        }
     }
 
     /// Overrides the configuration solver's resource-addition limits
@@ -62,6 +77,15 @@ impl<'e> SimulatedAnnealing<'e> {
     #[must_use]
     pub fn with_addition_limits(mut self, quick: usize, full: usize) -> Self {
         self.addition_limits = (quick, full);
+        self
+    }
+
+    /// Attaches a (shareable) evaluation cache, exactly like
+    /// [`crate::DesignSolver::with_cache`]: completions are memoized and
+    /// replayed bit-identically, so cached and uncached runs agree.
+    #[must_use]
+    pub fn with_cache(mut self, cache: &'e EvalCache) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -84,34 +108,76 @@ impl<'e> SimulatedAnnealing<'e> {
         self
     }
 
+    fn config_solver(&self) -> ConfigurationSolver<'e> {
+        ConfigurationSolver::new(self.env)
+            .with_addition_limits(self.addition_limits.0, self.addition_limits.1)
+    }
+
+    /// One completion through the optional cache, mirroring the design
+    /// solver's accounting.
+    fn complete(
+        &self,
+        config: &ConfigurationSolver<'e>,
+        candidate: &mut Candidate,
+        thoroughness: Thoroughness,
+        stats: &mut SolveStats,
+        scache: &mut ScenarioOutcomeCache,
+    ) {
+        match self.cache {
+            Some(cache) => {
+                let (_, hit) = config.complete_cached_with(candidate, thoroughness, cache, scache);
+                if hit {
+                    stats.cache_hits += 1;
+                } else {
+                    stats.cache_misses += 1;
+                }
+            }
+            None => {
+                config.complete_with(candidate, thoroughness, scache);
+            }
+        }
+        stats.nodes_evaluated += 1;
+    }
+
     /// Anneals until the budget expires; returns the best design seen.
+    /// Starts from a random feasible design.
     pub fn solve<R: Rng + ?Sized>(&self, budget: Budget, rng: &mut R) -> SolveOutcome {
+        let mut scache = ScenarioOutcomeCache::new();
+        self.solve_with(budget, &mut scache, rng)
+    }
+
+    /// [`SimulatedAnnealing::solve`] with a caller-provided scenario
+    /// cache, so scenario-level reuse persists across successive runs
+    /// (portfolio workers keep one per worker).
+    pub fn solve_with<R: Rng + ?Sized>(
+        &self,
+        budget: Budget,
+        scache: &mut ScenarioOutcomeCache,
+        rng: &mut R,
+    ) -> SolveOutcome {
         let _solve_span = obs::span("anneal.solve", "heuristic");
         let mut tracker = budget.start();
         let mut stats = SolveStats::default();
         let flight = FlightPlan::new(self.env);
         progress::phase_entered("anneal");
-        let config = ConfigurationSolver::new(self.env)
-            .with_addition_limits(self.addition_limits.0, self.addition_limits.1);
-        let mut reconf = Reconfigurator::default();
+        let config = self.config_solver();
 
         // Start from a random feasible design.
-        let mut current = loop {
+        let current = loop {
             if tracker.expired() {
                 flight.done(None, stats.nodes_evaluated);
                 return SolveOutcome {
                     best: None,
                     stats,
                     elapsed: tracker.elapsed(),
-                    cache: None,
+                    cache: self.cache.map(EvalCache::stats),
                     bound: None,
                 };
             }
             tracker.tick();
             match random_design(self.env, 10, rng) {
                 Some(mut c) => {
-                    config.complete(&mut c, Thoroughness::Quick);
-                    stats.nodes_evaluated += 1;
+                    self.complete(&config, &mut c, Thoroughness::Quick, &mut stats, scache);
                     stats.greedy_builds += 1;
                     break c;
                 }
@@ -121,6 +187,43 @@ impl<'e> SimulatedAnnealing<'e> {
                 }
             }
         };
+        self.run(current, tracker, stats, &flight, scache, rng)
+    }
+
+    /// Anneals from a caller-provided starting design (e.g. the
+    /// portfolio's shared incumbent) until the budget expires. The start
+    /// is re-completed under this annealer's addition limits first, so
+    /// its configuration lives in the same search space as the walk.
+    pub fn solve_from<R: Rng + ?Sized>(
+        &self,
+        start: Candidate,
+        budget: Budget,
+        scache: &mut ScenarioOutcomeCache,
+        rng: &mut R,
+    ) -> SolveOutcome {
+        let _solve_span = obs::span("anneal.solve_from", "heuristic");
+        let tracker = budget.start();
+        let mut stats = SolveStats::default();
+        let flight = FlightPlan::new(self.env);
+        progress::phase_entered("anneal");
+        let config = self.config_solver();
+        let mut current = start;
+        self.complete(&config, &mut current, Thoroughness::Quick, &mut stats, scache);
+        self.run(current, tracker, stats, &flight, scache, rng)
+    }
+
+    /// The annealing walk proper, shared by both entry points.
+    fn run<R: Rng + ?Sized>(
+        &self,
+        mut current: Candidate,
+        mut tracker: BudgetTracker,
+        mut stats: SolveStats,
+        flight: &FlightPlan,
+        scache: &mut ScenarioOutcomeCache,
+        rng: &mut R,
+    ) -> SolveOutcome {
+        let config = self.config_solver();
+        let mut reconf = Reconfigurator::default();
         let mut best = current.clone();
         flight.incumbent(best.cost().total(), stats.nodes_evaluated);
 
@@ -130,11 +233,10 @@ impl<'e> SimulatedAnnealing<'e> {
         while !tracker.expired() {
             tracker.tick();
             let mut proposal = current.clone();
-            if !reconf.reconfigure(self.env, &mut proposal, rng) {
+            if !reconf.reconfigure_with(self.env, &mut proposal, scache, rng) {
                 continue;
             }
-            config.complete(&mut proposal, Thoroughness::Quick);
-            stats.nodes_evaluated += 1;
+            self.complete(&config, &mut proposal, Thoroughness::Quick, &mut stats, scache);
 
             let delta =
                 self.env.score(proposal.cost()).as_f64() - self.env.score(current.cost()).as_f64();
@@ -160,7 +262,7 @@ impl<'e> SimulatedAnnealing<'e> {
                 }
             }
             if stats.nodes_evaluated.is_multiple_of(32) {
-                heartbeat(stats.nodes_evaluated, tracker.elapsed(), 0.0);
+                heartbeat(stats.nodes_evaluated, tracker.elapsed(), stats.cache_hit_rate());
             }
 
             step += 1;
@@ -169,8 +271,7 @@ impl<'e> SimulatedAnnealing<'e> {
             }
         }
 
-        config.complete(&mut best, Thoroughness::Full);
-        stats.nodes_evaluated += 1;
+        self.complete(&config, &mut best, Thoroughness::Full, &mut stats, scache);
         stats.publish();
         flight.incumbent(best.cost().total(), stats.nodes_evaluated);
         flight.done(Some(best.cost().total()), stats.nodes_evaluated);
@@ -178,7 +279,7 @@ impl<'e> SimulatedAnnealing<'e> {
             best: Some(best),
             stats,
             elapsed: tracker.elapsed(),
-            cache: None,
+            cache: self.cache.map(EvalCache::stats),
             bound: None,
         }
     }
@@ -248,6 +349,44 @@ mod tests {
                 .map(|b| b.cost().total().as_f64())
         };
         assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn solve_from_never_loses_its_start() {
+        let e = env();
+        let mut rng = ChaCha8Rng::seed_from_u64(53);
+        let mut start = random_design(&e, 10, &mut rng).expect("feasible start");
+        start.evaluate(&e);
+        let start_cost = start.cost().total().as_f64();
+        let mut scache = ScenarioOutcomeCache::new();
+        let out = SimulatedAnnealing::new(&e).solve_from(
+            start,
+            Budget::iterations(30),
+            &mut scache,
+            &mut rng,
+        );
+        let best = out.best.expect("start was feasible").cost().total().as_f64();
+        // The walk tracks its best-ever design, so it can only match or
+        // improve the (re-completed) start.
+        assert!(best <= start_cost + 1e-6, "refined {best} vs start {start_cost}");
+    }
+
+    #[test]
+    fn cached_and_uncached_runs_agree() {
+        let e = env();
+        let cache = EvalCache::new(256);
+        let run = |cache: Option<&EvalCache>| {
+            let mut rng = ChaCha8Rng::seed_from_u64(54);
+            let mut annealer = SimulatedAnnealing::new(&e);
+            if let Some(c) = cache {
+                annealer = annealer.with_cache(c);
+            }
+            annealer.solve(Budget::iterations(25), &mut rng).best.map(|b| b.cost().total().as_f64())
+        };
+        assert_eq!(run(None), run(Some(&cache)));
+        // Second cached run replays completions from the cache.
+        assert_eq!(run(None), run(Some(&cache)));
+        assert!(cache.stats().hits > 0);
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //! design solver uses; the tabu list forbids re-reconfiguring the same
 //! application for a fixed tenure, forcing the walk to diversify instead
 //! of oscillating between two designs.
+//!
+//! Like the annealer, tabu search can start from a caller-provided
+//! design ([`TabuSearch::solve_from`]) and share the evaluation cache —
+//! the portfolio's diversification workers run it over the shared
+//! incumbent.
 
 use std::collections::VecDeque;
 
@@ -12,13 +17,15 @@ use dsd_obs as obs;
 use dsd_obs::progress;
 use rand::Rng;
 
+use dsd_recovery::ScenarioOutcomeCache;
 use dsd_workload::AppId;
 
-use crate::budget::Budget;
+use crate::budget::{Budget, BudgetTracker};
 use crate::candidate::Candidate;
 use crate::config_solver::{ConfigurationSolver, Thoroughness};
 use crate::design_solver::{SolveOutcome, SolveStats};
 use crate::env::Environment;
+use crate::eval_cache::EvalCache;
 use crate::flight::{heartbeat, FlightPlan};
 use crate::heuristics::random::random_design;
 use crate::reconfigure::Reconfigurator;
@@ -35,6 +42,7 @@ pub struct TabuSearch<'e> {
     moves_per_step: usize,
     /// Resource-addition limits forwarded to the configuration solver.
     addition_limits: (usize, usize),
+    cache: Option<&'e EvalCache>,
 }
 
 impl<'e> TabuSearch<'e> {
@@ -42,7 +50,7 @@ impl<'e> TabuSearch<'e> {
     /// step.
     #[must_use]
     pub fn new(env: &'e Environment) -> Self {
-        TabuSearch { env, tenure: 3, moves_per_step: 4, addition_limits: (4, 32) }
+        TabuSearch { env, tenure: 3, moves_per_step: 4, addition_limits: (4, 32), cache: None }
     }
 
     /// Overrides the configuration solver's resource-addition limits
@@ -52,6 +60,14 @@ impl<'e> TabuSearch<'e> {
     #[must_use]
     pub fn with_addition_limits(mut self, quick: usize, full: usize) -> Self {
         self.addition_limits = (quick, full);
+        self
+    }
+
+    /// Attaches a (shareable) evaluation cache, exactly like
+    /// [`crate::DesignSolver::with_cache`].
+    #[must_use]
+    pub fn with_cache(mut self, cache: &'e EvalCache) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -67,33 +83,75 @@ impl<'e> TabuSearch<'e> {
         self
     }
 
+    fn config_solver(&self) -> ConfigurationSolver<'e> {
+        ConfigurationSolver::new(self.env)
+            .with_addition_limits(self.addition_limits.0, self.addition_limits.1)
+    }
+
+    /// One completion through the optional cache, mirroring the design
+    /// solver's accounting.
+    fn complete(
+        &self,
+        config: &ConfigurationSolver<'e>,
+        candidate: &mut Candidate,
+        thoroughness: Thoroughness,
+        stats: &mut SolveStats,
+        scache: &mut ScenarioOutcomeCache,
+    ) {
+        match self.cache {
+            Some(cache) => {
+                let (_, hit) = config.complete_cached_with(candidate, thoroughness, cache, scache);
+                if hit {
+                    stats.cache_hits += 1;
+                } else {
+                    stats.cache_misses += 1;
+                }
+            }
+            None => {
+                config.complete_with(candidate, thoroughness, scache);
+            }
+        }
+        stats.nodes_evaluated += 1;
+    }
+
     /// Searches until the budget expires; returns the best design seen.
+    /// Starts from a random feasible design.
     pub fn solve<R: Rng + ?Sized>(&self, budget: Budget, rng: &mut R) -> SolveOutcome {
+        let mut scache = ScenarioOutcomeCache::new();
+        self.solve_with(budget, &mut scache, rng)
+    }
+
+    /// [`TabuSearch::solve`] with a caller-provided scenario cache, so
+    /// scenario-level reuse persists across successive runs (portfolio
+    /// workers keep one per worker).
+    pub fn solve_with<R: Rng + ?Sized>(
+        &self,
+        budget: Budget,
+        scache: &mut ScenarioOutcomeCache,
+        rng: &mut R,
+    ) -> SolveOutcome {
         let _solve_span = obs::span("tabu.solve", "heuristic");
         let mut tracker = budget.start();
         let mut stats = SolveStats::default();
         let flight = FlightPlan::new(self.env);
         progress::phase_entered("tabu");
-        let config = ConfigurationSolver::new(self.env)
-            .with_addition_limits(self.addition_limits.0, self.addition_limits.1);
-        let mut reconf = Reconfigurator::default();
+        let config = self.config_solver();
 
-        let mut current = loop {
+        let current = loop {
             if tracker.expired() {
                 flight.done(None, stats.nodes_evaluated);
                 return SolveOutcome {
                     best: None,
                     stats,
                     elapsed: tracker.elapsed(),
-                    cache: None,
+                    cache: self.cache.map(EvalCache::stats),
                     bound: None,
                 };
             }
             tracker.tick();
             match random_design(self.env, 10, rng) {
                 Some(mut c) => {
-                    config.complete(&mut c, Thoroughness::Quick);
-                    stats.nodes_evaluated += 1;
+                    self.complete(&config, &mut c, Thoroughness::Quick, &mut stats, scache);
                     stats.greedy_builds += 1;
                     break c;
                 }
@@ -103,6 +161,42 @@ impl<'e> TabuSearch<'e> {
                 }
             }
         };
+        self.run(current, tracker, stats, &flight, scache, rng)
+    }
+
+    /// Searches from a caller-provided starting design (e.g. the
+    /// portfolio's shared incumbent) until the budget expires. The start
+    /// is re-completed under this search's addition limits first.
+    pub fn solve_from<R: Rng + ?Sized>(
+        &self,
+        start: Candidate,
+        budget: Budget,
+        scache: &mut ScenarioOutcomeCache,
+        rng: &mut R,
+    ) -> SolveOutcome {
+        let _solve_span = obs::span("tabu.solve_from", "heuristic");
+        let tracker = budget.start();
+        let mut stats = SolveStats::default();
+        let flight = FlightPlan::new(self.env);
+        progress::phase_entered("tabu");
+        let config = self.config_solver();
+        let mut current = start;
+        self.complete(&config, &mut current, Thoroughness::Quick, &mut stats, scache);
+        self.run(current, tracker, stats, &flight, scache, rng)
+    }
+
+    /// The tabu walk proper, shared by both entry points.
+    fn run<R: Rng + ?Sized>(
+        &self,
+        mut current: Candidate,
+        mut tracker: BudgetTracker,
+        mut stats: SolveStats,
+        flight: &FlightPlan,
+        scache: &mut ScenarioOutcomeCache,
+        rng: &mut R,
+    ) -> SolveOutcome {
+        let config = self.config_solver();
+        let mut reconf = Reconfigurator::default();
         let mut best = current.clone();
         flight.incumbent(best.cost().total(), stats.nodes_evaluated);
         let mut tabu: VecDeque<AppId> = VecDeque::with_capacity(self.tenure);
@@ -115,11 +209,10 @@ impl<'e> TabuSearch<'e> {
             let mut chosen: Option<(Candidate, AppId)> = None;
             for _ in 0..self.moves_per_step {
                 let mut proposal = current.clone();
-                if !reconf.reconfigure(self.env, &mut proposal, rng) {
+                if !reconf.reconfigure_with(self.env, &mut proposal, scache, rng) {
                     continue;
                 }
-                config.complete(&mut proposal, Thoroughness::Quick);
-                stats.nodes_evaluated += 1;
+                self.complete(&config, &mut proposal, Thoroughness::Quick, &mut stats, scache);
                 let touched = touched_app(&current, &proposal);
                 let is_tabu = touched.is_some_and(|a| tabu.contains(&a));
                 let aspirates = self.env.score(proposal.cost()) < self.env.score(best.cost());
@@ -158,12 +251,11 @@ impl<'e> TabuSearch<'e> {
                 flight.incumbent(best.cost().total(), stats.nodes_evaluated);
             }
             if stats.nodes_evaluated.is_multiple_of(32) {
-                heartbeat(stats.nodes_evaluated, tracker.elapsed(), 0.0);
+                heartbeat(stats.nodes_evaluated, tracker.elapsed(), stats.cache_hit_rate());
             }
         }
 
-        config.complete(&mut best, Thoroughness::Full);
-        stats.nodes_evaluated += 1;
+        self.complete(&config, &mut best, Thoroughness::Full, &mut stats, scache);
         stats.publish();
         flight.incumbent(best.cost().total(), stats.nodes_evaluated);
         flight.done(Some(best.cost().total()), stats.nodes_evaluated);
@@ -171,7 +263,7 @@ impl<'e> TabuSearch<'e> {
             best: Some(best),
             stats,
             elapsed: tracker.elapsed(),
-            cache: None,
+            cache: self.cache.map(EvalCache::stats),
             bound: None,
         }
     }
@@ -251,6 +343,20 @@ mod tests {
                 .map(|b| b.cost().total().as_f64())
         };
         assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn solve_from_never_loses_its_start() {
+        let e = env();
+        let mut rng = ChaCha8Rng::seed_from_u64(95);
+        let mut start = random_design(&e, 10, &mut rng).expect("feasible start");
+        start.evaluate(&e);
+        let start_cost = start.cost().total().as_f64();
+        let mut scache = ScenarioOutcomeCache::new();
+        let out =
+            TabuSearch::new(&e).solve_from(start, Budget::iterations(30), &mut scache, &mut rng);
+        let best = out.best.expect("start was feasible").cost().total().as_f64();
+        assert!(best <= start_cost + 1e-6, "refined {best} vs start {start_cost}");
     }
 
     #[test]

@@ -55,6 +55,7 @@ mod flight;
 pub mod heuristics;
 mod objective;
 mod parallel;
+mod portfolio;
 mod reconfigure;
 mod tournament;
 
@@ -74,6 +75,7 @@ pub use exhaustive::{
 pub use explain::{technique_marginals, CostAttribution, RunnerUp, TechniqueMarginal};
 pub use objective::Objective;
 pub use parallel::{parallel_solve, parallel_solve_with_cache};
+pub use portfolio::{Portfolio, PortfolioOutcome};
 pub use reconfigure::Reconfigurator;
 pub use tournament::{
     run_tournament, HeuristicEntry, HeuristicSummary, InstanceResult, TournamentConfig,

@@ -58,7 +58,10 @@ pub fn parallel_solve_with_cache(
     // under its own lane (dense worker index per install).
     let recorder = dsd_obs::current();
     let channel = dsd_obs::progress::current();
-    let best = Mutex::new(None::<SolveOutcome>);
+    // Each worker records which seed produced its outcome so the merge
+    // can break equal-cost ties by lowest seed — the winner is then a
+    // pure function of the seed set, independent of thread scheduling.
+    let best = Mutex::new(None::<(u64, SolveOutcome)>);
 
     std::thread::scope(|scope| {
         for &seed in seeds {
@@ -72,16 +75,23 @@ pub fn parallel_solve_with_cache(
                 let outcome = DesignSolver::new(env).with_cache(cache).solve(budget, &mut rng);
                 let mut slot = best.lock().expect("best lock poisoned");
                 match slot.as_mut() {
-                    None => *slot = Some(outcome),
-                    Some(current) => {
+                    None => *slot = Some((seed, outcome)),
+                    Some((held_seed, current)) => {
                         let improved = match (&outcome.best, &current.best) {
-                            (Some(new), Some(old)) => env.score(new.cost()) < env.score(old.cost()),
+                            (Some(new), Some(old)) => {
+                                let (new_score, old_score) =
+                                    (env.score(new.cost()), env.score(old.cost()));
+                                new_score < old_score
+                                    || (new_score == old_score && seed < *held_seed)
+                            }
                             (Some(_), None) => true,
-                            _ => false,
+                            (None, None) => seed < *held_seed,
+                            (None, Some(_)) => false,
                         };
                         let mut stats = current.stats;
                         stats.merge(&outcome.stats);
                         if improved {
+                            *held_seed = seed;
                             *current = outcome;
                         }
                         current.stats = stats;
@@ -91,7 +101,7 @@ pub fn parallel_solve_with_cache(
         }
     });
 
-    let mut outcome =
+    let (_, mut outcome) =
         best.into_inner().expect("best lock poisoned").expect("at least one seed ran");
     outcome.elapsed = started.elapsed();
     outcome.cache = Some(cache.stats());
@@ -138,6 +148,27 @@ mod tests {
         }
         // Stats summed over the three runs.
         assert!(par.stats.greedy_builds >= 3);
+    }
+
+    #[test]
+    fn ties_break_by_lowest_seed_regardless_of_scheduling() {
+        let e = env();
+        let budget = Budget::iterations(10);
+        // Duplicated seeds force exact cost ties; the merge must then be
+        // deterministic across runs even though thread finish order is
+        // not. Shuffled seed order must not change the winner either.
+        let a = parallel_solve(&e, budget, &[5, 5, 5, 5]);
+        let b = parallel_solve(&e, budget, &[5, 5, 5, 5]);
+        assert_eq!(
+            a.best.as_ref().map(|c| c.cost().total()),
+            b.best.as_ref().map(|c| c.cost().total())
+        );
+        let fwd = parallel_solve(&e, budget, &[1, 2, 3]);
+        let rev = parallel_solve(&e, budget, &[3, 2, 1]);
+        assert_eq!(
+            fwd.best.as_ref().map(|c| c.cost().total()),
+            rev.best.as_ref().map(|c| c.cost().total())
+        );
     }
 
     #[test]

@@ -76,6 +76,21 @@ pub enum ProgressKind {
         /// Restarts performed so far on this worker (1-based).
         restarts: u64,
     },
+    /// A portfolio worker stole a queued task from another worker.
+    TaskStolen {
+        /// Lane index of the worker the task was taken from.
+        victim: u64,
+        /// Steals performed so far on this worker (1-based).
+        steals: u64,
+    },
+    /// A portfolio worker adopted the shared incumbent as its working
+    /// design (cooperation, as opposed to finding its own improvement).
+    IncumbentAdopted {
+        /// Objective value of the adopted incumbent (dollars).
+        cost: f64,
+        /// Adoptions performed so far on this worker (1-based).
+        adoptions: u64,
+    },
     /// The worker finished its search.
     Done {
         /// Final objective value, when a feasible design was found.
@@ -96,6 +111,8 @@ impl ProgressKind {
             ProgressKind::IncumbentImproved { .. } => "incumbent",
             ProgressKind::WorkerHeartbeat { .. } => "heartbeat",
             ProgressKind::Restart { .. } => "restart",
+            ProgressKind::TaskStolen { .. } => "steal",
+            ProgressKind::IncumbentAdopted { .. } => "adopt",
             ProgressKind::Done { .. } => "done",
         }
     }
@@ -331,6 +348,17 @@ pub fn restart(restarts: u64) {
     emit(ProgressKind::Restart { restarts });
 }
 
+/// Reports a work-stealing event: this worker took a task queued on
+/// `victim`'s deque.
+pub fn task_stolen(victim: u64, steals: u64) {
+    emit(ProgressKind::TaskStolen { victim, steals });
+}
+
+/// Reports adoption of the shared incumbent as this worker's design.
+pub fn incumbent_adopted(cost: f64, adoptions: u64) {
+    emit(ProgressKind::IncumbentAdopted { cost, adoptions });
+}
+
 /// Reports search completion.
 pub fn done(cost: Option<f64>, gap_pct: Option<f64>, evals: u64) {
     emit(ProgressKind::Done { cost, gap_pct, evals });
@@ -366,6 +394,14 @@ fn event_value(event: &ProgressEvent) -> Value {
         }
         ProgressKind::Restart { restarts } => {
             map.push(("restarts".to_string(), int(*restarts)));
+        }
+        ProgressKind::TaskStolen { victim, steals } => {
+            map.push(("victim".to_string(), int(*victim)));
+            map.push(("steals".to_string(), int(*steals)));
+        }
+        ProgressKind::IncumbentAdopted { cost, adoptions } => {
+            map.push(("cost".to_string(), Value::Float(*cost)));
+            map.push(("adoptions".to_string(), int(*adoptions)));
         }
         ProgressKind::Done { cost, gap_pct, evals } => {
             map.push(("cost".to_string(), opt_float(*cost)));
@@ -444,6 +480,14 @@ fn parse_event(value: &Value) -> Option<ProgressEvent> {
             cache_hit_rate: num(value, "cache_hit_rate")?,
         },
         "restart" => ProgressKind::Restart { restarts: num(value, "restarts")? as u64 },
+        "steal" => ProgressKind::TaskStolen {
+            victim: num(value, "victim")? as u64,
+            steals: num(value, "steals")? as u64,
+        },
+        "adopt" => ProgressKind::IncumbentAdopted {
+            cost: num(value, "cost")?,
+            adoptions: num(value, "adoptions")? as u64,
+        },
         "done" => ProgressKind::Done {
             cost: opt_num(value, "cost"),
             gap_pct: opt_num(value, "gap_pct"),
@@ -597,6 +641,21 @@ mod tests {
     }
 
     #[test]
+    fn steal_and_adopt_events_carry_cooperation_counts() {
+        let c = ProgressChannel::new();
+        {
+            let _g = c.install();
+            task_stolen(3, 1);
+            incumbent_adopted(250.5, 2);
+        }
+        let events = c.poll();
+        let tags: Vec<&str> = events.iter().map(|e| e.kind.tag()).collect();
+        assert_eq!(tags, vec!["steal", "adopt"]);
+        assert_eq!(events[0].kind, ProgressKind::TaskStolen { victim: 3, steals: 1 });
+        assert_eq!(events[1].kind, ProgressKind::IncumbentAdopted { cost: 250.5, adoptions: 2 });
+    }
+
+    #[test]
     fn jsonl_roundtrips_bit_exactly() {
         let c = ProgressChannel::new();
         {
@@ -605,11 +664,13 @@ mod tests {
             incumbent_improved(123.456_789_012_345, Some(3.75), 42);
             worker_heartbeat(100, 98_765.432_1, 0.875);
             restart(2);
+            task_stolen(1, 4);
+            incumbent_adopted(99.000_000_000_25, 3);
             done(None, None, 100);
         }
         let events = c.poll();
         let text = progress_jsonl(&events);
-        assert_eq!(text.lines().count(), 5);
+        assert_eq!(text.lines().count(), 7);
         let parsed = parse_progress_jsonl(&text);
         assert_eq!(parsed.skipped, 0);
         assert_eq!(parsed.events, events, "floats round-trip bit-exactly");

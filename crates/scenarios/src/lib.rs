@@ -6,6 +6,10 @@
 //! the *peer sites* case study (eight applications on two sites, §4.3)
 //! and the *fully connected four-site* scalability setting (§4.4–4.5).
 //!
+//! [`fleet`] generates seeded fleet-scale instances (hundreds of
+//! applications, ring/mesh/hub-spoke site graphs) — the large-instance
+//! benchmark substrate for the portfolio solver.
+//!
 //! [`experiments`] contains one driver per table/figure of the evaluation;
 //! each returns structured data and renders a text table comparable to
 //! the paper's, so the `dsd-bench` binaries and Criterion benches stay
@@ -23,3 +27,4 @@
 
 pub mod environments;
 pub mod experiments;
+pub mod fleet;
