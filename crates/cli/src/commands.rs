@@ -378,9 +378,13 @@ pub fn cmd_obs_summary(
         for (name, h) in &snapshot.histograms {
             let _ = writeln!(
                 out,
-                "  hist    {name:<28} n={} mean={:.6} p50={:.6} p90={:.6} p99={:.6} max={:.6}",
-                h.count, h.mean, h.p50, h.p90, h.p99, h.max
+                "  hist    {name:<28} n={} mean={:.6} p50={:.6} p90={:.6} p95={:.6} p99={:.6} \
+                 max={:.6}",
+                h.count, h.mean, h.p50, h.p90, h.p95, h.p99, h.max
             );
+        }
+        if let Some(line) = shard_occupancy_line(&snapshot) {
+            let _ = writeln!(out, "{line}");
         }
         let rates = snapshot.move_rates();
         if !rates.is_empty() {
@@ -535,6 +539,186 @@ pub fn cmd_obs_diff(a_text: &str, b_text: &str) -> Result<(String, usize), Box<d
         counts[0], counts[1], counts[2], counts[3], counts[4]
     );
     Ok((out, counts[0]))
+}
+
+/// Renders the eval-cache shard occupancy gauges
+/// (`eval_cache.shard_occupancy.<i>`, published at the end of a cached
+/// solve) as one imbalance line; `None` when the run published none.
+fn shard_occupancy_line(snapshot: &dsd_obs::MetricsSnapshot) -> Option<String> {
+    let occupancy: Vec<f64> = snapshot
+        .gauges
+        .iter()
+        .filter(|(name, _)| name.starts_with("eval_cache.shard_occupancy."))
+        .map(|(_, v)| *v)
+        .collect();
+    if occupancy.is_empty() {
+        return None;
+    }
+    let min = occupancy.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = occupancy.iter().copied().fold(0.0f64, f64::max);
+    #[allow(clippy::cast_precision_loss)]
+    let mean = occupancy.iter().sum::<f64>() / occupancy.len() as f64;
+    let imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+    Some(format!(
+        "eval cache shards: {} occupancy min={min:.0} mean={mean:.1} max={max:.0} \
+         imbalance={imbalance:.2}x",
+        occupancy.len()
+    ))
+}
+
+/// Histograms surfaced in the profile report's contention section, in
+/// display order: solver hot-path latencies plus the portfolio's
+/// contention telemetry.
+const CONTENTION_HISTOGRAMS: &[&str] = &[
+    "solver.eval_latency",
+    "eval_cache.probe_latency",
+    "portfolio.steal_latency",
+    "portfolio.worker_eval_secs",
+    "portfolio.worker_idle_secs",
+];
+
+/// Seqlock adopt/publish counters shown alongside them.
+const CONTENTION_COUNTERS: &[&str] = &[
+    "portfolio.adopts",
+    "portfolio.adopt_rejects",
+    "portfolio.publish_accepts",
+    "portfolio.publish_rejects",
+];
+
+/// `dsd obs profile <trace.jsonl> [<metrics.json>] [--top N]` — fold the
+/// span stream into the deterministic profile tree and render the top-N
+/// self-time table (plus the contention section when a metrics snapshot
+/// is supplied). Returns `(text, json)`; the JSON is the
+/// schema-versioned profile export.
+///
+/// # Errors
+///
+/// An unparseable trace, an unparseable metrics snapshot, or a tree
+/// that fails its containment invariant (which would be a recorder bug,
+/// not a user error — surfaced as a nonzero exit so CI catches it).
+pub fn cmd_obs_profile(
+    trace_text: &str,
+    metrics_text: Option<&str>,
+    top: usize,
+) -> Result<(String, String), Box<dyn Error>> {
+    let parsed = dsd_obs::export::parse_jsonl(trace_text);
+    if parsed.records.is_empty() && !trace_text.trim().is_empty() {
+        let detail = parsed.first_error.unwrap_or_else(|| "no parseable lines".to_string());
+        return Err(format!("not a JSONL trace ({detail})").into());
+    }
+    let mut tree = dsd_obs::ProfileTree::from_records(&parsed.records);
+    tree.verify().map_err(|e| format!("profile tree failed its sum invariant: {e}"))?;
+    let snapshot: Option<dsd_obs::MetricsSnapshot> =
+        metrics_text.map(serde_json::from_str).transpose()?;
+    if let Some(snapshot) = &snapshot {
+        tree.attach_counters(&snapshot.counters);
+    }
+
+    let mut out = String::new();
+    let rows = tree.rows();
+    let _ = writeln!(
+        out,
+        "profile: {} nodes over {} threads (quantum {} ns)",
+        rows.len(),
+        tree.threads,
+        tree.quantum_ns
+    );
+    let total_ms = ns_to_ms(tree.total_ns());
+    let _ = writeln!(
+        out,
+        "attributed: {:.1}% of {total_ms:.3} ms root wall time in non-root nodes",
+        tree.attributed_fraction() * 100.0
+    );
+    if parsed.skipped > 0 {
+        let _ = writeln!(out, "parse.skipped: {} malformed lines ignored", parsed.skipped);
+    }
+    let _ = writeln!(out, "top self-time nodes:");
+    let _ = writeln!(
+        out,
+        "  {:>12} {:>7} {:>12} {:>9}  path",
+        "self ms", "self %", "total ms", "count"
+    );
+    let mut by_self = rows;
+    by_self.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.path.cmp(&b.path)));
+    for row in by_self.iter().take(top) {
+        #[allow(clippy::cast_precision_loss)]
+        let pct = if tree.total_ns() == 0 {
+            0.0
+        } else {
+            row.self_ns as f64 / tree.total_ns() as f64 * 100.0
+        };
+        let _ = writeln!(
+            out,
+            "  {:>12.3} {:>6.1}% {:>12.3} {:>9}  {}",
+            ns_to_ms(row.self_ns),
+            pct,
+            ns_to_ms(row.total_ns),
+            row.count,
+            row.path
+        );
+    }
+
+    if let Some(snapshot) = &snapshot {
+        // Contention section: hot-path latency percentiles (reusing the
+        // histogram snapshots' quantiles) plus seqlock adopt/publish
+        // counts and shard imbalance.
+        let mut header_written = false;
+        for name in CONTENTION_HISTOGRAMS {
+            if let Some(h) = snapshot.histogram(name) {
+                if !header_written {
+                    let _ = writeln!(out, "contention:");
+                    header_written = true;
+                }
+                let _ = writeln!(
+                    out,
+                    "  hist    {name:<28} n={} p50={:.6} p95={:.6} p99={:.6} max={:.6}",
+                    h.count, h.p50, h.p95, h.p99, h.max
+                );
+            }
+        }
+        for name in CONTENTION_COUNTERS {
+            if let Some(v) = snapshot.counter(name) {
+                if !header_written {
+                    let _ = writeln!(out, "contention:");
+                    header_written = true;
+                }
+                let _ = writeln!(out, "  counter {name:<28} {v}");
+            }
+        }
+        if let Some(line) = shard_occupancy_line(snapshot) {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&tree.to_value())?;
+    Ok((out, json))
+}
+
+/// `dsd obs flame <trace.jsonl>` — render the profile tree in the
+/// collapsed-stack format standard flamegraph tooling consumes
+/// (`flamegraph.pl`, speedscope, inferno). Returns
+/// `(collapsed, enriched_chrome_trace)`; the Chrome trace carries each
+/// span's reconstructed call path and self time as arguments.
+///
+/// # Errors
+///
+/// An unparseable trace, or a tree failing its containment invariant.
+pub fn cmd_obs_flame(trace_text: &str) -> Result<(String, String), Box<dyn Error>> {
+    let parsed = dsd_obs::export::parse_jsonl(trace_text);
+    if parsed.records.is_empty() && !trace_text.trim().is_empty() {
+        let detail = parsed.first_error.unwrap_or_else(|| "no parseable lines".to_string());
+        return Err(format!("not a JSONL trace ({detail})").into());
+    }
+    let tree = dsd_obs::ProfileTree::from_records(&parsed.records);
+    tree.verify().map_err(|e| format!("profile tree failed its sum invariant: {e}"))?;
+    Ok((tree.collapsed(), dsd_obs::profile::chrome_trace_enriched(&parsed.records)))
+}
+
+fn ns_to_ms(ns: u64) -> f64 {
+    #[allow(clippy::cast_precision_loss)]
+    {
+        ns as f64 / 1_000_000.0
+    }
 }
 
 /// `dsd obs curve <progress.jsonl>...` — turn one or more flight-recorder

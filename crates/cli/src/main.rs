@@ -10,6 +10,8 @@
 //! dsd explain env.toml design.json [--top N] [--json report.json]
 //! dsd experiment table4|figure2..figure7|ablation [--budget N] [--seed N]
 //! dsd obs summary trace.jsonl [metrics.json] [--top N]
+//! dsd obs profile trace.jsonl [metrics.json] [--top N] [--json profile.json]
+//! dsd obs flame trace.jsonl [--chrome-trace enriched.json]
 //! dsd obs curve progress.jsonl... [--json report.json] [--csv curve.csv]
 //! dsd obs diff run-a.json run-b.json [--fail-on-regression]
 //! dsd bench history [--quick]
@@ -23,13 +25,13 @@ use std::process::ExitCode;
 
 use dsd_cli::commands::{
     cmd_analyze_trace, cmd_bench_compare, cmd_bench_history, cmd_design, cmd_evaluate,
-    cmd_experiment, cmd_explain, cmd_init, cmd_obs_curve, cmd_obs_diff, cmd_obs_summary,
-    cmd_tables, cmd_tournament, RunOptions,
+    cmd_experiment, cmd_explain, cmd_init, cmd_obs_curve, cmd_obs_diff, cmd_obs_flame,
+    cmd_obs_profile, cmd_obs_summary, cmd_tables, cmd_tournament, RunOptions,
 };
 use dsd_cli::live::ProgressMonitor;
 
 fn usage() -> &'static str {
-    "usage:\n  dsd init\n  dsd tables\n  dsd design <spec.toml> [--budget N] [--seed N] [--portfolio] [--threads N] [--save <design.json>] [--report <report.md>] [--trace <trace.jsonl>] [--metrics <metrics.json>] [--chrome-trace <trace.json>] [--progress] [--progress-log <progress.jsonl>]\n  dsd evaluate <spec.toml> <design.json>\n  dsd explain <spec.toml> <design.json> [--top N] [--json <report.json>]\n  dsd experiment <table4|figure2|figure3|figure4|figure5|figure6|figure7|ablation> [--budget N] [--seed N] [--trace <trace.jsonl>] [--metrics <metrics.json>]\n  dsd analyze-trace <trace.csv>\n  dsd obs summary <trace.jsonl> [<metrics.json>] [--top N]\n  dsd obs curve <progress.jsonl>... [--lane N] [--json <report.json>] [--csv <curve.csv>]\n  dsd obs diff <run-a.json> <run-b.json> [--fail-on-regression]\n  dsd bench history [--quick] [--skip-bins]\n  dsd bench compare [--tolerance PCT] [--fail-on-regression]\n  dsd tournament [--budget N] [--seed N] [--apps N] [--json <report.json>]"
+    "usage:\n  dsd init\n  dsd tables\n  dsd design <spec.toml> [--budget N] [--seed N] [--portfolio] [--threads N] [--save <design.json>] [--report <report.md>] [--trace <trace.jsonl>] [--metrics <metrics.json>] [--chrome-trace <trace.json>] [--progress] [--progress-log <progress.jsonl>]\n  dsd evaluate <spec.toml> <design.json>\n  dsd explain <spec.toml> <design.json> [--top N] [--json <report.json>]\n  dsd experiment <table4|figure2|figure3|figure4|figure5|figure6|figure7|ablation> [--budget N] [--seed N] [--trace <trace.jsonl>] [--metrics <metrics.json>]\n  dsd analyze-trace <trace.csv>\n  dsd obs summary <trace.jsonl> [<metrics.json>] [--top N]\n  dsd obs profile <trace.jsonl> [<metrics.json>] [--top N] [--json <profile.json>]\n  dsd obs flame <trace.jsonl> [--chrome-trace <enriched.json>]\n  dsd obs curve <progress.jsonl>... [--lane N] [--json <report.json>] [--csv <curve.csv>]\n  dsd obs diff <run-a.json> <run-b.json> [--fail-on-regression]\n  dsd bench history [--quick] [--skip-bins]\n  dsd bench compare [--tolerance PCT] [--fail-on-regression]\n  dsd tournament [--budget N] [--seed N] [--apps N] [--json <report.json>]"
 }
 
 /// Output-file options pulled from the flags.
@@ -263,6 +265,26 @@ fn run() -> Result<(), Box<dyn Error>> {
             let trace = fs::read_to_string(trace_path)?;
             let metrics = fs::read_to_string(metrics_path)?;
             print!("{}", cmd_obs_summary(&trace, Some(&metrics), outputs.top.unwrap_or(10))?);
+        }
+        ["obs", "profile", rest @ ..] if matches!(rest.len(), 1 | 2) => {
+            let trace = fs::read_to_string(rest[0])?;
+            let metrics = rest.get(1).map(fs::read_to_string).transpose()?;
+            let (text, json) =
+                cmd_obs_profile(&trace, metrics.as_deref(), outputs.top.unwrap_or(10))?;
+            print!("{text}");
+            if let Some(path) = outputs.json {
+                fs::write(&path, json)?;
+                println!("profile written to {path}");
+            }
+        }
+        ["obs", "flame", trace_path] => {
+            let trace = fs::read_to_string(trace_path)?;
+            let (collapsed, enriched) = cmd_obs_flame(&trace)?;
+            print!("{collapsed}");
+            if let Some(path) = outputs.chrome_trace {
+                fs::write(&path, enriched)?;
+                println!("enriched chrome trace written to {path}");
+            }
         }
         ["tournament"] => {
             let (text, json, violations) = cmd_tournament(options, outputs.apps.unwrap_or(4))?;

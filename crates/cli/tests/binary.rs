@@ -175,6 +175,55 @@ fn design_records_trace_and_metrics() {
     assert!(text.contains("move acceptance rates:"));
     assert!(text.contains("delta cache:"));
 
+    // obs profile folds the same trace into a verified span tree and
+    // writes the schema-versioned JSON export.
+    let profile_json_path = dir.join("profile.json");
+    let profile = dsd()
+        .args([
+            "obs",
+            "profile",
+            trace_path.to_str().unwrap(),
+            metrics_path.to_str().unwrap(),
+            "--top",
+            "5",
+            "--json",
+            profile_json_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(profile.status.success(), "{}", String::from_utf8_lossy(&profile.stderr));
+    let text = String::from_utf8_lossy(&profile.stdout);
+    assert!(text.contains("attributed:"), "{text}");
+    assert!(text.contains("solver.solve"), "{text}");
+    assert!(text.contains("contention:"), "{text}");
+    let profile_value = serde_json::parse(&std::fs::read_to_string(&profile_json_path).unwrap())
+        .expect("profile json parses");
+    assert_eq!(profile_value.get("schema_version"), Some(&serde::Value::Int(1)));
+
+    // obs flame renders collapsed stacks (path, space, integer µs) and
+    // the path-enriched Chrome trace.
+    let enriched_path = dir.join("enriched.json");
+    let flame = dsd()
+        .args([
+            "obs",
+            "flame",
+            trace_path.to_str().unwrap(),
+            "--chrome-trace",
+            enriched_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(flame.status.success(), "{}", String::from_utf8_lossy(&flame.stderr));
+    let collapsed = String::from_utf8_lossy(&flame.stdout);
+    assert!(
+        collapsed.lines().any(|l| {
+            l.starts_with("solver.solve;")
+                && l.rsplit(' ').next().is_some_and(|n| n.parse::<u64>().is_ok())
+        }),
+        "collapsed stacks malformed: {collapsed}"
+    );
+    assert!(std::fs::read_to_string(&enriched_path).unwrap().contains("\"path\""));
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -13,7 +13,7 @@ use dsd_workload::AppId;
 
 use std::collections::BTreeSet;
 
-use dsd_failure::FailureScenario;
+use dsd_failure::{FailureScenario, FailureScope};
 use dsd_recovery::ScenarioDigest;
 
 use crate::delta::{AppSliceFingerprint, Move, MoveUndo, TouchedDevices};
@@ -407,6 +407,20 @@ impl Candidate {
     /// Panics if a [`Move::Reassign`] placement shape doesn't match its
     /// technique.
     pub fn apply_move(&mut self, env: &Environment, mv: &Move) -> Result<MoveUndo, ResourceError> {
+        let undo = self.apply_move_inner(env, mv);
+        if undo.is_ok() {
+            // Per-move-kind profiler frame; one thread-local counter
+            // bump, nothing when no recorder is installed.
+            dsd_obs::add(mv.apply_counter(), 1);
+        }
+        undo
+    }
+
+    fn apply_move_inner(
+        &mut self,
+        env: &Environment,
+        mv: &Move,
+    ) -> Result<MoveUndo, ResourceError> {
         match *mv {
             Move::Reassign { app, technique, config, placement } => {
                 let t = &env.catalog[technique];
@@ -467,6 +481,7 @@ impl Candidate {
                             assignment: Some((app, prev)),
                             cost: self.cost.take(),
                             touched,
+                            undo_counter: mv.undo_counter(),
                         })
                     }
                     Err(e) => {
@@ -483,21 +498,39 @@ impl Candidate {
                 self.provision.add_extra_links(route, extra)?;
                 let touched = TouchedDevices { routes: vec![route], ..TouchedDevices::default() };
                 mark_apps_touching(&self.assignments, &mut self.memo, &touched);
-                Ok(MoveUndo { checkpoint, assignment: None, cost: self.cost.take(), touched })
+                Ok(MoveUndo {
+                    checkpoint,
+                    assignment: None,
+                    cost: self.cost.take(),
+                    touched,
+                    undo_counter: mv.undo_counter(),
+                })
             }
             Move::AddTapeDrives { tape, extra } => {
                 let checkpoint = self.provision.checkpoint(None, &[], &[tape], &[], &[]);
                 self.provision.add_extra_tape_drives(tape, extra)?;
                 let touched = TouchedDevices { tapes: vec![tape], ..TouchedDevices::default() };
                 mark_apps_touching(&self.assignments, &mut self.memo, &touched);
-                Ok(MoveUndo { checkpoint, assignment: None, cost: self.cost.take(), touched })
+                Ok(MoveUndo {
+                    checkpoint,
+                    assignment: None,
+                    cost: self.cost.take(),
+                    touched,
+                    undo_counter: mv.undo_counter(),
+                })
             }
             Move::AddArrayUnits { array, extra } => {
                 let checkpoint = self.provision.checkpoint(None, &[array], &[], &[], &[]);
                 self.provision.add_extra_array_units(array, extra)?;
                 let touched = TouchedDevices { arrays: vec![array], ..TouchedDevices::default() };
                 mark_apps_touching(&self.assignments, &mut self.memo, &touched);
-                Ok(MoveUndo { checkpoint, assignment: None, cost: self.cost.take(), touched })
+                Ok(MoveUndo {
+                    checkpoint,
+                    assignment: None,
+                    cost: self.cost.take(),
+                    touched,
+                    undo_counter: mv.undo_counter(),
+                })
             }
         }
     }
@@ -506,6 +539,7 @@ impl Candidate {
     /// the snapshotted provision state, assignment, and cached cost
     /// bit-for-bit.
     pub fn undo_move(&mut self, undo: MoveUndo) {
+        dsd_obs::add(undo.undo_counter, 1);
         // The restore flips the touched devices' state right back, so the
         // same apps that went stale on apply go stale again on undo
         // (only the moved app's own assignment differs between the two
@@ -674,15 +708,26 @@ impl Candidate {
                 }
                 MemoRefresh::Dirty(dirty) if dirty.is_empty() => {}
                 MemoRefresh::Dirty(dirty) => {
-                    let mut recombined = 0u64;
+                    // Per-failure-scope recombination counts feed the
+                    // profiler: which failure domain a move's cost
+                    // concentrates in is a tuning signal.
+                    let (mut by_scope, mut recombined) = ([0u64; 3], 0u64);
                     for (digest, s) in digests.iter_mut().zip(scenarios.iter()) {
                         if dirty.iter().any(|&(app, primary)| s.scope.affects_app(app, primary)) {
                             *digest = crate::delta::combine(&s.scope, fingerprints);
                             recombined += 1;
+                            by_scope[match s.scope {
+                                FailureScope::DataObject { .. } => 0,
+                                FailureScope::DiskArray { .. } => 1,
+                                FailureScope::SiteDisaster { .. } => 2,
+                            }] += 1;
                         }
                     }
                     dsd_obs::add("eval.digests_recombined", recombined);
                     dsd_obs::add("eval.digests_reused", scenarios.len() as u64 - recombined);
+                    dsd_obs::add("eval.recombine.data_object", by_scope[0]);
+                    dsd_obs::add("eval.recombine.disk_array", by_scope[1]);
+                    dsd_obs::add("eval.recombine.site_disaster", by_scope[2]);
                 }
             }
             let evaluator = Evaluator::new(&env.workloads, &self.provision, env.recovery);
@@ -771,6 +816,7 @@ impl Candidate {
         cache: &mut ScenarioOutcomeCache,
     ) -> Result<(CostBreakdown, MoveUndo), ResourceError> {
         let undo = self.apply_move(env, mv)?;
+        dsd_obs::add(mv.delta_counter(), 1);
         let cost = self.evaluate_with(env, cache).clone();
         Ok((cost, undo))
     }

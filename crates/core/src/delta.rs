@@ -106,6 +106,43 @@ impl Move {
             Move::AddArrayUnits { .. } => "solver.accepted.add_array_units",
         }
     }
+
+    /// Profiler counter name for applications of this move kind
+    /// (`Candidate::apply_move`).
+    #[must_use]
+    pub fn apply_counter(&self) -> &'static str {
+        match self {
+            Move::Reassign { .. } => "eval.apply.reassign",
+            Move::AddLinks { .. } => "eval.apply.add_links",
+            Move::AddTapeDrives { .. } => "eval.apply.add_tape_drives",
+            Move::AddArrayUnits { .. } => "eval.apply.add_array_units",
+        }
+    }
+
+    /// Profiler counter name for reverted applications of this move kind
+    /// (`Candidate::undo_move`). Carried on the undo token, since the
+    /// token is all the undo path sees.
+    #[must_use]
+    pub fn undo_counter(&self) -> &'static str {
+        match self {
+            Move::Reassign { .. } => "eval.undo.reassign",
+            Move::AddLinks { .. } => "eval.undo.add_links",
+            Move::AddTapeDrives { .. } => "eval.undo.add_tape_drives",
+            Move::AddArrayUnits { .. } => "eval.undo.add_array_units",
+        }
+    }
+
+    /// Profiler counter name for delta evaluations of this move kind
+    /// (`Candidate::evaluate_delta`).
+    #[must_use]
+    pub fn delta_counter(&self) -> &'static str {
+        match self {
+            Move::Reassign { .. } => "eval.delta.reassign",
+            Move::AddLinks { .. } => "eval.delta.add_links",
+            Move::AddTapeDrives { .. } => "eval.delta.add_tape_drives",
+            Move::AddArrayUnits { .. } => "eval.delta.add_array_units",
+        }
+    }
 }
 
 /// The devices a move mutated — consulted by undo to re-mark the
@@ -127,6 +164,9 @@ pub struct MoveUndo {
     pub(crate) assignment: Option<(AppId, Option<AppAssignment>)>,
     pub(crate) cost: Option<CostBreakdown>,
     pub(crate) touched: TouchedDevices,
+    /// Profiler counter bumped when this token is consumed by
+    /// `Candidate::undo_move` (see [`Move::undo_counter`]).
+    pub(crate) undo_counter: &'static str,
 }
 
 // Digest construction is on the solver's hottest path: every trial

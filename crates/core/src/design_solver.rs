@@ -334,6 +334,7 @@ impl<'e> DesignSolver<'e> {
 
         if let Some(b) = best.as_mut() {
             progress::phase_entered("polish");
+            let _polish_span = obs::span("solver.polish", "solver");
             self.complete_node(&config, b, Thoroughness::Full, &mut stats, &mut scache);
         }
         stats.publish();
@@ -348,6 +349,7 @@ impl<'e> DesignSolver<'e> {
         }
         if let Some(cache) = self.cache {
             obs::gauge("cache.hit_ratio", cache.stats().hit_rate());
+            cache.publish_occupancy();
         }
         SolveOutcome {
             best,

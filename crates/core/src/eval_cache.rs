@@ -233,8 +233,16 @@ impl EvalCache {
     /// Looks up a completed candidate; refreshes its LRU stamp on hit.
     #[must_use]
     pub fn lookup(&self, key: &CandidateKey) -> Option<(Candidate, CostBreakdown)> {
+        // Shard-probe frame: the observed latency includes the lock
+        // wait, so contention between portfolio workers shows up as a
+        // fat tail in `eval_cache.probe_latency`. The stopwatch only
+        // runs when a recorder is listening.
+        let probe = dsd_obs::enabled().then(dsd_obs::Stopwatch::start);
         let mut shard =
             self.shards[key.shard_index(self.shards.len())].lock().expect("cache shard poisoned");
+        if let Some(probe) = probe {
+            dsd_obs::observe("eval_cache.probe_latency", probe.elapsed_secs());
+        }
         match shard.map.get_mut(key) {
             Some(entry) => {
                 entry.stamp = self.tick.fetch_add(1, Ordering::Relaxed);
@@ -266,6 +274,27 @@ impl EvalCache {
         shard.map.insert(key, Entry { stamp, candidate, cost });
         self.inserts.fetch_add(1, Ordering::Relaxed);
         dsd_obs::add("cache.inserts", 1);
+    }
+
+    /// Occupancy of each shard, in shard order.
+    #[must_use]
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).collect()
+    }
+
+    /// Publishes one `eval_cache.shard_occupancy.<i>` gauge per shard
+    /// into the installed recorder, so `dsd obs summary` and the
+    /// profile report can surface shard imbalance. A no-op when no
+    /// enabled recorder is installed; never consumes randomness.
+    pub fn publish_occupancy(&self) {
+        if !dsd_obs::enabled() {
+            return;
+        }
+        let Some(recorder) = dsd_obs::current() else { return };
+        for (i, len) in self.shard_occupancy().into_iter().enumerate() {
+            #[allow(clippy::cast_precision_loss)]
+            recorder.metrics().gauge(&format!("eval_cache.shard_occupancy.{i}")).set(len as f64);
+        }
     }
 
     /// Lifetime counters plus current occupancy.

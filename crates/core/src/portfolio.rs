@@ -77,6 +77,16 @@ impl Task {
             Task::Tabu { .. } => 2,
         }
     }
+
+    /// Span name for the profiler's per-task frames (static per strategy
+    /// so trees from all workers merge by path).
+    fn span_name(self) -> &'static str {
+        match self {
+            Task::Greedy { .. } => "portfolio.greedy",
+            Task::Anneal { .. } => "portfolio.anneal",
+            Task::Tabu { .. } => "portfolio.tabu",
+        }
+    }
 }
 
 /// Totally ordered key identifying a task result: lower is better. Score
@@ -122,6 +132,7 @@ impl SharedIncumbent {
         // Cheap rejection without the lock: scores are monotone
         // decreasing, so a strictly worse score can never win.
         if key.0 > self.cost_bits.load(Ordering::Acquire) {
+            dsd_obs::add("portfolio.publish_rejects", 1);
             return;
         }
         let mut slot = self.slot.lock().expect("incumbent lock poisoned");
@@ -131,6 +142,9 @@ impl SharedIncumbent {
             self.cost_bits.store(key.0, Ordering::Release);
             *slot = Some(IncumbentEntry { key, candidate: candidate.clone() });
             self.epoch.fetch_add(1, Ordering::AcqRel); // even again: published
+            dsd_obs::add("portfolio.publish_accepts", 1);
+        } else {
+            dsd_obs::add("portfolio.publish_rejects", 1);
         }
     }
 
@@ -139,12 +153,19 @@ impl SharedIncumbent {
     /// the common no-incumbent / not-better case free.
     fn adopt_if_better(&self, than_bits: u64) -> Option<(f64, Candidate)> {
         if self.cost_bits.load(Ordering::Acquire) >= than_bits {
+            dsd_obs::add("portfolio.adopt_rejects", 1);
             return None;
         }
         let slot = self.slot.lock().expect("incumbent lock poisoned");
-        slot.as_ref()
+        let adopted = slot
+            .as_ref()
             .filter(|held| held.key.0 < than_bits)
-            .map(|held| (f64::from_bits(held.key.0), held.candidate.clone()))
+            .map(|held| (f64::from_bits(held.key.0), held.candidate.clone()));
+        dsd_obs::add(
+            if adopted.is_some() { "portfolio.adopts" } else { "portfolio.adopt_rejects" },
+            1,
+        );
+        adopted
     }
 
     /// Published-generation count (half the epoch, which bumps twice per
@@ -295,12 +316,23 @@ impl<'e> Portfolio<'e> {
                 scope.spawn(move || {
                     let _obs_guard = recorder.as_ref().map(dsd_obs::Recorder::install);
                     let _progress_guard = channel.as_ref().map(dsd_obs::ProgressChannel::install);
+                    // The worker frame: per-task spans nest inside it, so
+                    // in the folded profile a worker's self time *is* its
+                    // idle (fetch/steal/publish) time and its children are
+                    // its eval time.
+                    let mut worker_span = dsd_obs::span("portfolio.worker", "portfolio");
+                    worker_span.arg("worker", own as u64);
+                    let worker_started = dsd_obs::enabled().then(dsd_obs::Stopwatch::start);
+                    let mut eval_secs = 0.0f64;
                     // One scenario-outcome cache for this worker's whole
                     // lifetime: scenario pricing persists across tasks.
                     let mut scache = ScenarioOutcomeCache::new();
                     let mut my_steals = 0u64;
                     let mut my_adoptions = 0u64;
                     while let Some(task) = next_task(own, deques, &mut my_steals) {
+                        let mut task_span = dsd_obs::span(task.span_name(), "portfolio");
+                        task_span.arg("seed", task.seed());
+                        let task_started = worker_started.is_some().then(dsd_obs::Stopwatch::start);
                         let outcome = self.run_task(
                             task,
                             budget,
@@ -309,6 +341,10 @@ impl<'e> Portfolio<'e> {
                             &mut scache,
                             &mut my_adoptions,
                         );
+                        if let Some(started) = task_started {
+                            eval_secs += started.elapsed_secs();
+                        }
+                        drop(task_span);
                         if let Some(best) = &outcome.best {
                             let score = self.env.score(best.cost()).as_f64();
                             let key = result_key(score, task.seed(), task.rank());
@@ -318,6 +354,15 @@ impl<'e> Portfolio<'e> {
                             let key = (u64::MAX, task.seed(), task.rank());
                             results.lock().expect("results lock poisoned").push((key, outcome));
                         }
+                    }
+                    if let Some(started) = worker_started {
+                        // Idle-vs-eval split, also available without a
+                        // trace file: merged histograms over all workers.
+                        dsd_obs::observe("portfolio.worker_eval_secs", eval_secs);
+                        dsd_obs::observe(
+                            "portfolio.worker_idle_secs",
+                            (started.elapsed_secs() - eval_secs).max(0.0),
+                        );
                     }
                     steals.fetch_add(my_steals, Ordering::Relaxed);
                     adoptions.fetch_add(my_adoptions, Ordering::Relaxed);
@@ -340,6 +385,7 @@ impl<'e> Portfolio<'e> {
         outcome.stats = stats;
         outcome.elapsed = started.elapsed();
         outcome.cache = Some(cache.stats());
+        cache.publish_occupancy();
         PortfolioOutcome {
             outcome,
             workers: self.workers,
@@ -401,6 +447,19 @@ fn next_task(own: usize, deques: &[Mutex<VecDeque<Task>>], my_steals: &mut u64) 
     if let Some(task) = deques[own].lock().expect("deque lock poisoned").pop_front() {
         return Some(task);
     }
+    // Contention telemetry: how long one pass over the victims' deque
+    // locks takes (successful or not). Only timed when a recorder is
+    // listening, and never consumes randomness.
+    let probe = dsd_obs::enabled().then(dsd_obs::Stopwatch::start);
+    let stolen = steal_task(own, deques, my_steals);
+    if let Some(probe) = probe {
+        dsd_obs::observe("portfolio.steal_latency", probe.elapsed_secs());
+    }
+    stolen
+}
+
+/// One cyclic steal pass over the other workers' deques.
+fn steal_task(own: usize, deques: &[Mutex<VecDeque<Task>>], my_steals: &mut u64) -> Option<Task> {
     let n = deques.len();
     for offset in 1..n {
         let victim = (own + offset) % n;

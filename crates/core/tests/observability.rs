@@ -53,6 +53,161 @@ fn instrumented_run_is_bit_identical_to_uninstrumented() {
     assert_eq!(bare.stats.refit_rounds, traced.stats.refit_rounds);
 }
 
+mod profiling {
+    use super::*;
+    use dsd_core::{ConfigurationSolver, Portfolio, Thoroughness};
+    use dsd_obs::ProfileTree;
+
+    /// The profiler's frames (polish span, per-Move apply/undo/delta
+    /// counters, cache probe timing, portfolio telemetry) must not
+    /// perturb the configuration solver: completing the same candidate
+    /// with and without a recorder yields bit-identical costs.
+    #[test]
+    fn profiled_config_solve_is_bit_identical() {
+        let e = env(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let out = DesignSolver::new(&e).solve(Budget::iterations(10), &mut rng);
+        let best = out.best.expect("feasible design");
+
+        let bare_cost = {
+            let mut candidate = best.clone();
+            ConfigurationSolver::new(&e).complete(&mut candidate, Thoroughness::Full)
+        };
+        let recorder = obs::Recorder::new();
+        let traced_cost = {
+            let _g = recorder.install();
+            let mut candidate = best;
+            ConfigurationSolver::new(&e).complete(&mut candidate, Thoroughness::Full)
+        };
+        assert_eq!(
+            bare_cost.total().as_f64().to_bits(),
+            traced_cost.total().as_f64().to_bits(),
+            "recording must not change the completed configuration"
+        );
+    }
+
+    /// Same discipline for the portfolio (cooperation off, so the task
+    /// set is fixed and the winner is deterministic): profiled and
+    /// unprofiled runs find the bit-identical design.
+    #[test]
+    fn profiled_portfolio_solve_is_bit_identical() {
+        let e = env(4);
+        let budget = Budget::iterations(10);
+        let solve = || {
+            Portfolio::new(&e)
+                .with_workers(2)
+                .with_cooperation(false)
+                .solve(budget, &[1, 2, 3])
+                .outcome
+                .best
+                .map(|b| b.cost().total().as_f64())
+        };
+        let bare = solve();
+        let recorder = obs::Recorder::new();
+        let traced = {
+            let _g = recorder.install();
+            solve()
+        };
+        assert_eq!(bare.map(f64::to_bits), traced.map(f64::to_bits));
+    }
+
+    /// Folding a recorded solve yields a verifiable tree whose hot paths
+    /// carry the explicit frames, attributing the bulk of the wall time
+    /// below the root.
+    #[test]
+    fn profile_tree_attributes_the_solve() {
+        let e = env(6);
+        let cache = EvalCache::new(512);
+        let recorder = obs::Recorder::new();
+        {
+            let _g = recorder.install();
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            let out =
+                DesignSolver::new(&e).with_cache(&cache).solve(Budget::iterations(40), &mut rng);
+            assert!(out.best.is_some());
+        }
+        let events = recorder.drain_events();
+        let tree = ProfileTree::from_events(&events);
+        tree.verify().expect("containment invariant");
+        assert!(
+            tree.attributed_fraction() > 0.90,
+            "only {:.1}% of wall time attributed below the roots",
+            tree.attributed_fraction() * 100.0
+        );
+        let paths: Vec<String> = tree.rows().into_iter().map(|r| r.path).collect();
+        for expected in ["solver.solve", "solver.solve;solver.greedy", "solver.solve;solver.refit"]
+        {
+            assert!(paths.iter().any(|p| p == expected), "missing path {expected}: {paths:?}");
+        }
+
+        // The per-Move-kind counters and shard occupancy gauges rode the
+        // same run.
+        let snap = recorder.metrics_snapshot();
+        let moves: u64 = snap
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("eval.apply."))
+            .map(|(_, v)| *v)
+            .sum();
+        assert!(moves > 0, "refit applies per-kind move counters: {:?}", snap.counters);
+        assert!(
+            snap.gauges.keys().any(|name| name.starts_with("eval_cache.shard_occupancy.")),
+            "cached solve publishes per-shard occupancy: {:?}",
+            snap.gauges.keys().collect::<Vec<_>>()
+        );
+        assert!(
+            snap.histogram("eval_cache.probe_latency").is_some_and(|h| h.count > 0),
+            "cache probes are timed"
+        );
+    }
+
+    /// A profiled portfolio run records per-worker spans and contention
+    /// telemetry, and the per-thread trees merge into one verifiable
+    /// aggregate.
+    #[test]
+    fn portfolio_contention_telemetry_and_merged_tree() {
+        let e = env(4);
+        let recorder = obs::Recorder::new();
+        {
+            let _g = recorder.install();
+            let _ = Portfolio::new(&e).with_workers(2).solve(Budget::iterations(12), &[1, 2, 3]);
+        }
+        let events = recorder.drain_events();
+        let workers = events.iter().filter(|ev| ev.name == "portfolio.worker").count();
+        assert_eq!(workers, 2, "one worker span per worker thread");
+        assert!(
+            events.iter().any(|ev| ev.name.starts_with("portfolio.greedy")),
+            "per-task spans recorded"
+        );
+
+        // Per-worker trees (split by thread) merge losslessly into the
+        // whole-run fold.
+        let whole = ProfileTree::from_events(&events);
+        whole.verify().expect("whole-run fold verifies");
+        let threads: std::collections::BTreeSet<u64> = events.iter().map(|ev| ev.thread).collect();
+        let mut merged = ProfileTree::default();
+        for t in threads {
+            let per: Vec<_> = events.iter().filter(|ev| ev.thread == t).cloned().collect();
+            merged.merge(&ProfileTree::from_events(&per));
+        }
+        merged.verify().expect("merged per-worker trees verify");
+        assert_eq!(merged.roots, whole.roots, "per-worker trees merge losslessly");
+
+        let snap = recorder.metrics_snapshot();
+        assert!(
+            snap.histogram("portfolio.worker_eval_secs").is_some_and(|h| h.count == 2),
+            "per-worker eval time observed"
+        );
+        assert!(
+            snap.histogram("portfolio.worker_idle_secs").is_some_and(|h| h.count == 2),
+            "per-worker idle time observed"
+        );
+        let publishes = snap.counter("portfolio.publish_accepts").unwrap_or(0)
+            + snap.counter("portfolio.publish_rejects").unwrap_or(0);
+        assert!(publishes > 0, "seqlock publish outcomes counted");
+    }
+}
+
 mod recording {
     use super::*;
 

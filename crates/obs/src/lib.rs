@@ -15,6 +15,10 @@
 //! * **exporters** ([`export`]): a JSONL solver trace (one event per
 //!   greedy placement, refit move, cache hit/miss, scenario batch) and a
 //!   Chrome `trace_event` file loadable in `about:tracing` / Perfetto;
+//! * a **self-profiler** ([`profile`]): folds the recorded span stream
+//!   into a deterministic, mergeable call-path tree (per-node self and
+//!   total time, call counts) behind `dsd obs profile` / `dsd obs
+//!   flame` and the bench overhead gates;
 //! * a **flight recorder** ([`progress`]): a bounded live channel of
 //!   typed progress events — incumbent improvements with the gap to the
 //!   certificate bound, phase transitions, per-worker heartbeats — that
@@ -56,6 +60,7 @@ mod clock;
 mod event;
 pub mod export;
 mod metrics;
+pub mod profile;
 pub mod progress;
 mod recorder;
 
@@ -65,6 +70,7 @@ pub use metrics::{
     BucketSnapshot, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     MoveRates,
 };
+pub use profile::{ProfileNode, ProfileRow, ProfileTree, PROFILE_SCHEMA_VERSION};
 pub use progress::{ProgressChannel, ProgressEvent, ProgressGuard, ProgressKind};
 pub use recorder::{
     add, current, enabled, flush, gauge, instant, instant_with, observe, span, InstallGuard,

@@ -193,6 +193,7 @@ impl Histogram {
             mean: self.mean(),
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
+            p95: self.quantile(0.95),
             p99: self.quantile(0.99),
             buckets: self
                 .buckets
@@ -232,6 +233,8 @@ pub struct HistogramSnapshot {
     pub p50: f64,
     /// 90th percentile estimate.
     pub p90: f64,
+    /// 95th percentile estimate.
+    pub p95: f64,
     /// 99th percentile estimate.
     pub p99: f64,
     /// Non-empty buckets in ascending order.

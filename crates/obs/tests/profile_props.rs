@@ -1,0 +1,111 @@
+//! Property tests for the span-tree profiler: the fold must satisfy its
+//! sum invariant on arbitrary span streams, and per-worker trees must
+//! merge losslessly regardless of merge order — the guarantee that lets
+//! parallel portfolio workers profile independently and combine after.
+
+use dsd_obs::{Event, EventKind, ProfileTree};
+use proptest::prelude::*;
+
+/// Fixed name pool — span names are `&'static str` in the recorder, so
+/// generated spans index into it.
+const NAMES: [&str; 5] = ["solve", "greedy", "refit", "eval", "probe"];
+
+/// One generated span: `(name index, thread, start_ns, dur_ns)`.
+type RawSpan = (usize, u64, u64, u64);
+
+fn events_from(raw: &[RawSpan]) -> Vec<Event> {
+    raw.iter()
+        .map(|&(name, thread, start_ns, dur_ns)| Event {
+            name: NAMES[name % NAMES.len()],
+            cat: "test",
+            kind: EventKind::Span,
+            start_ns,
+            dur_ns,
+            thread,
+            args: Vec::new(),
+        })
+        .collect()
+}
+
+fn raw_spans() -> impl Strategy<Value = Vec<RawSpan>> {
+    prop::collection::vec((0..NAMES.len(), 0u64..4, 0u64..10_000, 0u64..2_000), 0..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any span stream folds into a tree that passes its containment
+    /// invariant: each node's children never sum past the node's total
+    /// (plus the documented quantization slack).
+    #[test]
+    fn fold_satisfies_the_sum_invariant(raw in raw_spans()) {
+        let tree = ProfileTree::from_events(&events_from(&raw));
+        prop_assert!(tree.verify().is_ok(), "{:?}", tree.verify());
+    }
+
+    /// Folding all threads at once equals folding each thread's stream
+    /// separately and merging — in either merge order. This is the
+    /// losslessness guarantee for per-worker profile trees.
+    #[test]
+    fn per_thread_trees_merge_losslessly_in_any_order(raw in raw_spans()) {
+        let whole = ProfileTree::from_events(&events_from(&raw));
+
+        let mut by_thread: Vec<Vec<RawSpan>> = vec![Vec::new(); 4];
+        for &span in &raw {
+            by_thread[span.1 as usize].push(span);
+        }
+        let parts: Vec<ProfileTree> = by_thread
+            .iter()
+            .map(|part| ProfileTree::from_events(&events_from(part)))
+            .collect();
+
+        let mut forward = ProfileTree::default();
+        for part in &parts {
+            forward.merge(part);
+        }
+        let mut reverse = ProfileTree::default();
+        for part in parts.iter().rev() {
+            reverse.merge(part);
+        }
+
+        prop_assert_eq!(&forward, &reverse);
+        // `default()` starts with quantum 0; a real fold stamps 1.
+        prop_assert_eq!(forward.roots.clone(), whole.roots.clone());
+        prop_assert_eq!(forward.threads, whole.threads);
+        prop_assert!(forward.verify().is_ok(), "{:?}", forward.verify());
+    }
+
+    /// Merging preserves the summed wall time exactly: no nanosecond is
+    /// created or lost when worker trees combine.
+    #[test]
+    fn merge_preserves_total_time(raw in raw_spans()) {
+        let mut by_thread: Vec<Vec<RawSpan>> = vec![Vec::new(); 4];
+        for &span in &raw {
+            by_thread[span.1 as usize].push(span);
+        }
+        let parts: Vec<ProfileTree> = by_thread
+            .iter()
+            .map(|part| ProfileTree::from_events(&events_from(part)))
+            .collect();
+        let part_total: u64 = parts.iter().map(ProfileTree::total_ns).sum();
+
+        let mut merged = ProfileTree::default();
+        for part in &parts {
+            merged.merge(part);
+        }
+        prop_assert_eq!(merged.total_ns(), part_total);
+    }
+
+    /// Attached counters sum across merges like every other field.
+    #[test]
+    fn merge_sums_counters(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let counters_a = std::collections::BTreeMap::from([("evals".to_string(), a)]);
+        let counters_b = std::collections::BTreeMap::from([("evals".to_string(), b)]);
+        let mut left = ProfileTree::default();
+        left.attach_counters(&counters_a);
+        let mut right = ProfileTree::default();
+        right.attach_counters(&counters_b);
+        left.merge(&right);
+        prop_assert_eq!(left.counters.get("evals").copied(), Some(a + b));
+    }
+}

@@ -261,9 +261,8 @@ pub fn fleet(params: &FleetParams) -> Environment {
     let compute = u32::try_from((2 * per_site).max(2)).unwrap_or(u32::MAX);
     let sites = (0..params.sites).map(|i| fleet_site(i, per_site, compute)).collect();
     let mut network = NetworkSpec::high();
-    network.max_links = network
-        .max_links
-        .saturating_mul(u32::try_from(slot_sets(per_site)).unwrap_or(u32::MAX));
+    network.max_links =
+        network.max_links.saturating_mul(u32::try_from(slot_sets(per_site)).unwrap_or(u32::MAX));
     let routes = routes_for(params.sites, params.graph, &network);
 
     Environment::new(
